@@ -1,0 +1,64 @@
+"""Ablation -- the df_reg / df_smem derating factors.
+
+The paper introduces the derating factors to correct for GPGPU-Sim's
+thread-private register file and CTA-private shared memory modelling
+(section V.A).  This bench quantifies their effect: wAVF with the
+factors applied (the paper's methodology) vs the naive raw-FR
+weighting.  The raw variant must always upper-bound the derated one.
+"""
+
+import pytest
+
+from _harness import BENCHMARKS, CARDS, abbrev, emit, get_campaign, run_once
+from repro.analysis.avf import derating_factor, weighted_avf
+from repro.analysis.report import render_table
+from repro.faults.targets import CHIP_STRUCTURES, Structure, chip_bits
+from repro.sim.cards import get_card
+
+
+def raw_wavf(result) -> float:
+    """eq. 2/3 without the derating factors."""
+    config = get_card(result.config.card)
+    profile = result.profile
+    total_cycles = sum(profile.kernels[k].total_cycles
+                       for k in result.counts)
+    total = 0.0
+    for kernel in result.counts:
+        covered = set(result.counts[kernel])
+        num = 0.0
+        bits_total = 0
+        for structure in CHIP_STRUCTURES:
+            bits = chip_bits(structure, config)
+            if not bits:
+                continue
+            bits_total += bits
+            if structure in covered:
+                num += result.failure_ratio(kernel, structure) * bits
+        weight = profile.kernels[kernel].total_cycles / total_cycles
+        total += weight * (num / bits_total)
+    return total
+
+
+def collect(card):
+    rows = []
+    for name in BENCHMARKS:
+        result = get_campaign(name, card)
+        derated = weighted_avf(result)
+        raw = raw_wavf(result)
+        dfs = [derating_factor(kp, Structure.REGISTER_FILE,
+                               get_card(card))
+               for kp in result.profile.kernels.values()]
+        rows.append((abbrev(name), f"{derated:.5f}", f"{raw:.5f}",
+                     f"{min(dfs):.3f}-{max(dfs):.3f}"))
+    return rows
+
+
+@pytest.mark.parametrize("card", CARDS[:1])
+def test_ablation_derating(benchmark, card):
+    rows = run_once(benchmark, collect, card)
+    emit(f"ablation_derating_{card}",
+         render_table(("Benchmark", "wAVF derated", "wAVF raw",
+                       "df_reg range"), rows))
+    for name, derated, raw, _ in rows:
+        assert float(raw) >= float(derated) - 1e-12, \
+            f"{name}: derating can only reduce the AVF"

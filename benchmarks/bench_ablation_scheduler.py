@@ -1,0 +1,39 @@
+"""Ablation -- GTO vs LRR warp scheduling.
+
+GPGPU-Sim 4.0 defaults to greedy-then-oldest; loose round-robin is the
+classic alternative.  Both must complete every workload; cycle counts
+may differ (scheduling changes the interleaving the fault injector
+samples from, which is why the campaign config records the policy).
+"""
+
+import pytest
+
+from _harness import BENCHMARKS, abbrev, emit, run_once
+from repro.analysis.report import render_table
+from repro.bench import make_benchmark
+from repro.sim.device import Device
+
+
+def collect():
+    rows = []
+    for name in BENCHMARKS:
+        cycles = {}
+        for policy in ("gto", "lrr"):
+            dev = Device("RTX2060")
+            dev.set_scheduler_policy(policy)
+            assert make_benchmark(name).run(dev), (name, policy)
+            cycles[policy] = dev.cycle
+        rows.append((abbrev(name), cycles["gto"], cycles["lrr"],
+                     f"{cycles['lrr'] / cycles['gto']:.3f}"))
+    return rows
+
+
+def test_ablation_scheduler(benchmark):
+    rows = run_once(benchmark, collect)
+    emit("ablation_scheduler",
+         render_table(("Benchmark", "GTO cycles", "LRR cycles",
+                       "LRR/GTO"), rows))
+    for name, gto, lrr, _ in rows:
+        assert gto > 0 and lrr > 0
+        assert 0.5 < lrr / gto < 2.0, \
+            f"{name}: scheduler policy should not change cycles wildly"

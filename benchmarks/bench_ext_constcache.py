@@ -1,0 +1,51 @@
+"""Extension -- L1 constant cache injection (the paper's future work).
+
+gpuFI-4 section IV.C.1 defers constant-cache injection to a future
+version because GPGPU-Sim keeps no link between constant-cache lines
+and their data.  Our substrate models the constant cache (64-byte
+lines servicing LDC parameter reads), so this bench runs the
+experiment the paper could not: single-bit campaigns on the L1
+constant cache.  Kernel parameters (pointers!) live in the cached
+line, so the expected failure mode is crashes/SDCs from corrupted
+parameter words on re-read -- reported separately from the paper's
+AVF, which by construction excludes this structure.
+"""
+
+import pytest
+
+from _harness import BENCHMARKS, RUNS, abbrev, emit, get_campaign, run_once
+from repro.analysis.report import render_table
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+_WORKLOADS = tuple(b for b in BENCHMARKS
+                   if b in ("kmeans", "pathfinder", "scalarprod"))
+
+
+def collect():
+    rows = []
+    for name in _WORKLOADS:
+        result = get_campaign(name, "RTX2060",
+                              structures=(Structure.L1C_CACHE,))
+        for kernel in sorted(result.counts):
+            effects = result.counts[kernel][Structure.L1C_CACHE]
+            total = sum(effects.values())
+            rows.append((
+                abbrev(name), kernel, total,
+                f"{result.failure_ratio(kernel, Structure.L1C_CACHE):.3f}",
+                effects.get(FaultEffect.SDC, 0),
+                effects.get(FaultEffect.CRASH, 0),
+                effects.get(FaultEffect.TIMEOUT, 0),
+            ))
+    return rows
+
+
+def test_ext_constant_cache_injection(benchmark):
+    if not _WORKLOADS:
+        pytest.skip("workloads excluded via GPUFI_BENCHMARKS")
+    rows = run_once(benchmark, collect)
+    emit("ext_constcache",
+         render_table(("Benchmark", "Kernel", "runs", "FR", "SDC",
+                       "Crash", "Timeout"), rows))
+    for row in rows:
+        assert 0.0 <= float(row[3]) <= 1.0

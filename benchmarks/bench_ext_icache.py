@@ -1,0 +1,53 @@
+"""Extension -- L1 instruction cache injection (the paper's future work).
+
+The paper defers instruction-cache injection alongside the constant
+cache (section IV.C.1).  Here kernels exist as 16-byte encoded words
+(see ``docs/isa.md`` and :mod:`repro.isa.encoding`) fetched through a
+per-SM L1I, so a flipped bit re-decodes into a different -- or
+illegal -- instruction.  The campaign reports how icache faults break
+down; most are masked (the resident code footprint is a tiny fraction
+of the 128 KB cache), and the non-masked ones skew toward crashes
+(illegal instructions) -- behaviour software-level injectors cannot
+model at all.
+"""
+
+import pytest
+
+from _harness import BENCHMARKS, RUNS, abbrev, emit, get_campaign, run_once
+from repro.analysis.report import render_table
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+_WORKLOADS = tuple(b for b in BENCHMARKS
+                   if b in ("vectoradd", "kmeans", "gaussian"))
+
+
+def collect():
+    rows = []
+    for name in _WORKLOADS:
+        result = get_campaign(name, "RTX2060",
+                              structures=(Structure.L1I_CACHE,),
+                              model_icache=True)
+        for kernel in sorted(result.counts):
+            effects = result.counts[kernel][Structure.L1I_CACHE]
+            total = sum(effects.values())
+            rows.append((
+                abbrev(name), kernel, total,
+                f"{result.failure_ratio(kernel, Structure.L1I_CACHE):.3f}",
+                effects.get(FaultEffect.SDC, 0),
+                effects.get(FaultEffect.CRASH, 0),
+                effects.get(FaultEffect.TIMEOUT, 0),
+                effects.get(FaultEffect.PERFORMANCE, 0),
+            ))
+    return rows
+
+
+def test_ext_instruction_cache_injection(benchmark):
+    if not _WORKLOADS:
+        pytest.skip("workloads excluded via GPUFI_BENCHMARKS")
+    rows = run_once(benchmark, collect)
+    emit("ext_icache",
+         render_table(("Benchmark", "Kernel", "runs", "FR", "SDC",
+                       "Crash", "Timeout", "Performance"), rows))
+    for row in rows:
+        assert 0.0 <= float(row[3]) <= 1.0

@@ -1,0 +1,72 @@
+"""Fig. 1 -- register-file fault-effect breakdown (AVF), all cards.
+
+For every card and workload, runs the single-bit campaigns and renders
+the register-file AVF broken into SDC / Crash / Timeout / Masked
+segments (derated by df_reg, like the paper's stacked bars).
+
+Shape checks (what the paper's Fig. 1 shows):
+- SDC is the dominant failure class overall,
+- BP shows (near-)minimal register-file vulnerability,
+- KM is among the most vulnerable workloads.
+"""
+
+import pytest
+
+from _harness import (BENCHMARKS, CARDS, RUNS, abbrev, emit, get_campaign,
+                      run_once)
+from repro.analysis.avf import effect_breakdown
+from repro.analysis.report import stacked_chart
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+_CLASSES = ("SDC", "Crash", "Timeout", "Masked")
+
+
+def collect(card):
+    series = {}
+    raw_fr = {}
+    for name in BENCHMARKS:
+        result = get_campaign(name, card)
+        breakdown = effect_breakdown(result, Structure.REGISTER_FILE,
+                                     derated=True)
+        series[abbrev(name)] = {
+            "SDC": breakdown[FaultEffect.SDC],
+            "Crash": breakdown[FaultEffect.CRASH],
+            "Timeout": breakdown[FaultEffect.TIMEOUT],
+            "Masked": breakdown[FaultEffect.MASKED]
+            + breakdown[FaultEffect.PERFORMANCE],
+        }
+        raw = effect_breakdown(result, Structure.REGISTER_FILE,
+                               derated=False)
+        raw_fr[abbrev(name)] = (raw[FaultEffect.SDC]
+                                + raw[FaultEffect.CRASH]
+                                + raw[FaultEffect.TIMEOUT])
+    return series, raw_fr
+
+
+@pytest.mark.parametrize("card", CARDS)
+def test_fig1_regfile_breakdown(benchmark, card):
+    series, raw_fr = run_once(benchmark, collect, card)
+    chart = stacked_chart(series, _CLASSES)
+    fr_lines = "\nraw register-file FR (before derating):\n" + "\n".join(
+        f"  {name:<6} {fr:.3f}" for name, fr in raw_fr.items())
+    emit(f"fig1_regfile_breakdown_{card}", chart + fr_lines)
+
+    for name, vals in series.items():
+        for value in vals.values():
+            assert 0.0 <= value <= 1.0, (name, vals)
+
+    # the paper-shape assertions need statistics behind them: skip them
+    # on deliberately tiny smoke campaigns
+    if RUNS * len(series) >= 96:
+        total_sdc = sum(v["SDC"] for v in series.values())
+        total_crash = sum(v["Crash"] for v in series.values())
+        assert total_sdc >= total_crash, \
+            "SDC should dominate crashes in the RF breakdown (Fig. 1)"
+
+    if RUNS * len(series) >= 96 and "BP" in raw_fr and "KM" in raw_fr:
+        # the paper finds KM consistently the most RF-vulnerable and BP
+        # near zero; with scaled-down inputs the robust form of that
+        # ordering is on the raw failure ratio (see EXPERIMENTS.md)
+        assert raw_fr["KM"] >= raw_fr["BP"], \
+            "KM is the most RF-vulnerable workload, BP near zero (Fig. 1)"

@@ -1,0 +1,47 @@
+"""Fig. 2 -- per-structure contribution to the total AVF (pies).
+
+The paper breaks the overall AVF of SRAD2 and HS into the share each
+hardware structure contributes (size-weighted).  Shape check: the
+register file -- the largest and most-exercised structure -- is the
+dominant slice.
+"""
+
+import pytest
+
+from _harness import (BENCHMARKS, CARDS, RUNS, emit, get_campaign,
+                      run_once)
+from repro.analysis.avf import structure_contributions
+from repro.analysis.report import pie_text
+from repro.faults.targets import Structure
+
+_PAPER_PAIR = ("srad2", "hotspot")
+
+
+def collect(card):
+    out = {}
+    for name in _PAPER_PAIR:
+        if name not in BENCHMARKS:
+            continue
+        result = get_campaign(name, card)
+        out[name] = structure_contributions(result)
+    return out
+
+
+@pytest.mark.parametrize("card", CARDS[:1])  # the paper shows one chip
+def test_fig2_structure_contribution(benchmark, card):
+    shares = run_once(benchmark, collect, card)
+    if not shares:
+        pytest.skip("srad2/hotspot excluded via GPUFI_BENCHMARKS")
+    text = "\n".join(
+        f"{name}:\n{pie_text({s.value: v for s, v in pies.items()})}"
+        for name, pies in shares.items())
+    emit(f"fig2_structure_contribution_{card}", text)
+
+    for name, pies in shares.items():
+        if not pies:
+            continue  # all faults masked at this campaign size
+        assert sum(pies.values()) == pytest.approx(1.0)
+        if RUNS >= 8:  # the dominance claim needs statistics behind it
+            top = max(pies, key=pies.get)
+            assert top is Structure.REGISTER_FILE, \
+                f"register file should dominate the {name} AVF pie (Fig. 2)"

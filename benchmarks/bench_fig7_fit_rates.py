@@ -1,0 +1,43 @@
+"""Fig. 7 -- predicted FIT rates for the three cards.
+
+FIT = AVF x rawFIT_bit x bits, summed over structures.  Shape check:
+the GTX Titan (28 nm, raw FIT 1.2e-5/bit) shows the highest FIT for
+most workloads despite being the smallest chip -- the paper's headline
+technology observation.
+"""
+
+import pytest
+
+from _harness import (BENCHMARKS, CARDS, RUNS, abbrev, emit,
+                      get_campaign, run_once)
+from repro.analysis.fit import chip_fit
+from repro.analysis.report import render_table
+
+
+def collect():
+    rows = {}
+    for name in BENCHMARKS:
+        rows[abbrev(name)] = {card: chip_fit(get_campaign(name, card))
+                              for card in CARDS}
+    return rows
+
+
+def test_fig7_fit_rates(benchmark):
+    rows = run_once(benchmark, collect)
+    table = render_table(
+        ("Benchmark",) + tuple(CARDS),
+        [(name,) + tuple(f"{fits[card]:.1f}" for card in CARDS)
+         for name, fits in rows.items()])
+    emit("fig7_fit_rates", table)
+
+    for fits in rows.values():
+        for value in fits.values():
+            assert value >= 0.0
+
+    if "GTXTitan" in CARDS and "RTX2060" in CARDS and \
+            RUNS * len(rows) >= 96:  # needs statistics behind it
+        titan_total = sum(f["GTXTitan"] for f in rows.values())
+        rtx_total = sum(f["RTX2060"] for f in rows.values())
+        if titan_total or rtx_total:
+            assert titan_total >= rtx_total * 0.5, \
+                "the 28 nm card's raw FIT advantage should show (Fig. 7)"

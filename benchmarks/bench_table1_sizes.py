@@ -1,0 +1,70 @@
+"""Table I -- memory structure sizes across generations.
+
+Regenerates the paper's Table I from the card geometry (register
+file, shared memory, L1D, L1T, L2 derived exactly; L1I derived from
+the 128-byte-line tag model; L1C from the published value) and asserts
+the headline numbers the paper quotes, including the 18.5 MB / 47 MB
+total injected areas.  Also prints the static Tables II and III.
+"""
+
+import pytest
+
+from _harness import emit, run_once
+from repro.analysis.report import (TABLE3_HEADERS, TABLE3_ROWS, format_kb,
+                                   render_table)
+from repro.analysis.sizes import table1_rows, total_injectable_mb
+from repro.sim.cards import CARDS, get_card
+
+_PAPER_TOTALS_MB = {"RTX2060": 18.49, "QuadroGV100": 47.03,
+                    "GTXTitan": 6.43}
+
+
+def build_table1() -> str:
+    labels = [label for label, _ in table1_rows(get_card("RTX2060"))]
+    rows = []
+    for label in labels:
+        row = [label]
+        for name in ("RTX2060", "QuadroGV100", "GTXTitan"):
+            value = dict(table1_rows(get_card(name)))[label]
+            row.append(format_kb(value) if value else "N/A")
+        rows.append(row)
+    totals = ["Total injected area"]
+    for name in ("RTX2060", "QuadroGV100", "GTXTitan"):
+        totals.append(f"{total_injectable_mb(get_card(name)):.2f} MB")
+    rows.append(totals)
+    headers = ("Structure", "RTX 2060 (30 SMs)", "Quadro GV100 (80 SMs)",
+               "GTX Titan (14 SMs)")
+    return render_table(headers, rows)
+
+
+def test_table1_memory_sizes(benchmark):
+    text = run_once(benchmark, build_table1)
+    emit("table1_memory_sizes", text)
+    # assert the paper's headline values
+    rtx = dict(table1_rows(get_card("RTX2060")))
+    assert rtx["Register File"] / 1024 == pytest.approx(7.5)
+    assert rtx["L1 data cache"] / 1024 == pytest.approx(1.98, abs=0.01)
+    assert rtx["L2 cache"] / 1024 == pytest.approx(3.17, abs=0.01)
+    for name, expected in _PAPER_TOTALS_MB.items():
+        assert total_injectable_mb(get_card(name)) == pytest.approx(
+            expected, abs=0.1)
+
+
+def test_table2_memory_space_mapping(benchmark):
+    rows = [
+        ("Shared memory (R/W)", "shared memory accesses only"),
+        ("Constant cache (read only)", "constant and parameter memory"),
+        ("Texture cache (read only)", "texture accesses only"),
+        ("Data cache (R/W, write-evict global / writeback local)",
+         "global and local memory accesses"),
+    ]
+    text = run_once(benchmark, render_table,
+                    ("Core memory", "Accesses"), rows)
+    emit("table2_memory_spaces", text)
+    assert "Texture cache" in text
+
+
+def test_table3_framework_comparison(benchmark):
+    text = run_once(benchmark, render_table, TABLE3_HEADERS, TABLE3_ROWS)
+    emit("table3_framework_comparison", text)
+    assert "This Work" in text

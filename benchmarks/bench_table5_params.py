@@ -1,0 +1,57 @@
+"""Table V -- microarchitectural parameters of the three cards.
+
+Regenerated directly from the card models, including the *-starred
+"with 57 tag bits" cache sizes the paper derives.
+"""
+
+import pytest
+
+from _harness import emit, run_once
+from repro.analysis.report import render_table
+from repro.sim.cards import get_card
+
+_CARD_ORDER = ("RTX2060", "QuadroGV100", "GTXTitan")
+
+
+def _cache_kb(geometry, tag_bits) -> str:
+    if geometry is None:
+        return "N/A"
+    raw = geometry.size_bytes / 1024
+    starred = geometry.injectable_bits(tag_bits) / 8 / 1024
+    return f"{raw:.0f} KB / {starred:.2f} KB*"
+
+
+def build_table5() -> str:
+    cards = [get_card(name) for name in _CARD_ORDER]
+    rows = [
+        ["SMs"] + [c.num_sms for c in cards],
+        ["Warp size"] + [c.warp_size for c in cards],
+        ["Max threads per SM"] + [c.max_threads_per_sm for c in cards],
+        ["Max CTAs per SM"] + [c.max_ctas_per_sm for c in cards],
+        ["Registers per SM (4B each)"] + [c.registers_per_sm
+                                          for c in cards],
+        ["Shared memory per SM"] + [f"{c.shared_mem_per_sm // 1024} KB"
+                                    for c in cards],
+        ["L1 data cache per SM"] + [_cache_kb(c.l1d, c.tag_bits)
+                                    for c in cards],
+        ["L1 texture cache per SM"] + [_cache_kb(c.l1t, c.tag_bits)
+                                       for c in cards],
+        ["L2 cache"] + [_cache_kb(c.l2, c.tag_bits) for c in cards],
+        ["Technology"] + [f"{c.technology_nm} nm" for c in cards],
+        ["Raw FIT per bit"] + [f"{c.raw_fit_per_bit:.1e}" for c in cards],
+    ]
+    return render_table(("Parameter",) + _CARD_ORDER, rows)
+
+
+def test_table5_microarch_params(benchmark):
+    text = run_once(benchmark, build_table5)
+    emit("table5_microarch_params", text)
+    rtx, gv, titan = (get_card(n) for n in _CARD_ORDER)
+    assert (rtx.num_sms, gv.num_sms, titan.num_sms) == (30, 80, 14)
+    assert (rtx.max_threads_per_sm, gv.max_threads_per_sm,
+            titan.max_threads_per_sm) == (1024, 2048, 2048)
+    # the paper's starred L2 sizes
+    assert rtx.l2.injectable_bits(57) / 8 / 1024 / 1024 == pytest.approx(
+        3.17, abs=0.01)
+    assert titan.l2.injectable_bits(57) / 8 / 1024 / 1024 == pytest.approx(
+        1.58, abs=0.01)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Cross-generation study: the same workloads on three GPU generations.
+
+Reproduces the core of the paper's evaluation on a reduced scale: for
+each card (RTX 2060 / Quadro GV100 / GTX Titan) and a subset of
+workloads, run single-bit campaigns over every supported structure and
+compare wAVF, occupancy and the predicted FIT rate.  The FIT
+inversion -- the oldest 28 nm card has the highest FIT despite being
+the smallest chip -- is the paper's Fig. 7 headline.
+
+Run:  python examples/compare_generations.py [runs_per_structure]
+"""
+
+import sys
+
+from repro.analysis.avf import weighted_avf
+from repro.analysis.fit import chip_fit, fit_breakdown
+from repro.analysis.report import render_table
+from repro.faults.campaign import Campaign, CampaignConfig
+
+CARDS = ("RTX2060", "QuadroGV100", "GTXTitan")
+WORKLOADS = ("vectoradd", "scalarprod", "pathfinder")
+
+
+def main() -> None:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    rows = []
+    for name in WORKLOADS:
+        for card in CARDS:
+            config = CampaignConfig(benchmark=name, card=card,
+                                    runs_per_structure=runs, seed=7)
+            result = Campaign(config).run()
+            rows.append((name, card,
+                         f"{result.profile.app_occupancy():.3f}",
+                         f"{weighted_avf(result):.5f}",
+                         f"{chip_fit(result):.2f}"))
+            print(f"done: {name} on {card}")
+    print()
+    print(render_table(("benchmark", "card", "occupancy", "wAVF", "FIT"),
+                       rows))
+    print()
+    print("note the GTX Titan rows: similar AVFs but ~6.7x the raw "
+          "FIT/bit (28 nm vs 12 nm) push its chip FIT above the much "
+          "larger modern chips -- the paper's Fig. 7 observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""gpuFI-4 reproduction: microarchitecture-level GPU fault injection.
+
+This library reproduces the ISPASS 2022 paper *"gpuFI-4: A
+Microarchitecture-Level Framework for Assessing the Cross-Layer
+Resilience of Nvidia GPUs"* end to end in Python:
+
+- :mod:`repro.sim` -- a from-scratch cycle-level SIMT GPU simulator
+  (the GPGPU-Sim 4.0 substrate) with the paper's three card models,
+- :mod:`repro.isa` -- the SASS-like ISA benchmarks are written in,
+- :mod:`repro.bench` -- the twelve Rodinia / CUDA-SDK workloads,
+- :mod:`repro.faults` -- the gpuFI-4 core: fault masks, the injection
+  campaign controller and the outcome parser/classifier,
+- :mod:`repro.analysis` -- AVF / wAVF / derating factors / FIT rates.
+
+Quickstart::
+
+    from repro.faults import Campaign, CampaignConfig, Structure
+
+    config = CampaignConfig(benchmark="vectoradd", card="RTX2060",
+                            structures=(Structure.REGISTER_FILE,),
+                            runs_per_structure=100, seed=7)
+    result = Campaign(config).run()
+    print(result.summary())
+"""
+
+from repro.sim import (
+    CARDS,
+    Device,
+    GPUConfig,
+    Kernel,
+    get_card,
+    gtx_titan,
+    quadro_gv100,
+    rtx_2060,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CARDS",
+    "Device",
+    "GPUConfig",
+    "Kernel",
+    "get_card",
+    "rtx_2060",
+    "quadro_gv100",
+    "gtx_titan",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis: AVF / wAVF, derating factors, FIT rates, statistics.
+
+Implements section V.A of the paper (equations 1-3 and the df_reg /
+df_smem derating factors), the FIT model of section VI.F, and the
+statistical-significance machinery of Leveugle et al. that justifies
+the paper's 3,000-injection campaigns.
+"""
+
+from repro.analysis.avf import (
+    chip_structure_avf,
+    derating_factor,
+    effect_breakdown,
+    kernel_avf,
+    structure_avf,
+    structure_contributions,
+    weighted_avf,
+)
+from repro.analysis.fit import chip_fit, fit_breakdown, structure_fit
+from repro.analysis.insights import (bit_position_sensitivity,
+                                     field_breakdown, phase_histogram,
+                                     target_breakdown)
+from repro.analysis.markdown import render_markdown
+from repro.analysis.sizes import structure_sizes_mb, table1_rows
+from repro.analysis.statistics import margin_of_error, required_injections
+
+__all__ = [
+    "derating_factor",
+    "structure_avf",
+    "kernel_avf",
+    "weighted_avf",
+    "chip_structure_avf",
+    "structure_contributions",
+    "effect_breakdown",
+    "structure_fit",
+    "fit_breakdown",
+    "render_markdown",
+    "bit_position_sensitivity",
+    "field_breakdown",
+    "phase_histogram",
+    "target_breakdown",
+    "chip_fit",
+    "structure_sizes_mb",
+    "table1_rows",
+    "margin_of_error",
+    "required_injections",
+]

@@ -1,0 +1,41 @@
+"""FIT-rate prediction (paper section VI.F).
+
+``FIT_struct = AVF_struct x rawFIT_bit x #Bits_struct`` and the chip
+FIT is the sum over structures.  The raw FIT per bit carries the
+technology information: 1.8e-6 for the 12 nm RTX 2060 / Quadro GV100
+and 1.2e-5 for the 28 nm GTX Titan -- which is why the oldest card
+shows the highest FIT in Fig. 7 despite being the smallest chip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.avf import chip_structure_avf
+from repro.faults.campaign import CampaignResult
+from repro.faults.targets import CHIP_STRUCTURES, Structure, chip_bits
+from repro.sim.cards import get_card
+
+
+def structure_fit(avf: float, raw_fit_per_bit: float, bits: int) -> float:
+    """FIT of one structure: AVF x raw FIT/bit x size in bits."""
+    return avf * raw_fit_per_bit * bits
+
+
+def chip_fit(result: CampaignResult) -> float:
+    """Total predicted FIT of the GPU chip for this workload."""
+    return sum(fit_breakdown(result).values())
+
+
+def fit_breakdown(result: CampaignResult) -> Dict[Structure, float]:
+    """Per-structure FIT rates of the chip."""
+    config = get_card(result.config.card)
+    out: Dict[Structure, float] = {}
+    for structure in CHIP_STRUCTURES:
+        bits = chip_bits(structure, config)
+        if bits == 0:
+            continue
+        out[structure] = structure_fit(
+            chip_structure_avf(result, structure),
+            config.raw_fit_per_bit, bits)
+    return out

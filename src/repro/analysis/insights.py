@@ -1,0 +1,138 @@
+"""Deeper reliability insights mined from campaign run logs.
+
+The paper positions gpuFI-4 as a platform that "can serve many
+different reliability studies" beyond headline AVF numbers.  This
+module implements several such studies over the JSONL run records a
+campaign produces:
+
+- :func:`bit_position_sensitivity` -- which bit positions of an entry
+  fail most (exponent vs mantissa bits of fp32 data, high vs low
+  pointer bits),
+- :func:`field_breakdown` -- cache faults split into tag-field vs
+  data-field hits, with their outcome mix (tag faults mostly
+  masked/performance, data faults carry the SDCs),
+- :func:`phase_histogram` -- failure probability vs the execution
+  phase the fault struck in (faults near the end are often dead),
+- :func:`target_breakdown` -- spatial resolution outcomes (thread vs
+  warp vs no-live-target).
+
+All functions are pure: they consume the record dictionaries (from
+:func:`repro.faults.parser.load_records` or
+``CampaignResult.records``) and return plain data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+#: Outcome classes counted as failures (eq. 1).
+_FAILS = {FaultEffect.SDC.value, FaultEffect.CRASH.value,
+          FaultEffect.TIMEOUT.value}
+
+
+def _matches(record: dict, structure: Optional[Structure]) -> bool:
+    if record.get("synthesized"):
+        return False
+    if structure is None:
+        return True
+    return record.get("structure") == structure.value
+
+
+def bit_position_sensitivity(records: Sequence[dict],
+                             structure: Optional[Structure] = None,
+                             bucket: int = 1
+                             ) -> Dict[int, Tuple[int, int]]:
+    """Runs and failures per (bucketed) bit position of the entry.
+
+    Returns ``{bucket_start: (runs, failures)}``; ``bucket`` groups
+    adjacent bit positions (e.g. 8 for per-byte granularity).
+    """
+    out: Dict[int, List[int]] = defaultdict(lambda: [0, 0])
+    for record in records:
+        if not _matches(record, structure) or "mask" not in record:
+            continue
+        failed = record["effect"] in _FAILS
+        for bit in record["mask"]["bit_offsets"]:
+            slot = (bit // bucket) * bucket
+            out[slot][0] += 1
+            out[slot][1] += int(failed)
+    return {k: (v[0], v[1]) for k, v in sorted(out.items())}
+
+
+def field_breakdown(records: Sequence[dict],
+                    structure: Optional[Structure] = None
+                    ) -> Dict[str, Dict[str, int]]:
+    """Cache-fault outcomes split by the field hit (tag vs data).
+
+    Uses the injection log's per-flip ``field`` entries; records
+    without cache flips (or that never resolved a target) land under
+    ``"none"``.
+    """
+    out: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for record in records:
+        if not _matches(record, structure):
+            continue
+        fields = set()
+        for injection in record.get("injections", []):
+            for flip in injection.get("flips", []):
+                if "field" in flip:
+                    fields.add(flip["field"])
+        key = "+".join(sorted(fields)) if fields else "none"
+        out[key][record["effect"]] += 1
+    return {k: dict(v) for k, v in out.items()}
+
+
+def phase_histogram(records: Sequence[dict], bins: int = 10
+                    ) -> List[Tuple[float, int, int]]:
+    """(phase, runs, failures) per execution-phase bin.
+
+    The phase is the fault cycle normalised by the fault-free run
+    length; faults injected late often hit dead state and mask.
+    """
+    counters = [[0, 0] for _ in range(bins)]
+    for record in records:
+        if record.get("synthesized") or "mask" not in record:
+            continue
+        golden = record.get("golden_cycles") or 0
+        if golden <= 0:
+            continue
+        phase = min(record["mask"]["cycle"] / golden, 1.0 - 1e-9)
+        slot = int(phase * bins)
+        counters[slot][0] += 1
+        counters[slot][1] += int(record["effect"] in _FAILS)
+    return [(i / bins, runs, fails)
+            for i, (runs, fails) in enumerate(counters)]
+
+
+def target_breakdown(records: Sequence[dict]) -> Dict[str, int]:
+    """How injections resolved spatially (thread/warp/cta/l1/l2/none)."""
+    out: Dict[str, int] = defaultdict(int)
+    for record in records:
+        if record.get("synthesized"):
+            out["synthesized"] += 1
+            continue
+        injections = record.get("injections", [])
+        if not injections:
+            out["not_applied"] += 1
+            continue
+        for injection in injections:
+            out[injection.get("target", "unknown")] += 1
+    return dict(out)
+
+
+def render_sensitivity(sensitivity: Dict[int, Tuple[int, int]],
+                       width: int = 40) -> str:
+    """ASCII rendering of :func:`bit_position_sensitivity`."""
+    if not sensitivity:
+        return "(no applicable records)"
+    lines = []
+    for bit, (runs, fails) in sensitivity.items():
+        ratio = fails / runs if runs else 0.0
+        bar = "#" * round(width * ratio)
+        lines.append(f"bit {bit:>4} |{bar:<{width}} "
+                     f"{fails}/{runs} ({ratio:.0%})")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Text rendering of the paper's tables and figures.
+
+The benchmark harness regenerates every table and figure of the
+evaluation as plain text: tables as aligned columns, figures as
+horizontal bar charts (optionally stacked by fault-effect class).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+#: Static content of the paper's Table III (framework comparison).
+TABLE3_ROWS = [
+    ("SASSIFI", "SW", "-", "yes", "-", "2010-2014"),
+    ("NVBitFI", "SW", "-", "yes", "-", "2012-2020"),
+    ("GPU-Qin", "SW", "-", "no", "-", "N/A"),
+    ("G-SEPM", "SW", "-", "no", "-", "N/A"),
+    ("LLFI-GPU", "SW", "-", "no", "-", "2012-2015"),
+    ("GUFI", "uArch", "3.0", "no", "2", "2006-2011"),
+    ("This Work", "uArch", "4.0", "yes", "6", "2006-2020"),
+]
+
+TABLE3_HEADERS = ("Framework", "Layer", "GPGPU-Sim", "Multi-bit",
+                  "#Components", "GPU Generations")
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def bar_chart(series: Mapping[str, float], width: int = 50,
+              fmt: str = "{:.4f}") -> str:
+    """Horizontal ASCII bar chart, one bar per label."""
+    if not series:
+        return "(no data)"
+    peak = max(series.values()) or 1.0
+    label_w = max(len(label) for label in series)
+    lines = []
+    for label, value in series.items():
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)} |{bar} " + fmt.format(value))
+    return "\n".join(lines)
+
+
+def stacked_chart(series: Mapping[str, Mapping[str, float]],
+                  classes: Sequence[str], width: int = 50,
+                  symbols: str = "#*+o.x") -> str:
+    """Stacked horizontal bars (Fig. 1/5 fault-effect breakdowns).
+
+    ``series`` maps a bar label to per-class values; each class gets
+    one symbol, and the legend is appended.
+    """
+    if not series:
+        return "(no data)"
+    totals = {label: sum(vals.get(c, 0.0) for c in classes)
+              for label, vals in series.items()}
+    peak = max(totals.values()) or 1.0
+    label_w = max(len(label) for label in series)
+    lines = []
+    for label, vals in series.items():
+        bar = ""
+        for i, cls in enumerate(classes):
+            seg = round(width * vals.get(cls, 0.0) / peak)
+            bar += symbols[i % len(symbols)] * seg
+        lines.append(f"{label.ljust(label_w)} |{bar} {totals[label]:.4f}")
+    legend = "  ".join(f"{symbols[i % len(symbols)]}={cls}"
+                       for i, cls in enumerate(classes))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def pie_text(shares: Mapping[str, float]) -> str:
+    """Textual pie (Fig. 2): per-slice percentage lines."""
+    if not shares:
+        return "(all faults masked -- no contribution to break down)"
+    lines = []
+    for label, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {label:<16} {share * 100:6.2f}%")
+    return "\n".join(lines)
+
+
+def format_kb(kb: float) -> str:
+    """Table I style size formatting (KB below 1 MB, MB above)."""
+    if kb >= 1024:
+        return f"{kb / 1024:.2f} MB"
+    return f"{kb:.2f} KB"

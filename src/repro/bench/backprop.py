@@ -1,0 +1,165 @@
+"""BP -- Backpropagation (Rodinia ``backprop``).
+
+The two Rodinia GPU kernels: ``bpnn_layerforward_CUDA`` computes the
+hidden-layer activations (one block per hidden unit, shared-memory
+tree reduction, sigmoid via ``MUFU``) and
+``bpnn_adjust_weights_cuda`` applies the weight update with momentum.
+The rest of the network (output layer, delta computation) runs on the
+host, exactly as in Rodinia.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_IN = 64    # input units including the x[0] = 1 bias
+_HID = 16   # hidden units (power of two: the adjust kernel uses shifts)
+_LOG2E = 1.4426950408889634
+
+_LAYERFORWARD = Kernel("bpnn_layerforward_CUDA", f"""
+    S2R R0, SR_CTAID_X         ; hidden unit j
+    S2R R2, SR_TID_X           ; input unit i
+    LDC R4, c[0x0]             ; x (input activations)
+    LDC R5, c[0x4]             ; w (input-to-hidden weights, i*HID + j)
+    LDC R6, c[0x8]             ; hidden activations (output)
+    LDC R7, c[0xc]             ; input count
+    LDC R8, c[0x10]            ; hidden count
+    SHL R9, R2, 2
+    IADD R10, R4, R9
+    LDG R11, [R10]             ; x[i]
+    IMAD R12, R2, R8, R0
+    SHL R12, R12, 2
+    IADD R12, R12, R5
+    LDG R13, [R12]             ; w[i][j]
+    FMUL R14, R11, R13
+    STS [R9], R14
+    BAR.SYNC
+    SHR R15, R7, 1             ; reduction stride
+red:
+    ISETP.GE.AND P0, PT, R2, R15, PT
+@P0 BRA skip
+    IADD R16, R2, R15
+    SHL R17, R16, 2
+    LDS R18, [R17]
+    LDS R19, [R9]
+    FADD R20, R18, R19
+    STS [R9], R20
+skip:
+    BAR.SYNC
+    SHR R15, R15, 1
+    ISETP.GE.AND P1, PT, R15, 1, PT
+@P1 BRA red
+    ISETP.NE.AND P2, PT, R2, RZ, PT
+@P2 EXIT
+    LDS R21, [RZ]              ; weighted sum
+    FMUL R22, R21, {_LOG2E}
+    MUFU.EX2 R23, -R22         ; exp(-sum)
+    FADD R24, R23, 1.0
+    MUFU.RCP R25, R24          ; sigmoid
+    SHL R26, R0, 2
+    IADD R26, R26, R6
+    STG [R26], R25
+    EXIT
+""", num_params=5, smem_bytes=_IN * 4)
+
+_ADJUST = Kernel("bpnn_adjust_weights_cuda", common.TID_1D + """
+    LDC R4, c[0x0]             ; delta (per hidden unit)
+    LDC R5, c[0x4]             ; x
+    LDC R6, c[0x8]             ; w
+    LDC R7, c[0xc]             ; oldw
+    LDC R8, c[0x10]            ; total elements (IN * HID)
+    LDC R9, c[0x14]            ; eta
+    LDC R10, c[0x18]           ; momentum
+    ISETP.GE.AND P0, PT, R3, R8, PT
+@P0 EXIT
+    AND R12, R3, 15            ; j = id % HID
+    SHR R13, R3, 4             ; i = id / HID
+    SHL R14, R12, 2
+    IADD R14, R14, R4
+    LDG R15, [R14]             ; delta[j]
+    SHL R16, R13, 2
+    IADD R16, R16, R5
+    LDG R17, [R16]             ; x[i]
+    SHL R18, R3, 2
+    IADD R19, R18, R7
+    LDG R20, [R19]             ; oldw[id]
+    FMUL R21, R15, R17
+    FMUL R21, R21, R9          ; eta * delta[j] * x[i]
+    FFMA R22, R20, R10, R21    ; + momentum * oldw
+    IADD R23, R18, R6
+    LDG R24, [R23]
+    FADD R25, R24, R22
+    STG [R23], R25             ; w += dw
+    STG [R19], R22             ; oldw = dw
+    EXIT
+""", num_params=7)
+
+
+class Backprop(Benchmark):
+    """Hidden-layer forward pass + momentum weight update."""
+
+    name = "backprop"
+    abbrev = "BP"
+
+    def __init__(self, eta: float = 0.3, momentum: float = 0.3,
+                 seed: int = 112):
+        self.eta = eta
+        self.momentum = momentum
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_LAYERFORWARD, _ADJUST]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        x = gen.random(_IN, dtype=np.float32).astype(np.float32)
+        x[0] = 1.0  # bias unit
+        w = ((gen.random(_IN * _HID, dtype=np.float32) - 0.5) * 0.2).astype(
+            np.float32)
+        delta = ((gen.random(_HID, dtype=np.float32) - 0.5) * 0.1).astype(
+            np.float32)
+        oldw = ((gen.random(_IN * _HID, dtype=np.float32) - 0.5) * 0.1
+                ).astype(np.float32)
+        return {
+            "x": x, "w": w, "delta": delta, "oldw": oldw,
+            "px": dev.to_device(x),
+            "pw": dev.to_device(w),
+            "ph": dev.malloc(4 * _HID),
+            "pd": dev.to_device(delta),
+            "pold": dev.to_device(oldw),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        dev.launch(_LAYERFORWARD, grid=_HID, block=_IN,
+                   params=[state["px"], state["pw"], state["ph"], _IN, _HID])
+        total = _IN * _HID
+        dev.launch(_ADJUST, grid=common.ceil_div(total, 128), block=128,
+                   params=[state["pd"], state["px"], state["pw"],
+                           state["pold"], total, self.eta, self.momentum])
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        f32 = np.float32
+        hidden = dev.read_array(state["ph"], (_HID,), np.float32)
+        w = dev.read_array(state["pw"], (_IN * _HID,), np.float32)
+        oldw = dev.read_array(state["pold"], (_IN * _HID,), np.float32)
+
+        sums = np.sum(state["x"][:, None]
+                      * state["w"].reshape(_IN, _HID), axis=0,
+                      dtype=np.float32)
+        golden_hidden = (f32(1.0) / (f32(1.0) + np.exp(-sums))).astype(
+            np.float32)
+        dw = (f32(self.eta) * state["delta"][None, :]
+              * state["x"][:, None]
+              + f32(self.momentum) * state["oldw"].reshape(_IN, _HID)
+              ).astype(np.float32).reshape(-1)
+        golden_w = (state["w"] + dw).astype(np.float32)
+        return (common.close(hidden, golden_hidden, rtol=1e-4, atol=1e-5)
+                and common.close(w, golden_w, rtol=1e-4, atol=1e-5)
+                and common.close(oldw, dw, rtol=1e-4, atol=1e-5))

@@ -1,0 +1,181 @@
+"""BFS -- Breadth-First Search (Rodinia ``bfs``).
+
+The classic two-kernel frontier expansion: ``Kernel`` visits the
+edges of every frontier node and tentatively labels unvisited
+neighbours; ``Kernel2`` commits the new frontier and raises the
+continuation flag.  The host loops until the flag stays down, exactly
+like the Rodinia driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_BFS_K1 = Kernel("BFS_Kernel", common.TID_1D + """
+    LDC R4, c[0x0]             ; node offsets (n+1 entries)
+    LDC R5, c[0x4]             ; edges
+    LDC R6, c[0x8]             ; mask
+    LDC R7, c[0xc]             ; visited
+    LDC R8, c[0x10]            ; cost
+    LDC R9, c[0x14]            ; updating mask
+    LDC R10, c[0x18]           ; n
+    ISETP.GE.AND P0, PT, R3, R10, PT
+@P0 EXIT
+    SHL R11, R3, 2
+    IADD R12, R6, R11
+    LDG R13, [R12]             ; mask[i]
+    ISETP.EQ.AND P1, PT, R13, RZ, PT
+@P1 EXIT
+    STG [R12], RZ              ; mask[i] = 0
+    IADD R14, R8, R11
+    LDG R15, [R14]             ; cost[i]
+    IADD R16, R4, R11
+    LDG R17, [R16]             ; first edge
+    LDG R18, [R16+4]           ; one past last edge
+edge_loop:
+    ISETP.GE.AND P2, PT, R17, R18, PT
+@P2 EXIT
+    SHL R19, R17, 2
+    IADD R19, R19, R5
+    LDG R20, [R19]             ; neighbour id
+    SHL R21, R20, 2
+    IADD R22, R7, R21
+    LDG R23, [R22]             ; visited[nb]
+    ISETP.NE.AND P3, PT, R23, RZ, PT
+@P3 BRA next_edge
+    IADD R24, R15, 1
+    IADD R25, R8, R21
+    STG [R25], R24             ; cost[nb] = cost[i] + 1
+    IADD R26, R9, R21
+    MOV R27, 1
+    STG [R26], R27             ; updating[nb] = 1
+next_edge:
+    IADD R17, R17, 1
+    BRA edge_loop
+    EXIT                       ; unreachable; loop exits via @P2 EXIT
+""", num_params=7)
+
+_BFS_K2 = Kernel("BFS_Kernel2", common.TID_1D + """
+    LDC R4, c[0x0]             ; mask
+    LDC R5, c[0x4]             ; visited
+    LDC R6, c[0x8]             ; updating mask
+    LDC R7, c[0xc]             ; continuation flag
+    LDC R8, c[0x10]            ; n
+    ISETP.GE.AND P0, PT, R3, R8, PT
+@P0 EXIT
+    SHL R9, R3, 2
+    IADD R10, R6, R9
+    LDG R11, [R10]             ; updating[i]
+    ISETP.EQ.AND P1, PT, R11, RZ, PT
+@P1 EXIT
+    MOV R12, 1
+    IADD R13, R4, R9
+    STG [R13], R12             ; mask[i] = 1
+    IADD R14, R5, R9
+    STG [R14], R12             ; visited[i] = 1
+    STG [R7], R12              ; *flag = 1
+    STG [R10], RZ              ; updating[i] = 0
+    EXIT
+""", num_params=5)
+
+
+class BFS(Benchmark):
+    """Level-synchronous BFS over a random digraph in CSR form."""
+
+    name = "bfs"
+    abbrev = "BFS"
+
+    def __init__(self, nodes: int = 256, extra_edges: int = 2,
+                 block: int = 128, seed: int = 107):
+        self.nodes = nodes
+        self.extra_edges = extra_edges
+        self.block = block
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_BFS_K1, _BFS_K2]
+
+    def _graph(self):
+        """Heap-shaped backbone (log diameter) plus random extra edges."""
+        gen = common.rng(self.seed)
+        n = self.nodes
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < n:
+                    adjacency[i].append(child)
+            extras = gen.integers(0, n, self.extra_edges)
+            adjacency[i].extend(int(e) for e in extras)
+        offsets = np.zeros(n + 1, dtype=np.int32)
+        for i in range(n):
+            offsets[i + 1] = offsets[i] + len(adjacency[i])
+        edges = np.concatenate([np.array(a, dtype=np.int32)
+                                for a in adjacency])
+        return offsets, edges
+
+    def build(self, dev: Device) -> Dict:
+        offsets, edges = self._graph()
+        n = self.nodes
+        mask = np.zeros(n, dtype=np.int32)
+        visited = np.zeros(n, dtype=np.int32)
+        cost = np.full(n, -1, dtype=np.int32)
+        mask[0] = 1
+        visited[0] = 1
+        cost[0] = 0
+        return {
+            "offsets": offsets,
+            "edges": edges,
+            "p_off": dev.to_device(offsets),
+            "p_edges": dev.to_device(edges),
+            "p_mask": dev.to_device(mask),
+            "p_visited": dev.to_device(visited),
+            "p_cost": dev.to_device(cost),
+            "p_updating": dev.to_device(np.zeros(n, dtype=np.int32)),
+            "p_flag": dev.malloc(4),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        n = self.nodes
+        grid = common.ceil_div(n, self.block)
+        # a hard iteration cap keeps fault-corrupted runs from looping
+        # forever (the watchdog would catch them anyway)
+        for _ in range(2 * n):
+            dev.memcpy_htod(state["p_flag"], np.zeros(1, dtype=np.int32))
+            dev.launch(_BFS_K1, grid=grid, block=self.block,
+                       params=[state["p_off"], state["p_edges"],
+                               state["p_mask"], state["p_visited"],
+                               state["p_cost"], state["p_updating"], n])
+            dev.launch(_BFS_K2, grid=grid, block=self.block,
+                       params=[state["p_mask"], state["p_visited"],
+                               state["p_updating"], state["p_flag"], n])
+            flag = dev.read_array(state["p_flag"], (1,), np.int32)[0]
+            if not flag:
+                break
+
+    def _golden(self, offsets: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        n = self.nodes
+        cost = np.full(n, -1, dtype=np.int32)
+        cost[0] = 0
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for e in range(offsets[node], offsets[node + 1]):
+                    nb = int(edges[e])
+                    if cost[nb] == -1:
+                        cost[nb] = cost[node] + 1
+                        nxt.append(nb)
+            frontier = nxt
+        return cost
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        cost = dev.read_array(state["p_cost"], (self.nodes,), np.int32)
+        return common.exact(cost, self._golden(state["offsets"],
+                                               state["edges"]))

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark implementations.
+
+All benchmarks build their inputs from fixed seeds so that every run of
+a campaign executes the exact same application -- only the injected
+fault differs (the paper's predefined-result evaluation mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Common assembly prologue: R3 <- global 1D thread id.
+#: Uses R0 (ctaid.x), R1 (ntid.x), R2 (tid.x).
+TID_1D = """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_NTID_X
+    S2R R2, SR_TID_X
+    IMAD R3, R0, R1, R2
+"""
+
+
+def rng(seed: int) -> np.random.Generator:
+    """Deterministic per-benchmark random source."""
+    return np.random.default_rng(seed)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for grid sizing."""
+    return -(-a // b)
+
+
+def close(actual: np.ndarray, expected: np.ndarray,
+          rtol: float = 1e-4, atol: float = 1e-5) -> bool:
+    """Float comparison used by the golden checks.
+
+    ``equal_nan=False``: a NaN produced by a fault is a corruption.
+    """
+    return bool(np.allclose(actual, expected, rtol=rtol, atol=atol,
+                            equal_nan=False))
+
+
+def exact(actual: np.ndarray, expected: np.ndarray) -> bool:
+    """Bit-exact comparison for integer benchmarks."""
+    return bool(np.array_equal(actual, expected))

@@ -1,0 +1,161 @@
+"""GE -- Gaussian Elimination (Rodinia ``gaussian``).
+
+For every elimination step ``t`` the host launches the two Rodinia
+kernels: ``Fan1`` computes the column of multipliers
+``m[i][t] = a[i][t] / a[t][t]`` and ``Fan2`` updates the trailing
+submatrix and the right-hand side.  Division is reciprocal-multiply
+(``MUFU.RCP`` + ``FMUL``), like real SASS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_FAN1 = Kernel("Fan1", common.TID_1D + """
+    LDC R4, c[0x0]             ; m
+    LDC R5, c[0x4]             ; a
+    LDC R6, c[0x8]             ; size
+    LDC R7, c[0xc]             ; t
+    ISUB R8, R6, R7
+    ISUB R8, R8, 1             ; size - 1 - t
+    ISETP.GE.AND P0, PT, R3, R8, PT
+@P0 EXIT
+    ; row = t + 1 + idx, element [row*size + t]
+    IADD R9, R7, 1
+    IADD R9, R9, R3
+    IMAD R10, R9, R6, R7
+    SHL R10, R10, 2
+    ; pivot element a[t*size + t]
+    IMAD R11, R7, R6, R7
+    SHL R11, R11, 2
+    IADD R12, R5, R11
+    LDG R13, [R12]             ; a[t][t]
+    IADD R14, R5, R10
+    LDG R15, [R14]             ; a[row][t]
+    MUFU.RCP R16, R13
+    FMUL R17, R15, R16
+    IADD R18, R4, R10
+    STG [R18], R17             ; m[row][t]
+    EXIT
+""", num_params=4)
+
+_FAN2 = Kernel("Fan2", """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_NTID_X
+    S2R R2, SR_TID_X
+    IMAD R3, R0, R1, R2        ; xidx (row offset)
+    S2R R4, SR_CTAID_Y
+    S2R R5, SR_NTID_Y
+    S2R R6, SR_TID_Y
+    IMAD R7, R4, R5, R6        ; yidx (column offset)
+    LDC R8, c[0x0]             ; m
+    LDC R9, c[0x4]             ; a
+    LDC R10, c[0x8]            ; b
+    LDC R11, c[0xc]            ; size
+    LDC R12, c[0x10]           ; t
+    ISUB R13, R11, R12
+    ISUB R14, R13, 1           ; size - 1 - t
+    ISETP.GE.AND P0, PT, R3, R14, PT
+@P0 EXIT
+    ISETP.GE.AND P1, PT, R7, R13, PT
+@P1 EXIT
+    ; row = t + 1 + xidx ; col = t + yidx
+    IADD R15, R12, 1
+    IADD R15, R15, R3
+    IADD R16, R12, R7
+    ; multiplier m[row*size + t]
+    IMAD R17, R15, R11, R12
+    SHL R17, R17, 2
+    IADD R17, R17, R8
+    LDG R18, [R17]
+    ; a[row][col] -= m * a[t][col]
+    IMAD R19, R12, R11, R16
+    SHL R19, R19, 2
+    IADD R19, R19, R9
+    LDG R20, [R19]             ; a[t][col]
+    IMAD R21, R15, R11, R16
+    SHL R21, R21, 2
+    IADD R21, R21, R9
+    LDG R22, [R21]             ; a[row][col]
+    FMUL R23, R18, R20
+    FADD R24, R22, -R23
+    STG [R21], R24
+    ; if col offset == 0: b[row] -= m * b[t]
+    ISETP.NE.AND P2, PT, R7, RZ, PT
+@P2 EXIT
+    SHL R25, R12, 2
+    IADD R25, R25, R10
+    LDG R26, [R25]             ; b[t]
+    SHL R27, R15, 2
+    IADD R27, R27, R10
+    LDG R28, [R27]             ; b[row]
+    FMUL R29, R18, R26
+    FADD R30, R28, -R29
+    STG [R27], R30
+    EXIT
+""", num_params=5)
+
+
+class Gaussian(Benchmark):
+    """Forward elimination of a diagonally dominant system."""
+
+    name = "gaussian"
+    abbrev = "GE"
+
+    def __init__(self, size: int = 16, seed: int = 106):
+        self.size = size
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_FAN1, _FAN2]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        n = self.size
+        a = (gen.random((n, n), dtype=np.float32) + np.eye(n) * n).astype(
+            np.float32)
+        b = gen.random(n, dtype=np.float32)
+        return {
+            "a": a,
+            "b": b,
+            "pm": dev.to_device(np.zeros((n, n), dtype=np.float32)),
+            "pa": dev.to_device(a),
+            "pb": dev.to_device(b),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        n = self.size
+        for t in range(n - 1):
+            dev.launch(_FAN1, grid=common.ceil_div(n - 1 - t, 16), block=16,
+                       params=[state["pm"], state["pa"], n, t])
+            dev.launch(_FAN2, grid=(common.ceil_div(n - 1 - t, 16),
+                                    common.ceil_div(n - t, 16)),
+                       block=(16, 16),
+                       params=[state["pm"], state["pa"], state["pb"], n, t])
+
+    def _golden(self, a: np.ndarray, b: np.ndarray):
+        f32 = np.float32
+        a = a.copy()
+        b = b.copy()
+        n = self.size
+        for t in range(n - 1):
+            mult = (a[t + 1:, t] * (f32(1.0) / a[t, t])).astype(np.float32)
+            a[t + 1:, t:] = (a[t + 1:, t:]
+                             - np.outer(mult, a[t, t:])).astype(np.float32)
+            b[t + 1:] = (b[t + 1:] - mult * b[t]).astype(np.float32)
+        return a, b
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        n = self.size
+        a = dev.read_array(state["pa"], (n, n), np.float32)
+        b = dev.read_array(state["pb"], (n,), np.float32)
+        ga, gb = self._golden(state["a"], state["b"])
+        return (common.close(a, ga, rtol=1e-3, atol=1e-4)
+                and common.close(b, gb, rtol=1e-3, atol=1e-4))

@@ -1,0 +1,209 @@
+"""HS -- Hot Spot thermal simulation (Rodinia ``hotspot``).
+
+Iterative 5-point stencil over the chip temperature grid.  Each launch
+advances one time step: a 16x16 block stages its tile plus a one-cell
+halo in shared memory (edge-clamped at the grid boundary), then every
+thread updates its cell from the staged neighbours and the power grid.
+Buffers ping-pong between launches, as in Rodinia.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_TILE = 16
+_SPITCH = _TILE + 2  # shared tile pitch including halo
+_ROW_BYTES = _SPITCH * 4
+
+_HOTSPOT = Kernel("calculate_temp", f"""
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_CTAID_Y
+    S2R R2, SR_TID_X
+    S2R R3, SR_TID_Y
+    LDC R4, c[0x0]             ; temp_in
+    LDC R5, c[0x4]             ; power
+    LDC R6, c[0x8]             ; temp_out
+    LDC R7, c[0xc]             ; ncols
+    LDC R8, c[0x10]            ; nrows
+    LDC R9, c[0x14]            ; cc
+    LDC R10, c[0x18]           ; rx_inv
+    LDC R11, c[0x1c]           ; ry_inv
+    LDC R12, c[0x20]           ; rz_inv
+    LDC R13, c[0x24]           ; ambient temperature
+    MOV R14, {_TILE}
+    IMAD R15, R0, R14, R2      ; x
+    IMAD R16, R1, R14, R3      ; y
+    IMAD R17, R16, R7, R15     ; g = y*ncols + x
+    SHL R18, R17, 2
+    IADD R19, R4, R18          ; &temp_in[g]
+    LDG R20, [R19]             ; T (centre)
+    ; shared index s = (ty+1)*SPITCH + tx + 1
+    IADD R21, R3, 1
+    MOV R22, {_SPITCH}
+    IMAD R23, R21, R22, R2
+    IADD R23, R23, 1
+    SHL R24, R23, 2            ; centre byte offset in smem
+    STS [R24], R20
+
+    ; ---- left halo (tx == 0), clamped at x == 0 ----
+    ISETP.NE.AND P0, PT, R2, RZ, PT
+@P0 BRA after_left
+    MOV R25, R20
+    ISETP.EQ.AND P1, PT, R15, RZ, PT
+@P1 BRA store_left
+    ISUB R26, R19, 4
+    LDG R25, [R26]
+store_left:
+    ISUB R27, R24, 4
+    STS [R27], R25
+after_left:
+
+    ; ---- right halo (tx == TILE-1), clamped at x == ncols-1 ----
+    ISETP.NE.AND P0, PT, R2, {_TILE - 1}, PT
+@P0 BRA after_right
+    MOV R25, R20
+    IADD R28, R15, 1
+    ISETP.GE.AND P1, PT, R28, R7, PT
+@P1 BRA store_right
+    IADD R26, R19, 4
+    LDG R25, [R26]
+store_right:
+    IADD R27, R24, 4
+    STS [R27], R25
+after_right:
+
+    ; ---- top halo (ty == 0), clamped at y == 0 ----
+    ISETP.NE.AND P0, PT, R3, RZ, PT
+@P0 BRA after_top
+    MOV R25, R20
+    ISETP.EQ.AND P1, PT, R16, RZ, PT
+@P1 BRA store_top
+    SHL R29, R7, 2
+    ISUB R26, R19, R29
+    LDG R25, [R26]
+store_top:
+    ISUB R27, R24, {_ROW_BYTES}
+    STS [R27], R25
+after_top:
+
+    ; ---- bottom halo (ty == TILE-1), clamped at y == nrows-1 ----
+    ISETP.NE.AND P0, PT, R3, {_TILE - 1}, PT
+@P0 BRA after_bottom
+    MOV R25, R20
+    IADD R28, R16, 1
+    ISETP.GE.AND P1, PT, R28, R8, PT
+@P1 BRA store_bottom
+    SHL R29, R7, 2
+    IADD R26, R19, R29
+    LDG R25, [R26]
+store_bottom:
+    IADD R27, R24, {_ROW_BYTES}
+    STS [R27], R25
+after_bottom:
+
+    BAR.SYNC
+    ; neighbours from shared memory
+    ISUB R30, R24, {_ROW_BYTES}
+    LDS R31, [R30]             ; N
+    LDS R32, [R24+{_ROW_BYTES}] ; S
+    ISUB R33, R24, 4
+    LDS R34, [R33]             ; W
+    LDS R35, [R24+4]           ; E
+    IADD R36, R5, R18
+    LDG R37, [R36]             ; power
+    ; delta = cc*(power + (N+S-2T)*ry + (E+W-2T)*rx + (amb-T)*rz)
+    FADD R38, R31, R32
+    FADD R38, R38, -R20
+    FADD R38, R38, -R20
+    FMUL R39, R38, R11
+    FADD R40, R34, R35
+    FADD R40, R40, -R20
+    FADD R40, R40, -R20
+    FFMA R39, R40, R10, R39
+    FADD R41, R13, -R20
+    FFMA R39, R41, R12, R39
+    FADD R39, R39, R37
+    FMUL R42, R39, R9
+    FADD R43, R20, R42
+    IADD R44, R6, R18
+    STG [R44], R43
+    EXIT
+""", num_params=10, smem_bytes=_SPITCH * _SPITCH * 4)
+
+
+class Hotspot(Benchmark):
+    """Edge-clamped thermal stencil with shared-memory tiles."""
+
+    name = "hotspot"
+    abbrev = "HS"
+
+    def __init__(self, size: int = 32, iterations: int = 4, seed: int = 104):
+        if size % _TILE:
+            raise ValueError(f"grid size must be a multiple of {_TILE}")
+        self.size = size
+        self.iterations = iterations
+        self.seed = seed
+        self.cc = 0.07
+        self.rx_inv = 0.2
+        self.ry_inv = 0.2
+        self.rz_inv = 0.0625
+        self.amb = 80.0
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_HOTSPOT]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        n = self.size
+        temp = (gen.random((n, n), dtype=np.float32) * 40 + 60).astype(
+            np.float32)
+        power = (gen.random((n, n), dtype=np.float32) * 0.5).astype(
+            np.float32)
+        return {
+            "temp": temp,
+            "power": power,
+            "pt_a": dev.to_device(temp),
+            "pp": dev.to_device(power),
+            "pt_b": dev.malloc(temp.nbytes),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        n = self.size
+        blocks = n // _TILE
+        src, dst = state["pt_a"], state["pt_b"]
+        for _ in range(self.iterations):
+            dev.launch(_HOTSPOT, grid=(blocks, blocks),
+                       block=(_TILE, _TILE),
+                       params=[src, state["pp"], dst, n, n, self.cc,
+                               self.rx_inv, self.ry_inv, self.rz_inv,
+                               self.amb])
+            src, dst = dst, src
+        state["p_result"] = src
+
+    def _golden(self, temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+        f32 = np.float32
+        t = temp.copy()
+        for _ in range(self.iterations):
+            padded = np.pad(t, 1, mode="edge")
+            north, south = padded[:-2, 1:-1], padded[2:, 1:-1]
+            west, east = padded[1:-1, :-2], padded[1:-1, 2:]
+            acc = ((north + south) - t - t) * f32(self.ry_inv)
+            acc = ((east + west) - t - t) * f32(self.rx_inv) + acc
+            acc = (f32(self.amb) - t) * f32(self.rz_inv) + acc
+            acc = acc + power
+            t = t + acc * f32(self.cc)
+            t = t.astype(np.float32)
+        return t
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        n = self.size
+        out = dev.read_array(state["p_result"], (n, n), np.float32)
+        return common.close(out, self._golden(state["temp"], state["power"]),
+                            rtol=1e-3, atol=1e-3)

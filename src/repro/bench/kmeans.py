@@ -1,0 +1,152 @@
+"""KM -- K-Means clustering (Rodinia ``kmeans``).
+
+One thread per point computes the nearest centroid over a
+feature-major point array -- read through the texture path (``TLD``),
+like Rodinia's ``tex1Dfetch`` point accesses -- and writes its cluster
+membership.  The host recomputes centroids between iterations, exactly
+as Rodinia does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_KMEANS = Kernel("kmeansPoint", common.TID_1D + """
+    LDC R4, c[0x0]             ; features (feature-major, f*npoints + i)
+    LDC R5, c[0x4]             ; clusters (c*nfeatures + f)
+    LDC R6, c[0x8]             ; membership
+    LDC R7, c[0xc]             ; npoints
+    LDC R8, c[0x10]            ; nclusters
+    LDC R9, c[0x14]            ; nfeatures
+    ISETP.GE.AND P0, PT, R3, R7, PT
+@P0 EXIT
+    MOV R10, 0x7f800000        ; best distance = +inf
+    MOV R11, 0                 ; best cluster
+    MOV R12, 0                 ; c = 0
+cluster_loop:
+    ISETP.GE.AND P1, PT, R12, R8, PT
+@P1 BRA write
+    MOV R13, 0.0               ; dist
+    MOV R14, 0                 ; f = 0
+feat_loop:
+    ISETP.GE.AND P2, PT, R14, R9, PT
+@P2 BRA feat_done
+    IMAD R15, R14, R7, R3      ; f*npoints + i
+    SHL R15, R15, 2
+    IADD R15, R15, R4
+    TLD R16, [R15]             ; point feature via texture cache
+    IMAD R17, R12, R9, R14     ; c*nfeatures + f
+    SHL R17, R17, 2
+    IADD R17, R17, R5
+    LDG R18, [R17]
+    FADD R19, R16, -R18
+    FMUL R21, R19, R19
+    FADD R13, R13, R21
+    IADD R14, R14, 1
+    BRA feat_loop
+feat_done:
+    FSETP.LT.AND P3, PT, R13, R10, PT
+@P3 MOV R10, R13
+@P3 MOV R11, R12
+    IADD R12, R12, 1
+    BRA cluster_loop
+write:
+    SHL R20, R3, 2
+    IADD R20, R20, R6
+    STG [R20], R11
+    EXIT
+""", num_params=6)
+
+
+class KMeans(Benchmark):
+    """Nearest-centroid assignment with host-side centroid updates."""
+
+    name = "kmeans"
+    abbrev = "KM"
+
+    def __init__(self, npoints: int = 512, nfeatures: int = 4,
+                 nclusters: int = 5, iterations: int = 2, block: int = 64,
+                 seed: int = 103):
+        self.npoints = npoints
+        self.nfeatures = nfeatures
+        self.nclusters = nclusters
+        self.iterations = iterations
+        self.block = block
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_KMEANS]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        # feature-major layout [f][i]; overlapping blobs keep the
+        # decision boundaries tight, so distance corruption flips
+        # memberships (KM is the paper's most RF-vulnerable workload)
+        centers = gen.random((self.nclusters, self.nfeatures),
+                             dtype=np.float32) * 10
+        labels = gen.integers(0, self.nclusters, self.npoints)
+        points = (centers[labels]
+                  + gen.normal(0, 2.5, (self.npoints, self.nfeatures))
+                  ).astype(np.float32)
+        features = np.ascontiguousarray(points.T)
+        clusters0 = points[:self.nclusters].copy()
+        return {
+            "points": points,
+            "clusters": clusters0,
+            "pf": dev.to_device(features),
+            "pc": dev.to_device(clusters0),
+            "pm": dev.malloc(4 * self.npoints),
+        }
+
+    def _assign_golden(self, points: np.ndarray,
+                       clusters: np.ndarray) -> np.ndarray:
+        # replicate the kernel's fp32 operation order bit-exactly
+        # (sequential FADD of FMUL squares per feature), and its
+        # strict-less-than tie-breaking (np.argmin keeps the first min)
+        dists = np.zeros((len(points), self.nclusters), dtype=np.float32)
+        for f in range(self.nfeatures):
+            diff = (points[:, f][:, None]
+                    - clusters[None, :, f]).astype(np.float32)
+            sq = (diff * diff).astype(np.float32)
+            dists = (dists + sq).astype(np.float32)
+        return np.argmin(dists, axis=1).astype(np.int32)
+
+    def _update_centroids(self, points: np.ndarray, membership: np.ndarray,
+                          previous: np.ndarray) -> np.ndarray:
+        new = previous.copy()
+        for c in range(self.nclusters):
+            mine = points[membership == c]
+            if len(mine):
+                new[c] = mine.mean(axis=0, dtype=np.float64).astype(np.float32)
+        return new
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        grid = common.ceil_div(self.npoints, self.block)
+        clusters = state["clusters"]
+        for _ in range(self.iterations):
+            dev.memcpy_htod(state["pc"], clusters)
+            dev.launch(_KMEANS, grid=grid, block=self.block,
+                       params=[state["pf"], state["pc"], state["pm"],
+                               self.npoints, self.nclusters, self.nfeatures])
+            membership = dev.read_array(state["pm"], (self.npoints,),
+                                        np.int32)
+            clusters = self._update_centroids(state["points"], membership,
+                                              clusters)
+        state["final_membership"] = membership
+        state["final_clusters"] = clusters
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        clusters = state["clusters"]
+        for _ in range(self.iterations):
+            membership = self._assign_golden(state["points"], clusters)
+            clusters = self._update_centroids(state["points"], membership,
+                                              clusters)
+        return (common.exact(state["final_membership"], membership)
+                and common.close(state["final_clusters"], clusters))

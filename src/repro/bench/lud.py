@@ -1,0 +1,364 @@
+"""LUD -- LU Decomposition (Rodinia ``lud``).
+
+Blocked in-place Doolittle factorisation with the three Rodinia
+kernels: ``lud_diagonal`` factors the 16x16 pivot tile in shared
+memory, ``lud_perimeter`` forward-substitutes the row tiles and solves
+the column tiles of the current step, and ``lud_internal`` applies the
+rank-16 update to the trailing submatrix.  Division is
+reciprocal-multiply, as in SASS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_T = 16
+
+_DIAGONAL = Kernel("lud_diagonal", """
+    S2R R2, SR_TID_X
+    LDC R4, c[0x0]             ; matrix
+    LDC R6, c[0x4]             ; size
+    LDC R10, c[0x8]            ; offset
+    ; ---- stage the diagonal tile: D[tx][j] ----
+    MOV R15, 0
+ld_loop:
+    IADD R16, R10, R2
+    IMAD R17, R16, R6, R10
+    IADD R17, R17, R15
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    LDG R18, [R17]
+    SHL R19, R2, 4
+    IADD R19, R19, R15
+    SHL R19, R19, 2
+    STS [R19], R18
+    IADD R15, R15, 1
+    ISETP.LT.AND P0, PT, R15, 16, PT
+@P0 BRA ld_loop
+
+    ; ---- in-place Doolittle on the tile ----
+    MOV R20, 0                 ; k
+diag_k:
+    BAR.SYNC
+    ISETP.LE.AND P0, PT, R2, R20, PT
+@P0 BRA skip_div
+    SHL R21, R2, 4
+    IADD R21, R21, R20
+    SHL R22, R21, 2
+    LDS R23, [R22]             ; D[tx][k]
+    SHL R24, R20, 4
+    IADD R24, R24, R20
+    SHL R24, R24, 2
+    LDS R25, [R24]             ; D[k][k]
+    MUFU.RCP R26, R25
+    FMUL R23, R23, R26
+    STS [R22], R23
+skip_div:
+    BAR.SYNC
+    ISETP.LE.AND P1, PT, R2, R20, PT
+@P1 BRA skip_upd
+    IADD R27, R20, 1           ; j = k + 1
+upd_j:
+    ISETP.GE.AND P2, PT, R27, 16, PT
+@P2 BRA skip_upd
+    SHL R28, R2, 4
+    IADD R28, R28, R27
+    SHL R28, R28, 2
+    LDS R29, [R28]             ; D[tx][j]
+    SHL R21, R2, 4
+    IADD R21, R21, R20
+    SHL R21, R21, 2
+    LDS R23, [R21]             ; D[tx][k]
+    SHL R24, R20, 4
+    IADD R24, R24, R27
+    SHL R24, R24, 2
+    LDS R25, [R24]             ; D[k][j]
+    FMUL R26, R23, R25
+    FADD R29, R29, -R26
+    STS [R28], R29
+    IADD R27, R27, 1
+    BRA upd_j
+skip_upd:
+    IADD R20, R20, 1
+    ISETP.LT.AND P3, PT, R20, 16, PT
+@P3 BRA diag_k
+
+    ; ---- write the tile back ----
+    MOV R15, 0
+wb_loop:
+    SHL R19, R2, 4
+    IADD R19, R19, R15
+    SHL R19, R19, 2
+    LDS R18, [R19]
+    IADD R16, R10, R2
+    IMAD R17, R16, R6, R10
+    IADD R17, R17, R15
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    STG [R17], R18
+    IADD R15, R15, 1
+    ISETP.LT.AND P0, PT, R15, 16, PT
+@P0 BRA wb_loop
+    EXIT
+""", num_params=3, smem_bytes=_T * _T * 4)
+
+# shared layout for the perimeter kernel: D at 0, B (row tile) at 1024,
+# C (column tile) at 2048 -- all 16x16 fp32 tiles
+_PERIMETER = Kernel("lud_perimeter", """
+    S2R R0, SR_CTAID_X
+    S2R R2, SR_TID_X
+    LDC R4, c[0x0]             ; matrix
+    LDC R6, c[0x4]             ; size
+    LDC R10, c[0x8]            ; offset
+    IADD R11, R0, 1
+    SHL R11, R11, 4
+    IADD R11, R11, R10         ; far = offset + 16*(ctaid+1)
+
+    ; ---- stage D, B (row tile) and C (column tile) ----
+    MOV R15, 0
+ld_loop:
+    ; D[k][tx] = m[(offset+k)*size + offset+tx]
+    IADD R16, R10, R15
+    IMAD R17, R16, R6, R10
+    IADD R17, R17, R2
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    LDG R18, [R17]
+    SHL R19, R15, 4
+    IADD R19, R19, R2
+    SHL R19, R19, 2
+    STS [R19], R18
+    ; B[k][tx] = m[(offset+k)*size + far+tx]
+    IMAD R17, R16, R6, R11
+    IADD R17, R17, R2
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    LDG R18, [R17]
+    STS [R19+1024], R18
+    ; C[k][tx] = m[(far+k)*size + offset+tx]
+    IADD R16, R11, R15
+    IMAD R17, R16, R6, R10
+    IADD R17, R17, R2
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    LDG R18, [R17]
+    STS [R19+2048], R18
+    IADD R15, R15, 1
+    ISETP.LT.AND P0, PT, R15, 16, PT
+@P0 BRA ld_loop
+    BAR.SYNC
+
+    ; ---- row tile: forward substitution on column tx of B ----
+    MOV R20, 0                 ; k
+row_k:
+    IADD R21, R20, 1           ; m = k+1
+row_m:
+    ISETP.GE.AND P0, PT, R21, 16, PT
+@P0 BRA row_next
+    ; B[m][tx] -= D[m][k] * B[k][tx]
+    SHL R22, R21, 4
+    IADD R22, R22, R20
+    SHL R22, R22, 2
+    LDS R23, [R22]             ; D[m][k]
+    SHL R24, R20, 4
+    IADD R24, R24, R2
+    SHL R24, R24, 2
+    LDS R25, [R24+1024]        ; B[k][tx]
+    SHL R26, R21, 4
+    IADD R26, R26, R2
+    SHL R26, R26, 2
+    LDS R27, [R26+1024]        ; B[m][tx]
+    FMUL R28, R23, R25
+    FADD R27, R27, -R28
+    STS [R26+1024], R27
+    IADD R21, R21, 1
+    BRA row_m
+row_next:
+    IADD R20, R20, 1
+    ISETP.LT.AND P1, PT, R20, 16, PT
+@P1 BRA row_k
+
+    ; ---- column tile: solve row tx of C against U ----
+    MOV R20, 0                 ; k
+col_k:
+    SHL R29, R2, 4
+    IADD R29, R29, R20
+    SHL R29, R29, 2
+    LDS R30, [R29+2048]        ; val = C[tx][k]
+    MOV R21, 0                 ; m
+col_m:
+    ISETP.GE.AND P0, PT, R21, R20, PT
+@P0 BRA col_div
+    SHL R22, R2, 4
+    IADD R22, R22, R21
+    SHL R22, R22, 2
+    LDS R23, [R22+2048]        ; C[tx][m]
+    SHL R24, R21, 4
+    IADD R24, R24, R20
+    SHL R24, R24, 2
+    LDS R25, [R24]             ; D[m][k]
+    FMUL R26, R23, R25
+    FADD R30, R30, -R26
+    IADD R21, R21, 1
+    BRA col_m
+col_div:
+    SHL R24, R20, 4
+    IADD R24, R24, R20
+    SHL R24, R24, 2
+    LDS R25, [R24]             ; D[k][k]
+    MUFU.RCP R26, R25
+    FMUL R30, R30, R26
+    STS [R29+2048], R30
+    IADD R20, R20, 1
+    ISETP.LT.AND P1, PT, R20, 16, PT
+@P1 BRA col_k
+
+    ; ---- write B and C back ----
+    MOV R15, 0
+wb_loop:
+    IADD R16, R10, R15
+    IMAD R17, R16, R6, R11
+    IADD R17, R17, R2
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    SHL R19, R15, 4
+    IADD R19, R19, R2
+    SHL R19, R19, 2
+    LDS R18, [R19+1024]
+    STG [R17], R18
+    IADD R16, R11, R15
+    IMAD R17, R16, R6, R10
+    IADD R17, R17, R2
+    SHL R17, R17, 2
+    IADD R17, R17, R4
+    LDS R18, [R19+2048]
+    STG [R17], R18
+    IADD R15, R15, 1
+    ISETP.LT.AND P0, PT, R15, 16, PT
+@P0 BRA wb_loop
+    EXIT
+""", num_params=3, smem_bytes=3 * _T * _T * 4)
+
+# internal: L tile at 0, U tile at 1024
+_INTERNAL = Kernel("lud_internal", """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_CTAID_Y
+    S2R R2, SR_TID_X
+    S2R R3, SR_TID_Y
+    LDC R4, c[0x0]             ; matrix
+    LDC R6, c[0x4]             ; size
+    LDC R10, c[0x8]            ; offset
+    IADD R11, R0, 1
+    SHL R11, R11, 4
+    IADD R11, R11, R10         ; ocol = offset + 16*(bx+1)
+    IADD R12, R1, 1
+    SHL R12, R12, 4
+    IADD R12, R12, R10         ; orow = offset + 16*(by+1)
+    ; L[ty][tx] = m[(orow+ty)*size + offset+tx]
+    IADD R13, R12, R3
+    IMAD R14, R13, R6, R10
+    IADD R14, R14, R2
+    SHL R14, R14, 2
+    IADD R14, R14, R4
+    LDG R15, [R14]
+    SHL R16, R3, 4
+    IADD R16, R16, R2
+    SHL R16, R16, 2
+    STS [R16], R15
+    ; U[ty][tx] = m[(offset+ty)*size + ocol+tx]
+    IADD R13, R10, R3
+    IMAD R14, R13, R6, R11
+    IADD R14, R14, R2
+    SHL R14, R14, 2
+    IADD R14, R14, R4
+    LDG R15, [R14]
+    STS [R16+1024], R15
+    BAR.SYNC
+    ; sum = sum_k L[ty][k] * U[k][tx]
+    MOV R17, 0.0
+    MOV R18, 0                 ; k
+dot_k:
+    SHL R19, R3, 4
+    IADD R19, R19, R18
+    SHL R19, R19, 2
+    LDS R20, [R19]             ; L[ty][k]
+    SHL R21, R18, 4
+    IADD R21, R21, R2
+    SHL R21, R21, 2
+    LDS R22, [R21+1024]        ; U[k][tx]
+    FFMA R17, R20, R22, R17
+    IADD R18, R18, 1
+    ISETP.LT.AND P0, PT, R18, 16, PT
+@P0 BRA dot_k
+    ; m[(orow+ty)*size + ocol+tx] -= sum
+    IADD R13, R12, R3
+    IMAD R14, R13, R6, R11
+    IADD R14, R14, R2
+    SHL R14, R14, 2
+    IADD R14, R14, R4
+    LDG R23, [R14]
+    FADD R23, R23, -R17
+    STG [R14], R23
+    EXIT
+""", num_params=3, smem_bytes=2 * _T * _T * 4)
+
+
+class LUD(Benchmark):
+    """Blocked LU decomposition of a diagonally dominant matrix."""
+
+    name = "lud"
+    abbrev = "LUD"
+
+    def __init__(self, size: int = 32, seed: int = 109):
+        if size % _T:
+            raise ValueError(f"size must be a multiple of {_T}")
+        self.size = size
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_DIAGONAL, _PERIMETER, _INTERNAL]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        n = self.size
+        a = (gen.random((n, n), dtype=np.float32)
+             + np.eye(n, dtype=np.float32) * n).astype(np.float32)
+        return {"a": a, "pa": dev.to_device(a)}
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        n = self.size
+        nb = n // _T
+        for step in range(nb):
+            offset = step * _T
+            remaining = nb - step - 1
+            dev.launch(_DIAGONAL, grid=1, block=_T,
+                       params=[state["pa"], n, offset])
+            if remaining:
+                dev.launch(_PERIMETER, grid=remaining, block=_T,
+                           params=[state["pa"], n, offset])
+                dev.launch(_INTERNAL, grid=(remaining, remaining),
+                           block=(_T, _T), params=[state["pa"], n, offset])
+
+    def _golden(self, a: np.ndarray) -> np.ndarray:
+        f32 = np.float32
+        out = a.copy()
+        n = self.size
+        for k in range(n - 1):
+            inv = f32(1.0) / out[k, k]
+            out[k + 1:, k] = (out[k + 1:, k] * inv).astype(np.float32)
+            out[k + 1:, k + 1:] = (out[k + 1:, k + 1:] - np.outer(
+                out[k + 1:, k], out[k, k + 1:])).astype(np.float32)
+        return out
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        n = self.size
+        out = dev.read_array(state["pa"], (n, n), np.float32)
+        return common.close(out, self._golden(state["a"]),
+                            rtol=5e-3, atol=1e-3)

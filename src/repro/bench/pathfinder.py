@@ -1,0 +1,133 @@
+"""PATHF -- Pathfinder (Rodinia ``pathfinder``).
+
+Integer dynamic programming over a 2D grid: for every row, each cell
+adds its weight to the minimum of the three cells above it.  Each
+launch advances one row; a block stages its slice of the previous
+result row in shared memory with a one-cell halo on each side (the
+out-of-range halo is saturated to a large sentinel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_BLOCK = 128
+_SENTINEL = 0x3FFFFFFF
+
+_PATHFINDER = Kernel("dynproc_kernel", f"""
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_NTID_X
+    S2R R2, SR_TID_X
+    IMAD R3, R0, R1, R2        ; col
+    LDC R4, c[0x0]             ; src row (previous result)
+    LDC R5, c[0x4]             ; wall row (weights of this row)
+    LDC R6, c[0x8]             ; dst row
+    LDC R7, c[0xc]             ; ncols
+    ISETP.GE.AND P0, PT, R3, R7, PT
+@P0 EXIT
+    SHL R8, R3, 2
+    IADD R9, R4, R8
+    LDG R10, [R9]              ; src[col]
+    IADD R11, R2, 1
+    SHL R12, R11, 2            ; smem offset of own slot (halo at 0)
+    STS [R12], R10
+
+    ; left halo (tx == 0): col-1 or sentinel
+    ISETP.NE.AND P0, PT, R2, RZ, PT
+@P0 BRA after_left
+    MOV R13, {_SENTINEL}
+    ISETP.EQ.AND P1, PT, R3, RZ, PT
+@P1 BRA store_left
+    ISUB R14, R9, 4
+    LDG R13, [R14]
+store_left:
+    STS [RZ], R13
+after_left:
+
+    ; right halo (tx == last in block or last column)
+    IADD R15, R2, 1
+    ISETP.NE.AND P0, PT, R15, R1, PT
+    IADD R16, R3, 1
+    ISETP.EQ.AND P1, PT, R16, R7, PT
+@P1 BRA load_sentinel
+@P0 BRA after_right
+    IADD R14, R9, 4
+    LDG R13, [R14]
+    BRA store_right
+load_sentinel:
+    MOV R13, {_SENTINEL}
+store_right:
+    IADD R17, R12, 4
+    STS [R17], R13
+after_right:
+
+    BAR.SYNC
+    ISUB R18, R12, 4
+    LDS R19, [R18]             ; left
+    LDS R20, [R12]             ; centre
+    LDS R21, [R12+4]           ; right
+    IMNMX.MIN R22, R19, R20
+    IMNMX.MIN R22, R22, R21
+    IADD R23, R5, R8
+    LDG R24, [R23]             ; wall weight
+    IADD R25, R22, R24
+    IADD R26, R6, R8
+    STG [R26], R25
+    EXIT
+""", num_params=4, smem_bytes=(_BLOCK + 2) * 4)
+
+
+class Pathfinder(Benchmark):
+    """Row-by-row min-path DP with shared-memory halos."""
+
+    name = "pathfinder"
+    abbrev = "PATHF"
+
+    def __init__(self, cols: int = 512, rows: int = 8, seed: int = 105):
+        self.cols = cols
+        self.rows = rows
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_PATHFINDER]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        wall = gen.integers(0, 10, (self.rows, self.cols),
+                            dtype=np.int32)
+        return {
+            "wall": wall,
+            "p_wall": dev.to_device(wall),
+            "p_a": dev.to_device(wall[0]),  # result row 0 = wall row 0
+            "p_b": dev.malloc(4 * self.cols),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        grid = common.ceil_div(self.cols, _BLOCK)
+        src, dst = state["p_a"], state["p_b"]
+        for row in range(1, self.rows):
+            wall_row = state["p_wall"] + 4 * self.cols * row
+            dev.launch(_PATHFINDER, grid=grid, block=_BLOCK,
+                       params=[src, wall_row, dst, self.cols])
+            src, dst = dst, src
+        state["p_result"] = src
+
+    def _golden(self, wall: np.ndarray) -> np.ndarray:
+        result = wall[0].astype(np.int64)
+        for row in range(1, self.rows):
+            padded = np.pad(result, 1, constant_values=_SENTINEL)
+            best = np.minimum(np.minimum(padded[:-2], padded[1:-1]),
+                              padded[2:])
+            result = wall[row] + best
+        return result.astype(np.int32)
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        out = dev.read_array(state["p_result"], (self.cols,), np.int32)
+        return common.exact(out, self._golden(state["wall"]))

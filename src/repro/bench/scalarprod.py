@@ -1,0 +1,116 @@
+"""SP -- Scalar Product (CUDA SDK ``scalarProd``).
+
+One block per vector pair: each thread accumulates a strided partial
+dot product (kept in per-thread local memory, modelling the spilled
+accumulator of the SDK SASS), then a shared-memory tree reduction
+produces the pair's scalar product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_BLOCK = 128
+
+_SCALARPROD = Kernel("scalarProdGPU", """
+    S2R R0, SR_CTAID_X         ; vector pair index
+    S2R R1, SR_NTID_X
+    S2R R2, SR_TID_X
+    LDC R4, c[0x0]             ; A
+    LDC R5, c[0x4]             ; B
+    LDC R6, c[0x8]             ; C
+    LDC R7, c[0xc]             ; elements per vector
+    IMUL R8, R0, R7            ; first element of this pair
+    MOV R14, 0.0
+    STL [RZ], R14              ; local scratch accumulator
+    MOV R9, R2                 ; i = tid
+loop:
+    ISETP.GE.AND P0, PT, R9, R7, PT
+@P0 BRA reduce
+    IADD R10, R8, R9
+    SHL R11, R10, 2
+    IADD R12, R4, R11
+    IADD R13, R5, R11
+    LDG R15, [R12]
+    LDG R16, [R13]
+    LDL R14, [RZ]
+    FFMA R14, R15, R16, R14
+    STL [RZ], R14
+    IADD R9, R9, R1
+    BRA loop
+reduce:
+    LDL R14, [RZ]
+    SHL R17, R2, 2
+    STS [R17], R14
+    BAR.SYNC
+    SHR R18, R1, 1             ; stride = ntid / 2
+red:
+    ISETP.GE.AND P1, PT, R2, R18, PT
+@P1 BRA skip
+    IADD R19, R2, R18
+    SHL R20, R19, 2
+    LDS R21, [R20]
+    LDS R22, [R17]
+    FADD R23, R21, R22
+    STS [R17], R23
+skip:
+    BAR.SYNC
+    SHR R18, R18, 1
+    ISETP.GE.AND P2, PT, R18, 1, PT
+@P2 BRA red
+    ISETP.NE.AND P3, PT, R2, RZ, PT
+@P3 EXIT
+    LDS R24, [RZ]
+    SHL R25, R0, 2
+    IADD R26, R6, R25
+    STG [R26], R24
+    EXIT
+""", num_params=4, smem_bytes=_BLOCK * 4, local_bytes=16)
+
+
+class ScalarProd(Benchmark):
+    """Batched fp32 dot products with in-block tree reduction."""
+
+    name = "scalarprod"
+    abbrev = "SP"
+
+    def __init__(self, num_vectors: int = 8, elements: int = 256,
+                 seed: int = 102):
+        self.num_vectors = num_vectors
+        self.elements = elements
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_SCALARPROD]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        total = self.num_vectors * self.elements
+        a = (gen.random(total, dtype=np.float32) - 0.5).astype(np.float32)
+        b = (gen.random(total, dtype=np.float32) - 0.5).astype(np.float32)
+        return {
+            "a": a,
+            "b": b,
+            "pa": dev.to_device(a),
+            "pb": dev.to_device(b),
+            "pc": dev.malloc(4 * self.num_vectors),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        dev.launch(_SCALARPROD, grid=self.num_vectors, block=_BLOCK,
+                   params=[state["pa"], state["pb"], state["pc"],
+                           self.elements])
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        out = dev.read_array(state["pc"], (self.num_vectors,), np.float32)
+        a = state["a"].reshape(self.num_vectors, self.elements)
+        b = state["b"].reshape(self.num_vectors, self.elements)
+        golden = np.sum(a * b, axis=1, dtype=np.float32)
+        return common.close(out, golden, rtol=1e-3, atol=1e-4)

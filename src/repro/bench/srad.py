@@ -1,0 +1,532 @@
+"""SRAD -- Speckle Reducing Anisotropic Diffusion (Rodinia, v1 and v2).
+
+Two static kernels per iteration, as in Rodinia: the first computes
+the four directional derivatives and the diffusion coefficient per
+pixel, the second applies the divergence update.  The host recomputes
+``q0sqr`` from the image statistics between iterations (standing in
+for Rodinia's device-side reduction).
+
+The two paper variants differ the way the Rodinia versions do from
+each other: **SRAD1** reads the image through the texture path
+(Rodinia v1 binds the image to a texture) on a 32x32 image, **SRAD2**
+uses plain global loads on a larger 48x48 image -- which also gives
+SRAD2 the higher occupancy the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_TILE = 16
+
+_K1_BODY = """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_CTAID_Y
+    S2R R2, SR_TID_X
+    S2R R3, SR_TID_Y
+    LDC R4, c[0x0]             ; J (image)
+    LDC R5, c[0x4]             ; dN
+    LDC R6, c[0x8]             ; dS
+    LDC R7, c[0xc]             ; dW
+    LDC R8, c[0x10]            ; dE
+    LDC R9, c[0x14]            ; C (diffusion coefficient)
+    LDC R10, c[0x18]           ; cols
+    LDC R11, c[0x1c]           ; rows
+    LDC R12, c[0x20]           ; q0sqr
+    S2R R48, SR_NTID_X
+    IMAD R13, R0, R48, R2      ; x
+    S2R R49, SR_NTID_Y
+    IMAD R14, R1, R49, R3      ; y
+    IMAD R15, R14, R10, R13    ; idx
+    SHL R16, R15, 2
+    IADD R17, R4, R16
+    {load} R18, [R17]          ; J[idx]
+    ; north (clamped): y == 0 ? idx : idx - cols
+    MOV R19, R15
+    ISETP.EQ.AND P0, PT, R14, RZ, PT
+@P0 BRA north_done
+    ISUB R19, R15, R10
+north_done:
+    SHL R20, R19, 2
+    IADD R20, R20, R4
+    {load} R21, [R20]
+    FADD R21, R21, -R18        ; dN
+    ; south (clamped)
+    IADD R22, R14, 1
+    ISETP.GE.AND P1, PT, R22, R11, PT
+    MOV R23, R15
+@P1 BRA south_done
+    IADD R23, R15, R10
+south_done:
+    SHL R24, R23, 2
+    IADD R24, R24, R4
+    {load} R25, [R24]
+    FADD R25, R25, -R18        ; dS
+    ; west (clamped)
+    MOV R26, R15
+    ISETP.EQ.AND P2, PT, R13, RZ, PT
+@P2 BRA west_done
+    ISUB R26, R15, 1
+west_done:
+    SHL R27, R26, 2
+    IADD R27, R27, R4
+    {load} R28, [R27]
+    FADD R28, R28, -R18        ; dW
+    ; east (clamped)
+    IADD R29, R13, 1
+    ISETP.GE.AND P3, PT, R29, R10, PT
+    MOV R30, R15
+@P3 BRA east_done
+    IADD R30, R15, 1
+east_done:
+    SHL R31, R30, 2
+    IADD R31, R31, R4
+    {load} R32, [R31]
+    FADD R32, R32, -R18        ; dE
+    ; G2 = (dN^2 + dS^2 + dW^2 + dE^2) / J^2
+    FMUL R33, R21, R21
+    FFMA R33, R25, R25, R33
+    FFMA R33, R28, R28, R33
+    FFMA R33, R32, R32, R33
+    MUFU.RCP R34, R18
+    FMUL R35, R34, R34
+    FMUL R33, R33, R35
+    ; L = (dN + dS + dW + dE) / J
+    FADD R36, R21, R25
+    FADD R36, R36, R28
+    FADD R36, R36, R32
+    FMUL R36, R36, R34
+    ; num = 0.5*G2 - (1/16)*L^2 ; den = 1 + 0.25*L
+    FMUL R37, R36, R36
+    FMUL R37, R37, 0.0625
+    FMUL R38, R33, 0.5
+    FADD R38, R38, -R37
+    FMUL R39, R36, 0.25
+    FADD R39, R39, 1.0
+    ; qsqr = num / den^2
+    FMUL R40, R39, R39
+    MUFU.RCP R41, R40
+    FMUL R40, R38, R41
+    ; c = 1 / (1 + (qsqr - q0sqr) / (q0sqr * (1 + q0sqr)))
+    FADD R42, R40, -R12
+    FADD R43, R12, 1.0
+    FMUL R43, R43, R12
+    MUFU.RCP R44, R43
+    FMUL R42, R42, R44
+    FADD R45, R42, 1.0
+    MUFU.RCP R46, R45
+    FMNMX.MAX R46, R46, 0.0
+    FMNMX.MIN R46, R46, 1.0
+    ; store derivatives and coefficient
+    IADD R47, R5, R16
+    STG [R47], R21
+    IADD R47, R6, R16
+    STG [R47], R25
+    IADD R47, R7, R16
+    STG [R47], R28
+    IADD R47, R8, R16
+    STG [R47], R32
+    IADD R47, R9, R16
+    STG [R47], R46
+    EXIT
+"""
+
+_K2_BODY = """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_CTAID_Y
+    S2R R2, SR_TID_X
+    S2R R3, SR_TID_Y
+    LDC R4, c[0x0]             ; J
+    LDC R5, c[0x4]             ; dN
+    LDC R6, c[0x8]             ; dS
+    LDC R7, c[0xc]             ; dW
+    LDC R8, c[0x10]            ; dE
+    LDC R9, c[0x14]            ; C
+    LDC R10, c[0x18]           ; cols
+    LDC R11, c[0x1c]           ; rows
+    LDC R12, c[0x20]           ; lambda
+    S2R R48, SR_NTID_X
+    IMAD R13, R0, R48, R2      ; x
+    S2R R49, SR_NTID_Y
+    IMAD R14, R1, R49, R3      ; y
+    IMAD R15, R14, R10, R13    ; idx
+    SHL R16, R15, 2
+    ; cN = cW = C[idx]
+    IADD R17, R9, R16
+    LDG R18, [R17]
+    ; cS = C[south idx] (clamped)
+    IADD R19, R14, 1
+    ISETP.GE.AND P0, PT, R19, R11, PT
+    MOV R20, R15
+@P0 BRA south_done
+    IADD R20, R15, R10
+south_done:
+    SHL R21, R20, 2
+    IADD R21, R21, R9
+    LDG R22, [R21]
+    ; cE = C[east idx] (clamped)
+    IADD R23, R13, 1
+    ISETP.GE.AND P1, PT, R23, R10, PT
+    MOV R24, R15
+@P1 BRA east_done
+    IADD R24, R15, 1
+east_done:
+    SHL R25, R24, 2
+    IADD R25, R25, R9
+    LDG R26, [R25]
+    ; D = cN*dN + cS*dS + cW*dW + cE*dE
+    IADD R27, R5, R16
+    LDG R28, [R27]             ; dN
+    IADD R27, R6, R16
+    LDG R29, [R27]             ; dS
+    IADD R27, R7, R16
+    LDG R30, [R27]             ; dW
+    IADD R27, R8, R16
+    LDG R31, [R27]             ; dE
+    FMUL R32, R18, R28
+    FFMA R32, R22, R29, R32
+    FFMA R32, R18, R30, R32
+    FFMA R32, R26, R31, R32
+    ; J += 0.25 * lambda * D
+    FMUL R33, R32, R12
+    FMUL R33, R33, 0.25
+    IADD R34, R4, R16
+    LDG R35, [R34]
+    FADD R35, R35, R33
+    STG [R34], R35
+    EXIT
+"""
+
+
+def _make_kernels(suffix: str, load: str):
+    k1 = Kernel(f"srad_cuda_1{suffix}", _K1_BODY.format(load=load),
+                num_params=9)
+    k2 = Kernel(f"srad_cuda_2{suffix}", _K2_BODY, num_params=9)
+    return k1, k2
+
+
+_SRAD1_K1, _SRAD1_K2 = _make_kernels("", "TLD")
+_SRAD2_K1, _SRAD2_K2 = _make_kernels("_v2", "LDG")
+
+# ---------------------------------------------------------------------------
+# the remaining kernels of the Rodinia v1 chain: extract (exp scaling),
+# prepare + reduce (device-side image statistics for q0sqr), compress
+# ---------------------------------------------------------------------------
+
+_LOG2E = 1.4426950408889634
+_LN2 = 0.6931471805599453
+
+_EXTRACT = Kernel("extract", common.TID_1D + f"""
+    LDC R4, c[0x0]             ; image
+    LDC R5, c[0x4]             ; n
+    ISETP.GE.AND P0, PT, R3, R5, PT
+@P0 EXIT
+    SHL R6, R3, 2
+    IADD R6, R6, R4
+    LDG R7, [R6]
+    FMUL R8, R7, 0.00392156862745098   ; / 255
+    FMUL R9, R8, {_LOG2E}
+    MUFU.EX2 R10, R9                   ; exp(I/255)
+    STG [R6], R10
+    EXIT
+""", num_params=2)
+
+_COMPRESS = Kernel("compress", common.TID_1D + f"""
+    LDC R4, c[0x0]             ; image
+    LDC R5, c[0x4]             ; n
+    ISETP.GE.AND P0, PT, R3, R5, PT
+@P0 EXIT
+    SHL R6, R3, 2
+    IADD R6, R6, R4
+    LDG R7, [R6]
+    MUFU.LG2 R8, R7
+    FMUL R9, R8, {_LN2}                ; ln(J)
+    FMUL R10, R9, 255.0
+    STG [R6], R10
+    EXIT
+""", num_params=2)
+
+_PREPARE = Kernel("prepare", common.TID_1D + """
+    LDC R4, c[0x0]             ; image
+    LDC R5, c[0x4]             ; sums
+    LDC R6, c[0x8]             ; sums2
+    LDC R7, c[0xc]             ; n
+    ISETP.GE.AND P0, PT, R3, R7, PT
+@P0 EXIT
+    SHL R8, R3, 2
+    IADD R9, R8, R4
+    LDG R10, [R9]
+    IADD R11, R8, R5
+    STG [R11], R10
+    FMUL R12, R10, R10
+    IADD R13, R8, R6
+    STG [R13], R12
+    EXIT
+""", num_params=4)
+
+_REDUCE_BLOCK = 128
+
+# dual shared-memory tree reduction: sums at [0, 512), sums2 at [512, 1024)
+_REDUCE = Kernel("reduce", """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_NTID_X
+    S2R R2, SR_TID_X
+    IMAD R3, R0, R1, R2
+    LDC R4, c[0x0]             ; sums
+    LDC R5, c[0x4]             ; sums2
+    LDC R6, c[0x8]             ; live elements
+    MOV R10, 0.0
+    MOV R11, 0.0
+    ISETP.GE.AND P0, PT, R3, R6, PT
+@P0 BRA stage
+    SHL R7, R3, 2
+    IADD R8, R7, R4
+    LDG R10, [R8]
+    IADD R9, R7, R5
+    LDG R11, [R9]
+stage:
+    SHL R12, R2, 2
+    STS [R12], R10
+    STS [R12+512], R11
+    BAR.SYNC
+    SHR R13, R1, 1
+red:
+    ISETP.GE.AND P1, PT, R2, R13, PT
+@P1 BRA skip
+    IADD R14, R2, R13
+    SHL R15, R14, 2
+    LDS R16, [R15]
+    LDS R17, [R12]
+    FADD R18, R16, R17
+    STS [R12], R18
+    LDS R19, [R15+512]
+    LDS R20, [R12+512]
+    FADD R21, R19, R20
+    STS [R12+512], R21
+skip:
+    BAR.SYNC
+    SHR R13, R13, 1
+    ISETP.GE.AND P2, PT, R13, 1, PT
+@P2 BRA red
+    ISETP.NE.AND P3, PT, R2, RZ, PT
+@P3 EXIT
+    LDS R22, [RZ]
+    SHL R23, R0, 2
+    IADD R24, R23, R4
+    STG [R24], R22
+    LDS R25, [0x200]
+    IADD R26, R23, R5
+    STG [R26], R25
+    EXIT
+""", num_params=3, smem_bytes=2 * _REDUCE_BLOCK * 4)
+
+
+class _SRADBase(Benchmark):
+    """Shared host driver and golden model for both SRAD variants."""
+
+    size: int = 32
+    iterations: int = 2
+    lam: float = 0.5
+    seed: int = 110
+    #: CTA shape; v2 uses taller blocks, giving it the higher
+    #: occupancy the paper reports relative to v1.
+    block = (_TILE, _TILE)
+    _k1: Kernel
+    _k2: Kernel
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [self._k1, self._k2]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        n = self.size
+        image = (gen.random((n, n), dtype=np.float32) + 0.5).astype(
+            np.float32)
+        nbytes = image.nbytes
+        return {
+            "image": image,
+            "pj": dev.to_device(image),
+            "pn": dev.malloc(nbytes),
+            "ps": dev.malloc(nbytes),
+            "pw": dev.malloc(nbytes),
+            "pe": dev.malloc(nbytes),
+            "pc": dev.malloc(nbytes),
+        }
+
+    @staticmethod
+    def _q0sqr(image: np.ndarray) -> float:
+        mean = float(image.mean(dtype=np.float64))
+        var = float(image.var(dtype=np.float64))
+        return var / (mean * mean)
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        n = self.size
+        bx, by = self.block
+        grid = (n // bx, n // by)
+        for _ in range(self.iterations):
+            current = dev.read_array(state["pj"], (n, n), np.float32)
+            q0sqr = self._q0sqr(current)
+            common_params = [state["pj"], state["pn"], state["ps"],
+                             state["pw"], state["pe"], state["pc"], n, n]
+            dev.launch(self._k1, grid=grid, block=self.block,
+                       params=common_params + [q0sqr])
+            dev.launch(self._k2, grid=grid, block=self.block,
+                       params=common_params + [self.lam])
+
+    @classmethod
+    def _golden_step(cls, j: np.ndarray, q0sqr: np.float32,
+                     lam: float) -> np.ndarray:
+        """One SRAD iteration in numpy fp32 (shared by both variants)."""
+        f32 = np.float32
+        padded = np.pad(j, 1, mode="edge")
+        dn = padded[:-2, 1:-1] - j
+        ds = padded[2:, 1:-1] - j
+        dw = padded[1:-1, :-2] - j
+        de = padded[1:-1, 2:] - j
+        inv_j = f32(1.0) / j
+        g2 = (dn * dn + ds * ds + dw * dw + de * de) * (inv_j * inv_j)
+        lap = (dn + ds + dw + de) * inv_j
+        num = f32(0.5) * g2 - f32(0.0625) * (lap * lap)
+        den = f32(1.0) + f32(0.25) * lap
+        qsqr = num * (f32(1.0) / (den * den))
+        den2 = (qsqr - q0sqr) * (f32(1.0) / (q0sqr * (f32(1.0) + q0sqr)))
+        c = f32(1.0) / (f32(1.0) + den2)
+        c = np.clip(c, 0.0, 1.0).astype(np.float32)
+        c_s = np.pad(c, 1, mode="edge")[2:, 1:-1]
+        c_e = np.pad(c, 1, mode="edge")[1:-1, 2:]
+        div = c * dn + c_s * ds + c * dw + c_e * de
+        return (j + div * f32(lam) * f32(0.25)).astype(np.float32)
+
+    def _golden(self, image: np.ndarray) -> np.ndarray:
+        f32 = np.float32
+        j = image.copy()
+        for _ in range(self.iterations):
+            j = self._golden_step(j, f32(self._q0sqr(j)), self.lam)
+        return j
+
+    check_rtol = 1e-3
+    check_atol = 1e-4
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        n = self.size
+        out = dev.read_array(state["pj"], (n, n), np.float32)
+        return common.close(out, self._golden(state["image"]),
+                            rtol=self.check_rtol, atol=self.check_atol)
+
+
+class SRAD1(_SRADBase):
+    """SRAD v1: the full Rodinia v1 kernel chain.
+
+    Six static kernels, as in Rodinia: ``extract`` (exponential image
+    scaling), ``prepare`` + ``reduce`` (device-side image statistics
+    feeding q0sqr), the two diffusion kernels (image reads through the
+    texture path, as v1 binds the image to a texture) and ``compress``
+    (logarithmic rescaling).
+    """
+
+    name = "srad1"
+    abbrev = "SRAD1"
+    block = (_TILE, 8)
+    check_atol = 0.02  # the final log*255 amplifies absolute error
+    _k1, _k2 = _SRAD1_K1, _SRAD1_K2
+
+    def __init__(self, size: int = 32, iterations: int = 2, seed: int = 110):
+        if size % _TILE:
+            raise ValueError(f"size must be a multiple of {_TILE}")
+        self.size = size
+        self.iterations = iterations
+        self.seed = seed
+
+    def kernels(self):
+        return [_EXTRACT, _PREPARE, _REDUCE, self._k1, self._k2,
+                _COMPRESS]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        n = self.size
+        # a raw "intensity" image, exp-compressed by the extract kernel
+        image = (gen.random((n, n), dtype=np.float32) * 100 + 50).astype(
+            np.float32)
+        nbytes = image.nbytes
+        return {
+            "image": image,
+            "pj": dev.to_device(image),
+            "pn": dev.malloc(nbytes),
+            "ps": dev.malloc(nbytes),
+            "pw": dev.malloc(nbytes),
+            "pe": dev.malloc(nbytes),
+            "pc": dev.malloc(nbytes),
+            "psum": dev.malloc(nbytes),
+            "psum2": dev.malloc(nbytes),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        n = self.size
+        total = n * n
+        grid_1d = common.ceil_div(total, _REDUCE_BLOCK)
+        bx, by = self.block
+        grid_2d = (n // bx, n // by)
+
+        dev.launch(_EXTRACT, grid=grid_1d, block=_REDUCE_BLOCK,
+                   params=[state["pj"], total])
+        for _ in range(self.iterations):
+            dev.launch(_PREPARE, grid=grid_1d, block=_REDUCE_BLOCK,
+                       params=[state["pj"], state["psum"],
+                               state["psum2"], total])
+            live = total
+            while live > 1:
+                blocks = common.ceil_div(live, _REDUCE_BLOCK)
+                dev.launch(_REDUCE, grid=blocks, block=_REDUCE_BLOCK,
+                           params=[state["psum"], state["psum2"], live])
+                live = blocks
+            total_j = float(dev.read_array(state["psum"], (1,),
+                                           np.float32)[0])
+            total_j2 = float(dev.read_array(state["psum2"], (1,),
+                                            np.float32)[0])
+            mean = total_j / total
+            var = total_j2 / total - mean * mean
+            q0sqr = var / (mean * mean)
+            common_params = [state["pj"], state["pn"], state["ps"],
+                             state["pw"], state["pe"], state["pc"], n, n]
+            dev.launch(self._k1, grid=grid_2d, block=self.block,
+                       params=common_params + [q0sqr])
+            dev.launch(self._k2, grid=grid_2d, block=self.block,
+                       params=common_params + [self.lam])
+        dev.launch(_COMPRESS, grid=grid_1d, block=_REDUCE_BLOCK,
+                   params=[state["pj"], total])
+
+    def _golden(self, image: np.ndarray) -> np.ndarray:
+        f32 = np.float32
+        # extract: exp(I / 255) via the EX2 path the kernel uses
+        scaled = (image * f32(1.0 / 255.0)).astype(np.float32)
+        j = np.exp2((scaled * f32(_LOG2E)).astype(np.float32)).astype(
+            np.float32)
+        for _ in range(self.iterations):
+            j = self._golden_step(j, f32(self._q0sqr(j)), self.lam)
+        # compress: log(J) * 255 via the LG2 path
+        logs = (np.log2(j).astype(np.float32) * f32(_LN2)).astype(
+            np.float32)
+        return (logs * f32(255.0)).astype(np.float32)
+
+
+class SRAD2(_SRADBase):
+    """SRAD v2: global-load image reads, full 16x16 CTAs."""
+
+    name = "srad2"
+    abbrev = "SRAD2"
+    block = (_TILE, _TILE)
+    _k1, _k2 = _SRAD2_K1, _SRAD2_K2
+
+    def __init__(self, size: int = 32, iterations: int = 2, seed: int = 111):
+        if size % _TILE:
+            raise ValueError(f"size must be a multiple of {_TILE}")
+        self.size = size
+        self.iterations = iterations
+        self.seed = seed

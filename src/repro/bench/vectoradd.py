@@ -1,0 +1,71 @@
+"""VA -- Vector Addition (CUDA SDK ``vectorAdd``).
+
+The canonical quickstart workload: one thread per element computes
+``c[i] = a[i] + b[i]`` with a bounds guard, exactly like the SDK
+kernel compiled to SASS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench import common
+from repro.bench.base import Benchmark
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+_VECADD = Kernel("vectorAdd", common.TID_1D + """
+    LDC R4, c[0x0]             ; A
+    LDC R5, c[0x4]             ; B
+    LDC R6, c[0x8]             ; C
+    LDC R7, c[0xc]             ; numElements
+    ISETP.GE.AND P0, PT, R3, R7, PT
+@P0 EXIT
+    SHL R8, R3, 2
+    IADD R9, R4, R8
+    IADD R10, R5, R8
+    IADD R11, R6, R8
+    LDG R12, [R9]
+    LDG R13, [R10]
+    FADD R14, R12, R13
+    STG [R11], R14
+    EXIT
+""", num_params=4)
+
+
+class VectorAdd(Benchmark):
+    """Element-wise fp32 vector addition."""
+
+    name = "vectoradd"
+    abbrev = "VA"
+
+    def __init__(self, n: int = 1024, block: int = 128, seed: int = 101):
+        self.n = n
+        self.block = block
+        self.seed = seed
+
+    def kernels(self) -> Sequence[Kernel]:
+        return [_VECADD]
+
+    def build(self, dev: Device) -> Dict:
+        gen = common.rng(self.seed)
+        a = gen.random(self.n, dtype=np.float32)
+        b = gen.random(self.n, dtype=np.float32)
+        return {
+            "a": a,
+            "b": b,
+            "pa": dev.to_device(a),
+            "pb": dev.to_device(b),
+            "pc": dev.malloc(4 * self.n),
+        }
+
+    def execute(self, dev: Device, state: Dict) -> None:
+        grid = common.ceil_div(self.n, self.block)
+        dev.launch(_VECADD, grid=grid, block=self.block,
+                   params=[state["pa"], state["pb"], state["pc"], self.n])
+
+    def check(self, dev: Device, state: Dict) -> bool:
+        out = dev.read_array(state["pc"], (self.n,), np.float32)
+        return common.close(out, state["a"] + state["b"])

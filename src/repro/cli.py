@@ -1,0 +1,192 @@
+"""The ``gpufi`` command-line front-end.
+
+Plays the role of the paper's bash script: profile an application,
+run an injection campaign, and post-process logged results::
+
+    gpufi list
+    gpufi profile --benchmark vectoradd --card RTX2060
+    gpufi campaign --benchmark vectoradd --card RTX2060 \\
+                   --structures register_file --runs 100 --log out.jsonl
+    gpufi campaign --config gpufi.config
+    gpufi report out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import avf as avf_mod
+from repro.analysis import fit as fit_mod
+from repro.analysis.report import render_table
+from repro.analysis.statistics import margin_of_error
+from repro.bench import benchmark_names
+from repro.faults.campaign import (Campaign, CampaignConfig,
+                                   profile_application)
+from repro.faults.classify import FaultEffect
+from repro.faults.config_file import load_config
+from repro.faults.mask import MultiBitMode
+from repro.faults.parser import aggregate_records, load_records
+from repro.faults.targets import Structure
+from repro.sim.cards import CARDS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpufi",
+        description="gpuFI-4 reproduction: microarchitecture-level GPU "
+                    "fault injection")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and cards")
+
+    profile = sub.add_parser("profile",
+                             help="fault-free profile of an application")
+    profile.add_argument("--benchmark", required=True)
+    profile.add_argument("--card", default="RTX2060")
+
+    campaign = sub.add_parser("campaign", help="run an injection campaign")
+    campaign.add_argument("--config", help="gpgpusim.config-style file")
+    campaign.add_argument("--benchmark")
+    campaign.add_argument("--card", default="RTX2060")
+    campaign.add_argument("--structures",
+                          help="comma list, e.g. register_file,l2_cache")
+    campaign.add_argument("--runs", type=int, default=100)
+    campaign.add_argument("--bits", type=int, default=1)
+    campaign.add_argument("--multibit-mode", default="same_entry",
+                          choices=[m.value for m in MultiBitMode])
+    campaign.add_argument("--warp-level", action="store_true")
+    campaign.add_argument("--kernels",
+                          help="comma list of target static kernels")
+    campaign.add_argument("--invocation", type=int,
+                          help="restrict to one dynamic invocation")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--scheduler", default="gto",
+                          choices=["gto", "lrr"])
+    campaign.add_argument("--cache-hook-mode", action="store_true")
+    campaign.add_argument("--model-icache", action="store_true",
+                          help="model + inject the L1 instruction cache")
+    campaign.add_argument("--log", help="JSONL output path")
+    campaign.add_argument("--markdown",
+                          help="write a full Markdown report here")
+
+    report = sub.add_parser("report",
+                            help="aggregate campaign JSONL logs (batches "
+                                 "are merged)")
+    report.add_argument("log", nargs="+",
+                        help="JSONL file(s) written by 'campaign'")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("benchmarks:", ", ".join(benchmark_names()))
+    print("cards:     ", ", ".join(sorted(CARDS)))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    profile, golden = profile_application(args.benchmark, args.card)
+    rows = []
+    for name, kp in sorted(profile.kernels.items()):
+        rows.append((name, kp.invocations, kp.total_cycles,
+                     f"{kp.occupancy:.3f}", kp.regs_per_thread,
+                     kp.smem_bytes, f"{kp.mean_threads_per_sm:.1f}",
+                     f"{kp.mean_ctas_per_sm:.2f}"))
+    print(f"{args.benchmark} on {profile.card}: "
+          f"{profile.total_cycles} cycles, app occupancy "
+          f"{profile.app_occupancy():.3f}")
+    print(render_table(
+        ("kernel", "invocations", "cycles", "occupancy", "regs/thread",
+         "smem/CTA", "threads/SM", "CTAs/SM"), rows))
+    return 0
+
+
+def _campaign_config(args) -> CampaignConfig:
+    if args.config:
+        return load_config(args.config)
+    if not args.benchmark:
+        raise SystemExit("either --config or --benchmark is required")
+    structures = None
+    if args.structures:
+        structures = tuple(Structure(s.strip())
+                           for s in args.structures.split(","))
+    from pathlib import Path
+
+    return CampaignConfig(
+        benchmark=args.benchmark,
+        card=args.card,
+        structures=structures,
+        runs_per_structure=args.runs,
+        bits_per_fault=args.bits,
+        multibit_mode=MultiBitMode(args.multibit_mode),
+        warp_level=args.warp_level,
+        kernels=(tuple(k.strip() for k in args.kernels.split(","))
+                 if args.kernels else None),
+        invocation=args.invocation,
+        seed=args.seed,
+        scheduler_policy=args.scheduler,
+        cache_hook_mode=args.cache_hook_mode,
+        model_icache=args.model_icache,
+        log_path=Path(args.log) if args.log else None,
+    )
+
+
+def _cmd_campaign(args) -> int:
+    config = _campaign_config(args)
+    campaign = Campaign(config, progress=lambda msg: print(f"  .. {msg}"))
+    result = campaign.run()
+    print(result.summary())
+    error = margin_of_error(config.runs_per_structure)
+    print(f"per-structure margin of error: +/-{error * 100:.1f}% "
+          f"(99% confidence)")
+    wavf = avf_mod.weighted_avf(result)
+    print(f"wAVF = {wavf:.5f}   FIT = {fit_mod.chip_fit(result):.1f}")
+    if config.log_path:
+        print(f"log written to {config.log_path}")
+    if getattr(args, "markdown", None):
+        from pathlib import Path
+
+        from repro.analysis.markdown import render_markdown
+
+        Path(args.markdown).write_text(render_markdown(result),
+                                       encoding="utf-8")
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    records = []
+    for path in args.log:
+        records.extend(load_records(path))
+    counts = aggregate_records(records)
+    rows = []
+    for kernel, per_structure in sorted(counts.items()):
+        for structure, effects in per_structure.items():
+            total = sum(effects.values())
+            failures = sum(n for e, n in effects.items() if e.is_failure)
+            row = [kernel, structure.value, total, f"{failures / total:.3f}"]
+            row.extend(effects.get(e, 0) for e in FaultEffect)
+            rows.append(row)
+    headers = ["kernel", "structure", "runs", "FR"]
+    headers.extend(e.value for e in FaultEffect)
+    print(render_table(headers, rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""gpuFI-4 core: fault masks, injection, campaigns, classification.
+
+This package is the paper's primary contribution: a
+microarchitecture-level transient-fault injection framework on top of
+the cycle-level simulator in :mod:`repro.sim`.  It mirrors the paper's
+three modules:
+
+- a *fault masks generator* (:mod:`repro.faults.mask`),
+- an *injection campaign controller* (:mod:`repro.faults.campaign`,
+  with the per-run machinery in :mod:`repro.faults.runner` and
+  :mod:`repro.faults.injector`),
+- a *parser of the logged information*
+  (:mod:`repro.faults.parser`, classification rules in
+  :mod:`repro.faults.classify`).
+"""
+
+from repro.faults.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    KernelProfile,
+    profile_application,
+)
+from repro.faults.classify import FaultEffect, classify_run
+from repro.faults.config_file import dump_config, load_config, \
+    parse_config_text
+from repro.faults.injector import Injector
+from repro.faults.mask import FaultMask, MaskGenerator, MultiBitMode
+from repro.faults.parser import aggregate_records, load_records
+from repro.faults.runner import RunResult, run_application
+from repro.faults.targets import Structure
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "KernelProfile",
+    "profile_application",
+    "FaultEffect",
+    "classify_run",
+    "load_config",
+    "dump_config",
+    "parse_config_text",
+    "Injector",
+    "FaultMask",
+    "MaskGenerator",
+    "MultiBitMode",
+    "aggregate_records",
+    "load_records",
+    "RunResult",
+    "run_application",
+    "Structure",
+]

@@ -1,0 +1,376 @@
+"""The injection campaign controller (module 2 of gpuFI-4).
+
+This module plays the role of the paper's bash front-end: it profiles
+the fault-free application once, derives per-kernel execution windows
+and statistics, generates fault masks, executes the batch of injected
+runs, classifies each outcome and aggregates the results.
+
+Per the paper's methodology (section VI.A): faults target a *static
+kernel* across **all** of its invocations (the mask generator samples
+cycles from the union of the invocation windows), the timeout watchdog
+is twice the fault-free execution time, and every injected run is a
+complete application execution on a fresh device.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect, classify_run
+from repro.faults.injector import Injector
+from repro.faults.mask import FaultMask, MaskGenerator, MultiBitMode
+from repro.faults.runner import RunResult, run_application
+from repro.faults.targets import Structure, supported_structures
+from repro.sim.cards import get_card
+
+
+@dataclass
+class KernelProfile:
+    """Fault-free statistics of one static kernel (all invocations)."""
+
+    name: str
+    windows: List[Tuple[int, int]]
+    total_cycles: int
+    regs_per_thread: int
+    smem_bytes: int
+    local_bytes: int
+    threads_per_cta: int
+    occupancy: float
+    mean_threads_per_sm: float
+    mean_ctas_per_sm: float
+    cores_used: List[int]
+    instructions: int
+
+    @property
+    def invocations(self) -> int:
+        """How many times the static kernel was launched."""
+        return len(self.windows)
+
+
+@dataclass
+class AppProfile:
+    """Fault-free profile of one application on one card."""
+
+    benchmark: str
+    card: str
+    total_cycles: int
+    kernels: Dict[str, KernelProfile]
+
+    def app_occupancy(self) -> float:
+        """Cycle-weighted warp occupancy of the application (Fig. 3 dots)."""
+        if not self.total_cycles:
+            return 0.0
+        return sum(k.occupancy * k.total_cycles
+                   for k in self.kernels.values()) / self.total_cycles
+
+    def kernel_weight(self, name: str) -> float:
+        """Cycle weight of one kernel (the wAVF weight of eq. 3)."""
+        if not self.total_cycles:
+            return 0.0
+        return self.kernels[name].total_cycles / self.total_cycles
+
+
+def _make_benchmark(name: str):
+    from repro.bench import make_benchmark
+
+    return make_benchmark(name)
+
+
+def profile_application(benchmark_name: str, card: str,
+                        scheduler_policy: str = "gto"
+                        ) -> Tuple[AppProfile, RunResult]:
+    """Run the fault-free ("golden") execution and build the profile."""
+    bench = _make_benchmark(benchmark_name)
+    kernel_meta = {k.name: k for k in bench.kernels()}
+    golden = run_application(bench, card, keep_device=True,
+                             scheduler_policy=scheduler_policy)
+    if golden.status != "completed" or not golden.passed:
+        raise RuntimeError(
+            f"fault-free run of {benchmark_name} on {card} did not pass: "
+            f"{golden.status} / {golden.message} {golden.error}")
+
+    per_kernel: Dict[str, List] = defaultdict(list)
+    for launch in golden.device.launches:
+        per_kernel[launch.kernel_name].append(launch)
+
+    kernels: Dict[str, KernelProfile] = {}
+    for name, launches in per_kernel.items():
+        total = sum(ls.cycles for ls in launches)
+        meta = kernel_meta[name]
+
+        def _wmean(values, weights=launches):
+            return (sum(v * ls.cycles for v, ls in zip(values, weights))
+                    / total if total else 0.0)
+
+        cores = set()
+        for ls in launches:
+            cores |= ls.cores_used
+        kernels[name] = KernelProfile(
+            name=name,
+            windows=[(ls.start_cycle, ls.end_cycle) for ls in launches],
+            total_cycles=total,
+            regs_per_thread=meta.num_regs,
+            smem_bytes=meta.smem_bytes,
+            local_bytes=meta.local_bytes,
+            threads_per_cta=launches[0].threads_per_cta,
+            occupancy=_wmean([ls.occupancy for ls in launches]),
+            mean_threads_per_sm=_wmean(
+                [ls.mean_threads_per_sm for ls in launches]),
+            mean_ctas_per_sm=_wmean([ls.mean_ctas_per_sm for ls in launches]),
+            cores_used=sorted(cores),
+            instructions=sum(ls.instructions for ls in launches),
+        )
+    profile = AppProfile(
+        benchmark=benchmark_name,
+        card=get_card(card).name if isinstance(card, str) else card.name,
+        total_cycles=sum(k.total_cycles for k in kernels.values()),
+        kernels=kernels,
+    )
+    golden.device = None  # free the simulator state
+    return profile, golden
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one injection campaign.
+
+    Mirrors the paper's parameter groups: *per GPGPU card* (``card``),
+    *per kernel/application* (``benchmark``, ``kernels``) and *per
+    injection campaign* (everything else).
+    """
+
+    benchmark: str
+    card: str
+    structures: Optional[Tuple[Structure, ...]] = None
+    runs_per_structure: int = 100
+    bits_per_fault: int = 1
+    multibit_mode: MultiBitMode = MultiBitMode.SAME_ENTRY
+    warp_level: bool = False
+    n_blocks: int = 1
+    n_cores: int = 1
+    kernels: Optional[Tuple[str, ...]] = None
+    #: Restrict faults to one dynamic invocation of the target kernel
+    #: (0-based); ``None`` covers all invocations together, the
+    #: paper's default methodology (section VI.A).
+    invocation: Optional[int] = None
+    seed: int = 0
+    scheduler_policy: str = "gto"
+    #: Use the paper's deferred hook mechanism for cache injections
+    #: instead of direct in-line bit flips.
+    cache_hook_mode: bool = False
+    #: Model the L1 instruction cache (extension): enables
+    #: ``Structure.L1I_CACHE`` injection and adds fetch timing.
+    model_icache: bool = False
+    log_path: Optional[Path] = None
+
+    def resolved_card(self):
+        """The card model with campaign-level extensions applied."""
+        import dataclasses
+
+        card = get_card(self.card)
+        if self.model_icache:
+            card = dataclasses.replace(card, model_icache=True)
+        return card
+
+    def resolved_structures(self) -> Tuple[Structure, ...]:
+        """The structures to inject, defaulting to all the card supports."""
+        if self.structures is not None:
+            return tuple(self.structures)
+        return supported_structures(get_card(self.card))
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one campaign."""
+
+    config: CampaignConfig
+    profile: AppProfile
+    golden_cycles: int
+    records: List[dict]
+    #: counts[kernel][structure][effect] -> number of runs
+    counts: Dict[str, Dict[Structure, Dict[FaultEffect, int]]]
+
+    def runs(self, kernel: str, structure: Structure) -> int:
+        """Total injections performed on (kernel, structure)."""
+        return sum(self.counts[kernel][structure].values())
+
+    def failures(self, kernel: str, structure: Structure) -> int:
+        """Injections that led to SDC, Crash or Timeout."""
+        return sum(n for effect, n in self.counts[kernel][structure].items()
+                   if effect.is_failure)
+
+    def failure_ratio(self, kernel: str, structure: Structure) -> float:
+        """FR_structure of eq. (1)."""
+        total = self.runs(kernel, structure)
+        return self.failures(kernel, structure) / total if total else 0.0
+
+    def effect_ratio(self, kernel: str, structure: Structure,
+                     effect: FaultEffect) -> float:
+        """Fraction of injections with a given fault effect."""
+        total = self.runs(kernel, structure)
+        if not total:
+            return 0.0
+        return self.counts[kernel][structure].get(effect, 0) / total
+
+    def structures(self) -> Tuple[Structure, ...]:
+        """Structures covered by this campaign."""
+        return self.config.resolved_structures()
+
+    def summary(self) -> str:
+        """Human-readable per-kernel, per-structure breakdown."""
+        lines = [f"campaign: {self.config.benchmark} on {self.profile.card} "
+                 f"({self.config.bits_per_fault}-bit faults)"]
+        for kernel, per_structure in self.counts.items():
+            weight = self.profile.kernel_weight(kernel)
+            lines.append(f"  kernel {kernel} (cycle weight {weight:.2f})")
+            for structure, effects in per_structure.items():
+                total = sum(effects.values())
+                parts = ", ".join(
+                    f"{eff.value}={n}" for eff, n in sorted(
+                        effects.items(), key=lambda kv: kv[0].value))
+                fr = self.failure_ratio(kernel, structure)
+                lines.append(f"    {structure.value:<14} n={total:<5} "
+                             f"FR={fr:.3f}  [{parts}]")
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Runs a full injection campaign and aggregates the results."""
+
+    def __init__(self, config: CampaignConfig,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.config = config
+        self._progress = progress or (lambda msg: None)
+
+    def run(self) -> CampaignResult:
+        """Profile, inject, classify, aggregate."""
+        cfg = self.config
+        card = cfg.resolved_card()
+        profile, golden = profile_application(
+            cfg.benchmark, card, cfg.scheduler_policy)
+        budget = TIMEOUT_FACTOR * golden.cycles
+
+        target_kernels = (list(cfg.kernels) if cfg.kernels
+                          else sorted(profile.kernels))
+        structures = cfg.resolved_structures()
+        rng = np.random.default_rng(cfg.seed)
+
+        records: List[dict] = []
+        log_file = None
+        if cfg.log_path is not None:
+            Path(cfg.log_path).parent.mkdir(parents=True, exist_ok=True)
+            log_file = open(cfg.log_path, "w", encoding="utf-8")
+        try:
+            for kernel_name in target_kernels:
+                kp = profile.kernels[kernel_name]
+                windows = kp.windows
+                if cfg.invocation is not None:
+                    if not 0 <= cfg.invocation < len(windows):
+                        raise ValueError(
+                            f"kernel {kernel_name} has {len(windows)} "
+                            f"invocation(s); index {cfg.invocation} "
+                            "out of range")
+                    windows = [windows[cfg.invocation]]
+                generator = MaskGenerator(
+                    card, windows, kp.regs_per_thread, kp.smem_bytes,
+                    kp.local_bytes, rng)
+                for structure in structures:
+                    records.extend(self._run_structure(
+                        kernel_name, kp, structure, generator, golden,
+                        budget, log_file))
+        finally:
+            if log_file is not None:
+                log_file.close()
+
+        counts = aggregate_counts(records)
+        return CampaignResult(config=cfg, profile=profile,
+                              golden_cycles=golden.cycles,
+                              records=records, counts=counts)
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_structure(self, kernel_name: str, kp: KernelProfile,
+                       structure: Structure, generator: MaskGenerator,
+                       golden: RunResult, budget: int,
+                       log_file) -> List[dict]:
+        cfg = self.config
+        records = []
+        no_target = (
+            (structure is Structure.SHARED_MEM and kp.smem_bytes == 0)
+            or (structure is Structure.LOCAL_MEM and kp.local_bytes == 0))
+        for run_index in range(cfg.runs_per_structure):
+            if no_target:
+                # the kernel allocates none of this structure: the fault
+                # lands in unallocated space and is masked by construction
+                record = self._record(
+                    kernel_name, structure, run_index, mask=None,
+                    result=None, effect=FaultEffect.MASKED, golden=golden,
+                    synthesized=True)
+            else:
+                mask = generator.generate(
+                    structure, n_bits=cfg.bits_per_fault,
+                    mode=cfg.multibit_mode, warp_level=cfg.warp_level,
+                    n_blocks=cfg.n_blocks, n_cores=cfg.n_cores)
+                injector = Injector([mask],
+                                    cache_hook_mode=cfg.cache_hook_mode)
+                result = run_application(
+                    _make_benchmark(cfg.benchmark), cfg.resolved_card(),
+                    injector=injector, cycle_budget=budget,
+                    scheduler_policy=cfg.scheduler_policy)
+                effect = classify_run(result, golden.cycles)
+                record = self._record(kernel_name, structure, run_index,
+                                      mask, result, effect, golden)
+            records.append(record)
+            if log_file is not None:
+                log_file.write(json.dumps(record) + "\n")
+            if (run_index + 1) % 25 == 0:
+                self._progress(
+                    f"{cfg.benchmark}/{kernel_name}/{structure.value}: "
+                    f"{run_index + 1}/{cfg.runs_per_structure}")
+        return records
+
+    def _record(self, kernel: str, structure: Structure, run_index: int,
+                mask: Optional[FaultMask], result: Optional[RunResult],
+                effect: FaultEffect, golden: RunResult,
+                synthesized: bool = False) -> dict:
+        record = {
+            "benchmark": self.config.benchmark,
+            "card": self.config.card,
+            "kernel": kernel,
+            "structure": structure.value,
+            "run": run_index,
+            "effect": effect.value,
+            "golden_cycles": golden.cycles,
+            "synthesized": synthesized,
+        }
+        if mask is not None:
+            record["mask"] = mask.to_dict()
+        if result is not None:
+            record.update({
+                "status": result.status,
+                "passed": result.passed,
+                "cycles": result.cycles,
+                "message": result.message,
+                "error": result.error,
+                "injections": result.injection_log,
+            })
+        return record
+
+
+def aggregate_counts(records: Sequence[dict]
+                     ) -> Dict[str, Dict[Structure, Dict[FaultEffect, int]]]:
+    """Aggregate raw run records into nested effect counts."""
+    counts: Dict[str, Dict[Structure, Dict[FaultEffect, int]]] = {}
+    for record in records:
+        kernel = counts.setdefault(record["kernel"], {})
+        structure = Structure(record["structure"])
+        effects = kernel.setdefault(structure, {})
+        effect = FaultEffect(record["effect"])
+        effects[effect] = effects.get(effect, 0) + 1
+    return counts

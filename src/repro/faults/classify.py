@@ -1,0 +1,56 @@
+"""Fault-effect classification (paper section V.B).
+
+Outcomes of an injected run are classified against the fault-free
+("golden") run:
+
+- **Masked** -- run completed, output correct, cycle count identical.
+- **Performance** -- run completed, output correct, but the cycle
+  count differs from the fault-free execution (a masked fault that
+  perturbed the execution flow; Fig. 4).  Counted as non-failing for
+  AVF purposes, exactly as in the paper.
+- **SDC** -- run completed but the output check failed silently.
+- **Crash** -- the application reached an unrecoverable abnormal state
+  (device memory violation, invalid operation...).
+- **Timeout** -- the run exceeded twice the fault-free execution time,
+  or deadlocked.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.faults.runner import RunResult
+
+
+class FaultEffect(enum.Enum):
+    """The paper's five fault-effect classes."""
+
+    MASKED = "Masked"
+    SDC = "SDC"
+    CRASH = "Crash"
+    TIMEOUT = "Timeout"
+    PERFORMANCE = "Performance"
+
+    @property
+    def is_failure(self) -> bool:
+        """Whether this effect counts as a failure in eq. (1)."""
+        return self in (FaultEffect.SDC, FaultEffect.CRASH,
+                        FaultEffect.TIMEOUT)
+
+
+#: Cycle budget multiplier for the Timeout class ("two times the
+#: fault-free execution time").
+TIMEOUT_FACTOR = 2
+
+
+def classify_run(result: RunResult, golden_cycles: int) -> FaultEffect:
+    """Classify one injected run against the fault-free cycle count."""
+    if result.status == "timeout":
+        return FaultEffect.TIMEOUT
+    if result.status == "crash":
+        return FaultEffect.CRASH
+    if not result.passed:
+        return FaultEffect.SDC
+    if result.cycles != golden_cycles:
+        return FaultEffect.PERFORMANCE
+    return FaultEffect.MASKED

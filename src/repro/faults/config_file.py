@@ -1,0 +1,123 @@
+"""gpgpusim.config-style campaign configuration files.
+
+gpuFI-4 drives its backend through new ``-gpufi_*`` options appended
+to GPGPU-Sim's ``gpgpusim.config``; this module reads and writes the
+same option style so campaigns are configurable without touching
+Python::
+
+    # gpufi.config
+    -gpufi_benchmark vectoradd
+    -gpufi_card RTX2060
+    -gpufi_components register_file,l2_cache
+    -gpufi_runs 100
+    -gpufi_bits_per_fault 1
+    -gpufi_seed 7
+
+Unknown ``-gpufi_*`` options raise; non-gpufi options (the rest of a
+real gpgpusim.config) are ignored, so a full simulator config file can
+be passed directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.faults.campaign import CampaignConfig
+from repro.faults.mask import MultiBitMode
+from repro.faults.targets import Structure
+
+_BOOL_TRUE = ("1", "true", "yes", "on")
+
+
+def _parse_structures(value: str):
+    return tuple(Structure(part.strip().lower())
+                 for part in value.split(",") if part.strip())
+
+
+def parse_config_text(text: str) -> CampaignConfig:
+    """Parse option text into a :class:`CampaignConfig`."""
+    options = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        key = parts[0]
+        if not key.startswith("-gpufi_"):
+            continue  # a regular gpgpusim.config option
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: option {key} needs a value")
+        options[key[len("-gpufi_"):]] = parts[1].strip()
+
+    if "benchmark" not in options or "card" not in options:
+        raise ValueError(
+            "-gpufi_benchmark and -gpufi_card are required options")
+
+    known = {
+        "benchmark", "card", "components", "runs", "bits_per_fault",
+        "multibit_mode", "warp_level", "blocks", "cores", "kernels",
+        "invocation", "seed", "scheduler", "cache_hook_mode",
+        "model_icache", "log",
+    }
+    unknown = set(options) - known
+    if unknown:
+        raise ValueError(f"unknown gpufi options: {sorted(unknown)}")
+
+    return CampaignConfig(
+        benchmark=options["benchmark"],
+        card=options["card"],
+        structures=(_parse_structures(options["components"])
+                    if "components" in options else None),
+        runs_per_structure=int(options.get("runs", 100)),
+        bits_per_fault=int(options.get("bits_per_fault", 1)),
+        multibit_mode=MultiBitMode(options.get("multibit_mode",
+                                               "same_entry")),
+        warp_level=options.get("warp_level", "0").lower() in _BOOL_TRUE,
+        n_blocks=int(options.get("blocks", 1)),
+        n_cores=int(options.get("cores", 1)),
+        kernels=(tuple(k.strip() for k in options["kernels"].split(","))
+                 if "kernels" in options else None),
+        invocation=(int(options["invocation"])
+                    if "invocation" in options else None),
+        seed=int(options.get("seed", 0)),
+        scheduler_policy=options.get("scheduler", "gto"),
+        cache_hook_mode=options.get("cache_hook_mode",
+                                    "0").lower() in _BOOL_TRUE,
+        model_icache=options.get("model_icache",
+                                 "0").lower() in _BOOL_TRUE,
+        log_path=Path(options["log"]) if "log" in options else None,
+    )
+
+
+def load_config(path: Union[str, Path]) -> CampaignConfig:
+    """Load a campaign configuration from a config file."""
+    return parse_config_text(Path(path).read_text(encoding="utf-8"))
+
+
+def dump_config(config: CampaignConfig) -> str:
+    """Serialise a :class:`CampaignConfig` back to option text."""
+    lines = [
+        f"-gpufi_benchmark {config.benchmark}",
+        f"-gpufi_card {config.card}",
+        f"-gpufi_runs {config.runs_per_structure}",
+        f"-gpufi_bits_per_fault {config.bits_per_fault}",
+        f"-gpufi_multibit_mode {config.multibit_mode.value}",
+        f"-gpufi_warp_level {int(config.warp_level)}",
+        f"-gpufi_blocks {config.n_blocks}",
+        f"-gpufi_cores {config.n_cores}",
+        f"-gpufi_seed {config.seed}",
+        f"-gpufi_scheduler {config.scheduler_policy}",
+        f"-gpufi_cache_hook_mode {int(config.cache_hook_mode)}",
+        f"-gpufi_model_icache {int(config.model_icache)}",
+    ]
+    if config.structures is not None:
+        joined = ",".join(s.value for s in config.structures)
+        lines.insert(2, f"-gpufi_components {joined}")
+    if config.kernels is not None:
+        lines.append(f"-gpufi_kernels {','.join(config.kernels)}")
+    if config.invocation is not None:
+        lines.append(f"-gpufi_invocation {config.invocation}")
+    if config.log_path is not None:
+        lines.append(f"-gpufi_log {config.log_path}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,36 @@
+"""Paper-parity deferred cache injection ("hooks", section IV.B.4).
+
+GPGPU-Sim's caches hold only tags, so gpuFI-4 could not flip a data
+bit at injection time: it *armed a hook* on the victim line and
+applied the flip when the line was next read (deactivating the hook
+on write hits and replacements).  Our caches store their data, so the
+default injection mode flips the bit directly -- but the hook state
+machine is kept, both for fidelity and as an ablation
+(``benchmarks/bench_ablation_hooks.py`` verifies the two modes agree
+statistically):
+
+- armed on a **valid** line only (an invalid line's next fill rewrites
+  tag and data, so the paper deactivates immediately);
+- applied on the next **read hit** to the line;
+- dropped on a **write hit** (data overwritten), on **replacement**
+  and on **invalidation**.
+
+The mechanism lives in :class:`repro.sim.cache.Cache` (``arm_hook`` +
+the ``lookup`` read/write paths); this module provides the injector
+glue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.cache import Cache
+
+
+def arm_cache_hook(cache: Cache, line_index: int, bit_offsets) -> Dict:
+    """Arm a deferred flip on ``line_index`` of ``cache``.
+
+    Returns the log record (``valid: False`` records an
+    architecturally masked injection into an invalid line).
+    """
+    return cache.arm_hook(line_index, bit_offsets)

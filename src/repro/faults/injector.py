@@ -1,0 +1,187 @@
+"""The injection engine: applies fault masks to live GPU state.
+
+The GPU cycle loop calls :meth:`Injector.apply_due` every iteration;
+when a mask's cycle is reached, the injector resolves its *spatial*
+target from run-time liveness (a random active thread/warp for the
+register file and local memory, random active CTAs for shared memory,
+random busy SIMT cores for the L1 caches -- section IV.B of the
+paper) and flips the mask's bits.  Every application is logged so the
+campaign parser can attribute outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.mask import FaultMask
+from repro.faults.targets import Structure
+
+
+class Injector:
+    """Applies a list of :class:`FaultMask` at their due cycles.
+
+    ``cache_hook_mode`` switches cache injections from direct bit
+    flips to the paper's deferred hook mechanism (see
+    :mod:`repro.faults.hooks`).
+    """
+
+    def __init__(self, masks: Sequence[FaultMask],
+                 cache_hook_mode: bool = False):
+        self.masks: List[FaultMask] = sorted(masks, key=lambda m: m.cycle)
+        self.cache_hook_mode = cache_hook_mode
+        self._next = 0
+        #: One log record per applied mask (see campaign JSONL schema).
+        self.log: List[dict] = []
+
+    def due_cycle(self) -> Optional[int]:
+        """Cycle of the earliest unapplied mask, or ``None``."""
+        if self._next >= len(self.masks):
+            return None
+        return self.masks[self._next].cycle
+
+    def apply_due(self, gpu, now: int) -> None:
+        """Apply every mask whose cycle has been reached."""
+        while self._next < len(self.masks) and \
+                self.masks[self._next].cycle <= now:
+            mask = self.masks[self._next]
+            self._next += 1
+            record = self._apply(gpu, mask, now)
+            record["mask"] = mask.to_dict()
+            record["applied_at"] = now
+            self.log.append(record)
+
+    # -- spatial resolution -------------------------------------------------
+
+    def _apply(self, gpu, mask: FaultMask, now: int) -> dict:
+        rng = np.random.default_rng(mask.seed)
+        handler = {
+            Structure.REGISTER_FILE: self._inject_register_file,
+            Structure.LOCAL_MEM: self._inject_local,
+            Structure.SHARED_MEM: self._inject_shared,
+            Structure.L1D_CACHE: self._inject_l1d,
+            Structure.L1T_CACHE: self._inject_l1t,
+            Structure.L1C_CACHE: self._inject_l1c,
+            Structure.L1I_CACHE: self._inject_l1i,
+            Structure.L2_CACHE: self._inject_l2,
+        }[mask.structure]
+        return handler(gpu, mask, rng)
+
+    @staticmethod
+    def _live_warps(gpu) -> List[Tuple[int, object]]:
+        """All live warps as ``(core_id, warp)``, deterministic order."""
+        out = []
+        for core in gpu.cores:
+            for cta in core.ctas:
+                for warp in cta.warps:
+                    if not warp.done:
+                        out.append((core.core_id, warp))
+        return out
+
+    def _inject_register_file(self, gpu, mask: FaultMask,
+                              rng: np.random.Generator) -> dict:
+        warps = self._live_warps(gpu)
+        if not warps:
+            return {"target": "none", "reason": "no live warp"}
+        core_id, warp = warps[int(rng.integers(0, len(warps)))]
+        reg = mask.entry_index % warp.regs.shape[0]
+        flip = np.uint32(0)
+        for bit in mask.bit_offsets:
+            flip |= np.uint32(1 << (bit % 32))
+        if mask.warp_level:
+            lanes = warp.live_lanes()
+            warp.regs[reg][lanes] ^= flip
+            return {"target": "warp", "core": core_id,
+                    "warp_age": warp.age, "register": int(reg),
+                    "lanes": [int(l) for l in lanes]}
+        lanes = warp.live_lanes()
+        lane = int(lanes[int(rng.integers(0, len(lanes)))])
+        warp.regs[reg][lane] ^= flip
+        return {"target": "thread", "core": core_id, "warp_age": warp.age,
+                "lane": lane, "register": int(reg)}
+
+    def _inject_local(self, gpu, mask: FaultMask,
+                      rng: np.random.Generator) -> dict:
+        warps = [(cid, w) for cid, w in self._live_warps(gpu)
+                 if w.local_mem is not None]
+        if not warps:
+            return {"target": "none", "reason": "no live warp with local mem"}
+        core_id, warp = warps[int(rng.integers(0, len(warps)))]
+        nwords = warp.local_bytes // 4
+        word = mask.entry_index % max(nwords, 1)
+        flips = [(word * 4 + (bit % 32) // 8, (bit % 32) % 8)
+                 for bit in mask.bit_offsets]
+        if mask.warp_level:
+            lanes = warp.live_lanes()
+        else:
+            live = warp.live_lanes()
+            lanes = [int(live[int(rng.integers(0, len(live)))])]
+        for lane in lanes:
+            for byte, bit in flips:
+                warp.local_mem[lane, byte] ^= np.uint8(1 << bit)
+        return {"target": "warp" if mask.warp_level else "thread",
+                "core": core_id, "warp_age": warp.age,
+                "lanes": [int(l) for l in lanes], "word": int(word)}
+
+    def _inject_shared(self, gpu, mask: FaultMask,
+                       rng: np.random.Generator) -> dict:
+        ctas = [cta for core in gpu.cores for cta in core.ctas
+                if not cta.done and len(cta.smem)]
+        if not ctas:
+            return {"target": "none", "reason": "no live CTA with smem"}
+        count = min(mask.n_blocks, len(ctas))
+        picks = rng.choice(len(ctas), size=count, replace=False)
+        hit = []
+        for idx in picks:
+            cta = ctas[int(idx)]
+            nwords = len(cta.smem) // 4
+            word = mask.entry_index % nwords
+            for bit in mask.bit_offsets:
+                byte = word * 4 + (bit % 32) // 8
+                cta.smem[byte] ^= np.uint8(1 << ((bit % 32) % 8))
+            hit.append({"core": cta.core.core_id, "cta": list(cta.cta_id),
+                        "word": int(word)})
+        return {"target": "cta", "blocks": hit}
+
+    def _inject_l1(self, gpu, mask: FaultMask, rng: np.random.Generator,
+                   kind: str) -> dict:
+        if kind == "d" and not gpu.config.has_l1d:
+            return {"target": "none", "reason": "card has no L1D"}
+        cores = [core for core in gpu.cores if core.ctas]
+        if not cores:
+            return {"target": "none", "reason": "no busy core"}
+        count = min(mask.n_cores, len(cores))
+        picks = rng.choice(len(cores), size=count, replace=False)
+        records = []
+        for idx in picks:
+            core = cores[int(idx)]
+            cache = {"d": core.l1d, "t": core.l1t, "c": core.l1c,
+                     "i": core.l1i}[kind]
+            line = mask.entry_index % cache.geometry.num_lines
+            records.extend(self._flip_cache(cache, line, mask.bit_offsets))
+        return {"target": "l1", "flips": records}
+
+    def _flip_cache(self, cache, line: int, bit_offsets) -> List[dict]:
+        bits = [bit % cache.bits_per_line for bit in bit_offsets]
+        if self.cache_hook_mode:
+            return [cache.arm_hook(line, bits)]
+        return [cache.flip_bit(line, bit) for bit in bits]
+
+    def _inject_l1d(self, gpu, mask, rng):
+        return self._inject_l1(gpu, mask, rng, kind="d")
+
+    def _inject_l1t(self, gpu, mask, rng):
+        return self._inject_l1(gpu, mask, rng, kind="t")
+
+    def _inject_l1c(self, gpu, mask, rng):
+        return self._inject_l1(gpu, mask, rng, kind="c")
+
+    def _inject_l1i(self, gpu, mask, rng):
+        return self._inject_l1(gpu, mask, rng, kind="i")
+
+    def _inject_l2(self, gpu, mask: FaultMask,
+                   rng: np.random.Generator) -> dict:
+        line = mask.entry_index % gpu.l2.geometry.num_lines
+        return {"target": "l2",
+                "flips": self._flip_cache(gpu.l2, line, mask.bit_offsets)}

@@ -1,0 +1,203 @@
+"""The fault masks generator (module 1 of gpuFI-4).
+
+A :class:`FaultMask` fully determines one transient fault: the target
+structure, the global application cycle at which it strikes, the entry
+within the structure, and which bit(s) of that entry flip.  Spatial
+choices that depend on *run-time liveness* (which active thread, warp,
+CTA or SIMT core is hit) are made at injection time from the mask's
+``seed``, so a mask is deterministic and a campaign is exactly
+repeatable.
+
+Multi-bit faults follow the paper's taxonomy: bits land in the same
+entry (the common MBU model, used for the triple-bit experiments of
+Figs. 5/6), in adjacent positions, or anywhere in the structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.targets import Structure
+from repro.sim.config import GPUConfig
+
+
+class MultiBitMode(enum.Enum):
+    """Placement policy for the bits of a multi-bit fault."""
+
+    #: Random distinct bits of one entry (register / word / cache line).
+    SAME_ENTRY = "same_entry"
+    #: Physically adjacent bits of one entry (classic MBU model).
+    ADJACENT = "adjacent"
+
+
+@dataclass(frozen=True)
+class FaultMask:
+    """One fully specified transient fault.
+
+    Attributes:
+        structure: target hardware structure.
+        cycle: global application cycle at which the fault strikes.
+        entry_index: register index (register file), 32-bit word index
+            (shared/local memory) or flat line index (caches).
+        bit_offsets: bit positions within the entry that flip.
+        warp_level: register-file/local-memory faults only -- apply the
+            same flips to every thread of one warp instead of a single
+            thread (Table IV's warp mode).
+        n_blocks: shared memory only -- how many active CTAs receive
+            the same flips.
+        n_cores: L1 caches only -- how many SIMT cores receive the
+            same flips.
+        seed: seed for the run-time spatial draw (thread/warp/CTA/core).
+    """
+
+    structure: Structure
+    cycle: int
+    entry_index: int
+    bit_offsets: Tuple[int, ...]
+    warp_level: bool = False
+    n_blocks: int = 1
+    n_cores: int = 1
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for campaign logs."""
+        return {
+            "structure": self.structure.value,
+            "cycle": self.cycle,
+            "entry_index": self.entry_index,
+            "bit_offsets": list(self.bit_offsets),
+            "warp_level": self.warp_level,
+            "n_blocks": self.n_blocks,
+            "n_cores": self.n_cores,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultMask":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            structure=Structure(data["structure"]),
+            cycle=int(data["cycle"]),
+            entry_index=int(data["entry_index"]),
+            bit_offsets=tuple(int(b) for b in data["bit_offsets"]),
+            warp_level=bool(data.get("warp_level", False)),
+            n_blocks=int(data.get("n_blocks", 1)),
+            n_cores=int(data.get("n_cores", 1)),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+class MaskGenerator:
+    """Generates random fault masks for one (kernel, structure) campaign.
+
+    Args:
+        config: the target card.
+        windows: ``(start, end)`` global-cycle intervals of every
+            invocation of the target kernel (faults land uniformly in
+            their union, implementing the paper's "all invocations
+            together" cycle file).
+        regs_per_thread: registers allocated per thread of the kernel.
+        smem_bytes: shared memory per CTA of the kernel.
+        local_bytes: local memory per thread of the kernel.
+        rng: the campaign-level random source.
+    """
+
+    def __init__(self, config: GPUConfig, windows: Sequence[Tuple[int, int]],
+                 regs_per_thread: int, smem_bytes: int, local_bytes: int,
+                 rng: np.random.Generator):
+        if not windows:
+            raise ValueError("at least one execution window is required")
+        self.config = config
+        self.windows = list(windows)
+        self.regs_per_thread = max(regs_per_thread, 1)
+        self.smem_bytes = smem_bytes
+        self.local_bytes = local_bytes
+        self.rng = rng
+        self._lengths = [end - start for start, end in self.windows]
+        if min(self._lengths) <= 0:
+            raise ValueError("execution windows must be non-empty")
+
+    def random_cycle(self) -> int:
+        """Uniform cycle over the union of the execution windows."""
+        total = sum(self._lengths)
+        offset = int(self.rng.integers(0, total))
+        for (start, _end), length in zip(self.windows, self._lengths):
+            if offset < length:
+                return start + offset
+            offset -= length
+        raise AssertionError("unreachable")
+
+    def _entry_bits(self, structure: Structure) -> int:
+        """Bit width of one entry of a structure."""
+        if structure.is_cache:
+            cache = self._cache_geometry(structure)
+            return cache.line_bytes * 8 + self.config.tag_bits
+        return 32
+
+    def _cache_geometry(self, structure: Structure):
+        if structure is Structure.L1D_CACHE:
+            if self.config.l1d is None:
+                raise ValueError(f"{self.config.name} has no L1 data cache")
+            return self.config.l1d
+        if structure is Structure.L1T_CACHE:
+            return self.config.l1t
+        if structure is Structure.L1C_CACHE:
+            return self.config.l1c
+        if structure is Structure.L1I_CACHE:
+            return self.config.l1i
+        return self.config.l2
+
+    def _entry_count(self, structure: Structure) -> int:
+        """Number of entries of a structure (per thread/CTA/core scope)."""
+        if structure is Structure.REGISTER_FILE:
+            return self.regs_per_thread
+        if structure is Structure.SHARED_MEM:
+            return max(self.smem_bytes // 4, 1)
+        if structure is Structure.LOCAL_MEM:
+            return max(self.local_bytes // 4, 1)
+        return self._cache_geometry(structure).num_lines
+
+    def _bit_offsets(self, structure: Structure, n_bits: int,
+                     mode: MultiBitMode) -> Tuple[int, ...]:
+        width = self._entry_bits(structure)
+        n_bits = min(n_bits, width)
+        if mode is MultiBitMode.ADJACENT:
+            base = int(self.rng.integers(0, width - n_bits + 1))
+            return tuple(range(base, base + n_bits))
+        picks = self.rng.choice(width, size=n_bits, replace=False)
+        return tuple(sorted(int(b) for b in picks))
+
+    def generate(self, structure: Structure, n_bits: int = 1,
+                 mode: MultiBitMode = MultiBitMode.SAME_ENTRY,
+                 warp_level: bool = False, n_blocks: int = 1,
+                 n_cores: int = 1, cycle: Optional[int] = None) -> FaultMask:
+        """Draw one random fault mask."""
+        return FaultMask(
+            structure=structure,
+            cycle=self.random_cycle() if cycle is None else cycle,
+            entry_index=int(self.rng.integers(0, self._entry_count(structure))),
+            bit_offsets=self._bit_offsets(structure, n_bits, mode),
+            warp_level=warp_level,
+            n_blocks=n_blocks,
+            n_cores=n_cores,
+            seed=int(self.rng.integers(0, 2**31 - 1)),
+        )
+
+    def generate_simultaneous(self, structures: Sequence[Structure],
+                              n_bits: int = 1,
+                              mode: MultiBitMode = MultiBitMode.SAME_ENTRY,
+                              **kwargs) -> Tuple[FaultMask, ...]:
+        """Draw faults striking several structures at the same cycle.
+
+        Implements the paper's mode (iii)/(iv): "different hardware
+        structures simultaneously" and combinations thereof -- one
+        mask per structure, all sharing a single fault cycle.
+        """
+        cycle = self.random_cycle()
+        return tuple(self.generate(structure, n_bits=n_bits, mode=mode,
+                                   cycle=cycle, **kwargs)
+                     for structure in structures)

@@ -1,0 +1,59 @@
+"""Parser of the logged information (module 3 of gpuFI-4).
+
+Campaigns write one JSON record per injected run.  This module reads
+those JSONL logs back and rebuilds the aggregated effect counts, so
+results can be post-processed (or merged across batches) without
+re-running any simulation -- the role of the paper's post-processing
+parser that "aggregates the results" after "every batch of fault
+injections".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+import json
+
+from repro.faults.campaign import aggregate_counts
+from repro.faults.classify import FaultEffect
+from repro.faults.targets import Structure
+
+
+def load_records(path: Union[str, Path]) -> List[dict]:
+    """Load every run record from a campaign JSONL log."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
+    return records
+
+
+def aggregate_records(records: Sequence[dict]
+                      ) -> Dict[str, Dict[Structure, Dict[FaultEffect, int]]]:
+    """Aggregate run records into ``counts[kernel][structure][effect]``."""
+    return aggregate_counts(records)
+
+
+def merge_logs(paths: Iterable[Union[str, Path]]
+               ) -> Dict[str, Dict[Structure, Dict[FaultEffect, int]]]:
+    """Aggregate several batch logs together (multi-batch campaigns)."""
+    records: List[dict] = []
+    for path in paths:
+        records.extend(load_records(path))
+    return aggregate_counts(records)
+
+
+def failure_ratio(counts: Dict[FaultEffect, int]) -> float:
+    """FR of eq. (1) from one effect-count dictionary."""
+    total = sum(counts.values())
+    if not total:
+        return 0.0
+    failures = sum(n for effect, n in counts.items() if effect.is_failure)
+    return failures / total

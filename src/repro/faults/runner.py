@@ -1,0 +1,91 @@
+"""Single-application execution under (optional) fault injection.
+
+One "run" is a full application execution: build inputs on a fresh
+device, launch every kernel, verify the output against the golden
+reference, and print the paper's PASSED/FAILED message contract.
+Abnormal termination is captured, never propagated: the result record
+carries everything the classifier needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.device import Device
+from repro.sim.errors import SimTimeout, SimulationError
+
+
+@dataclass
+class RunResult:
+    """Outcome record of one application execution."""
+
+    status: str  #: "completed" | "crash" | "timeout"
+    passed: Optional[bool]  #: output check result (None if not reached)
+    message: str  #: the application's stdout contract line
+    cycles: int  #: total simulated cycles (all launches)
+    error: str = ""  #: exception text for crash/timeout
+    injection_log: List[dict] = field(default_factory=list)
+    launch_cycles: List[int] = field(default_factory=list)
+    device: Optional[Device] = None  #: kept only when ``keep_device``
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for campaign logs."""
+        return {
+            "status": self.status,
+            "passed": self.passed,
+            "message": self.message,
+            "cycles": self.cycles,
+            "error": self.error,
+            "injections": self.injection_log,
+            "launch_cycles": self.launch_cycles,
+        }
+
+
+def run_application(benchmark, card, injector=None,
+                    cycle_budget: Optional[int] = None,
+                    keep_device: bool = False,
+                    scheduler_policy: str = "gto") -> RunResult:
+    """Execute one benchmark application on a fresh device.
+
+    Args:
+        benchmark: a :class:`repro.bench.base.Benchmark` instance.
+        card: card name or :class:`~repro.sim.config.GPUConfig`.
+        injector: optional :class:`~repro.faults.injector.Injector`.
+        cycle_budget: watchdog budget; exceeding it yields "timeout".
+        keep_device: retain the device on the result (profiling runs
+            need its per-launch statistics).
+        scheduler_policy: warp scheduler ("gto" or "lrr").
+    """
+    dev = Device(card)
+    if scheduler_policy != "gto":
+        dev.set_scheduler_policy(scheduler_policy)
+    dev.set_cycle_budget(cycle_budget)
+    if injector is not None:
+        dev.set_injector(injector)
+
+    status, passed, error = "completed", None, ""
+    try:
+        state = benchmark.build(dev)
+        benchmark.execute(dev, state)
+        passed = bool(benchmark.check(dev, state))
+    except SimTimeout as exc:  # includes DeadlockError
+        status, error = "timeout", str(exc)
+    except (SimulationError, MemoryError, OverflowError) as exc:
+        status, error = "crash", str(exc)
+
+    if status == "completed":
+        message = "Test PASSED" if passed else "Test FAILED"
+    else:
+        message = f"Test ABORTED ({status})"
+
+    return RunResult(
+        status=status,
+        passed=passed,
+        message=message,
+        cycles=dev.cycle,
+        error=error,
+        injection_log=list(injector.log) if injector is not None else [],
+        launch_cycles=[ls.cycles for ls in dev.launches],
+        device=dev if keep_device else None,
+    )

@@ -1,0 +1,93 @@
+"""Injection target structures (the paper's Table IV).
+
+Each :class:`Structure` is one hardware component gpuFI-4 can flip
+bits in.  ``chip_bits`` returns the whole-chip injectable size used as
+the AVF weight of eq. (2) -- for caches this includes the abstract
+57-bit tag field per line, which is exactly how Table I's sizes are
+derived.  Local memory resides off-chip (in device memory), so it is
+injectable but carries no chip AVF weight, matching the paper's AVF
+accounting over on-chip storage.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sim.config import GPUConfig
+
+
+class Structure(enum.Enum):
+    """A fault-injection target hardware structure.
+
+    ``L1C_CACHE`` goes beyond the paper: gpuFI-4 defers constant-cache
+    injection to future work (section IV.C.1); our substrate models
+    the constant cache, so it is injectable here -- but it is kept out
+    of :data:`CHIP_STRUCTURES` so the AVF accounting matches the
+    paper's exactly.
+    """
+
+    REGISTER_FILE = "register_file"
+    LOCAL_MEM = "local_mem"
+    SHARED_MEM = "shared_mem"
+    L1D_CACHE = "l1d_cache"
+    L1T_CACHE = "l1t_cache"
+    L1C_CACHE = "l1c_cache"
+    L1I_CACHE = "l1i_cache"
+    L2_CACHE = "l2_cache"
+
+    @property
+    def is_cache(self) -> bool:
+        """Whether this structure is one of the tag+data caches."""
+        return self in (Structure.L1D_CACHE, Structure.L1T_CACHE,
+                        Structure.L1C_CACHE, Structure.L1I_CACHE,
+                        Structure.L2_CACHE)
+
+    @property
+    def on_chip(self) -> bool:
+        """Whether the structure contributes to chip AVF (eq. 2)."""
+        return self not in (Structure.LOCAL_MEM, Structure.L1C_CACHE,
+                            Structure.L1I_CACHE)
+
+
+#: The structures that enter the chip-level AVF sum, in a fixed order.
+CHIP_STRUCTURES = (
+    Structure.REGISTER_FILE,
+    Structure.SHARED_MEM,
+    Structure.L1D_CACHE,
+    Structure.L1T_CACHE,
+    Structure.L2_CACHE,
+)
+
+
+def chip_bits(structure: Structure, config: GPUConfig) -> int:
+    """Whole-chip injectable size of a structure in bits (Table I).
+
+    Returns 0 for structures the card does not have (the GTX Titan has
+    no L1 data cache for globals) and for off-chip local memory.
+    """
+    if structure is Structure.REGISTER_FILE:
+        return config.num_sms * config.register_file_bits_per_sm
+    if structure is Structure.SHARED_MEM:
+        return config.num_sms * config.shared_mem_bits_per_sm
+    if structure is Structure.L1D_CACHE:
+        if config.l1d is None:
+            return 0
+        return config.num_sms * config.l1d.injectable_bits(config.tag_bits)
+    if structure is Structure.L1T_CACHE:
+        return config.num_sms * config.l1t.injectable_bits(config.tag_bits)
+    if structure is Structure.L2_CACHE:
+        return config.l2.injectable_bits(config.tag_bits)
+    if structure is Structure.L1C_CACHE:
+        # injectable (extension) but excluded from the AVF weights via
+        # CHIP_STRUCTURES, matching the paper's accounting
+        return config.num_sms * config.l1c.injectable_bits(config.tag_bits)
+    if structure is Structure.L1I_CACHE:
+        return config.num_sms * config.l1i.injectable_bits(config.tag_bits)
+    if structure is Structure.LOCAL_MEM:
+        return 0
+    raise ValueError(f"unknown structure {structure}")
+
+
+def supported_structures(config: GPUConfig) -> tuple:
+    """The chip structures a card actually has (drops absent L1D)."""
+    return tuple(s for s in CHIP_STRUCTURES if chip_bits(s, config) > 0)

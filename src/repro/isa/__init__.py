@@ -1,0 +1,50 @@
+"""SASS-like instruction set for the repro GPU simulator.
+
+This package defines the textual assembly language that workloads are
+written in, mirroring the role that SASS (via PTXPlus) plays for
+GPGPU-Sim 4.0 in the gpuFI-4 paper.  It provides:
+
+- :mod:`repro.isa.opcodes` -- the opcode table with functional classes
+  and latency classes,
+- :mod:`repro.isa.operands` -- register / predicate / immediate /
+  memory / special-register operand models,
+- :mod:`repro.isa.instruction` -- the decoded instruction record,
+- :mod:`repro.isa.assembler` -- a two-pass assembler (labels,
+  predication, modifiers) that also performs control-flow analysis and
+  attaches immediate-post-dominator reconvergence points to divergent
+  branches,
+- :mod:`repro.isa.cfg` -- the control-flow-graph and IPDOM machinery.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODES, OpClass, OpSpec
+from repro.isa.operands import (
+    ConstRef,
+    Immediate,
+    MemRef,
+    Operand,
+    PredRef,
+    RegRef,
+    SpecialReg,
+    RZ_INDEX,
+    PT_INDEX,
+)
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "Instruction",
+    "OPCODES",
+    "OpClass",
+    "OpSpec",
+    "Operand",
+    "RegRef",
+    "PredRef",
+    "Immediate",
+    "MemRef",
+    "ConstRef",
+    "SpecialReg",
+    "RZ_INDEX",
+    "PT_INDEX",
+]

@@ -1,0 +1,283 @@
+"""A two-pass assembler for the SASS-like ISA.
+
+Pass 1 tokenises each line, resolves labels and decodes instructions
+against the opcode table; pass 2 resolves branch targets and runs the
+control-flow analysis that attaches reconvergence PCs to
+potentially-divergent branches (see :mod:`repro.isa.cfg`).
+
+Syntax::
+
+    ; full-line or trailing comment (also // and #)
+    loop:
+    @!P0 ISETP.LT.AND P0, PT, R1, R2, PT
+         LDG R3, [R4+0x10]
+         FFMA R5, R3, R6, R5
+         BRA loop
+         EXIT
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.cfg import attach_reconvergence
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODES
+from repro.isa.operands import (
+    ConstRef,
+    Immediate,
+    LabelRef,
+    MemRef,
+    PredRef,
+    RegRef,
+    SpecialReg,
+    NUM_PREDICATES,
+    NUM_REGISTERS,
+    PT_INDEX,
+    RZ_INDEX,
+)
+
+
+class AssemblyError(Exception):
+    """Raised for any syntactic or semantic error in kernel assembly."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):$")
+_REG_RE = re.compile(r"^R(\d+)$|^RZ$")
+_PRED_RE = re.compile(r"^P(\d+)$|^PT$")
+_MEM_RE = re.compile(r"^\[([^\]]+)\]$")
+_CONST_RE = re.compile(r"^c\[([^\]]+)\]$", re.IGNORECASE)
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "//", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_int(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer literal {text!r}", line)
+
+
+def _parse_immediate(text: str, line: int) -> Immediate:
+    """Parse an immediate literal; float literals become fp32 bit patterns."""
+    is_float = ("." in text or "e" in text.lower()) and not text.lower().startswith("0x")
+    if is_float:
+        try:
+            bits = struct.unpack("<I", struct.pack("<f", float(text)))[0]
+        except (ValueError, OverflowError):
+            raise AssemblyError(f"bad float literal {text!r}", line)
+        return Immediate(bits, is_float=True)
+    value = _parse_int(text, line)
+    if value < 0:
+        value &= 0xFFFFFFFF
+    if value > 0xFFFFFFFF:
+        raise AssemblyError(f"immediate {text!r} exceeds 32 bits", line)
+    return Immediate(value)
+
+
+def _parse_register(text: str, line: int) -> RegRef:
+    negate = False
+    absolute = False
+    if text.startswith("-"):
+        negate = True
+        text = text[1:].strip()
+    if text.startswith("|") and text.endswith("|"):
+        absolute = True
+        text = text[1:-1].strip()
+    match = _REG_RE.match(text)
+    if not match:
+        raise AssemblyError(f"bad register {text!r}", line)
+    if text == "RZ":
+        return RegRef(RZ_INDEX, negate=negate, absolute=absolute)
+    index = int(match.group(1))
+    if index >= NUM_REGISTERS - 1:
+        raise AssemblyError(f"register index out of range: {text}", line)
+    return RegRef(index, negate=negate, absolute=absolute)
+
+
+def _parse_predicate(text: str, line: int) -> PredRef:
+    negate = text.startswith("!")
+    if negate:
+        text = text[1:]
+    match = _PRED_RE.match(text)
+    if not match:
+        raise AssemblyError(f"bad predicate {text!r}", line)
+    if text == "PT":
+        return PredRef(PT_INDEX, negate=negate)
+    index = int(match.group(1))
+    if index >= NUM_PREDICATES - 1:
+        raise AssemblyError(f"predicate index out of range: {text}", line)
+    return PredRef(index, negate=negate)
+
+
+def _parse_memref(inner: str, line: int) -> MemRef:
+    inner = inner.strip()
+    base = RegRef(RZ_INDEX)
+    offset = 0
+    if "+" in inner:
+        base_text, offset_text = inner.split("+", 1)
+        base = _parse_register(base_text.strip(), line)
+        offset = _parse_int(offset_text.strip(), line)
+    elif inner.upper().startswith("R"):
+        base = _parse_register(inner, line)
+    else:
+        offset = _parse_int(inner, line)
+    if offset < 0:
+        raise AssemblyError("negative memory offset", line)
+    return MemRef(base=base, offset=offset)
+
+
+def _parse_operand(text: str, kind: str, line: int):
+    """Parse one operand against its signature letter."""
+    text = text.strip()
+    if kind == "R":
+        return _parse_register(text, line)
+    if kind == "P":
+        return _parse_predicate(text, line)
+    if kind == "RI":
+        stripped = text[1:].strip() if text.startswith("-") else text
+        if stripped.startswith("|") and stripped.endswith("|"):
+            stripped = stripped[1:-1].strip()
+        if _REG_RE.match(stripped):
+            return _parse_register(text, line)
+        return _parse_immediate(text, line)
+    if kind == "M":
+        match = _MEM_RE.match(text)
+        if not match:
+            raise AssemblyError(f"bad memory operand {text!r}", line)
+        return _parse_memref(match.group(1), line)
+    if kind == "C":
+        match = _CONST_RE.match(text)
+        if not match:
+            raise AssemblyError(f"bad constant operand {text!r}", line)
+        offset = _parse_int(match.group(1).strip(), line)
+        if offset < 0 or offset % 4:
+            raise AssemblyError("constant offset must be non-negative multiple of 4", line)
+        return ConstRef(offset)
+    if kind == "S":
+        try:
+            return SpecialReg(text)
+        except ValueError as exc:
+            raise AssemblyError(str(exc), line)
+    if kind == "L":
+        if not _NAME_RE.match(text):
+            raise AssemblyError(f"bad label operand {text!r}", line)
+        return LabelRef(text)
+    raise AssemblyError(f"internal: unknown operand kind {kind!r}", line)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on top-level commas (brackets have none)."""
+    return [part for part in (p.strip() for p in text.split(",")) if part]
+
+
+def _decode(mnemonic: str, operand_text: str, guard: Optional[PredRef],
+            line: int) -> Instruction:
+    parts = mnemonic.split(".")
+    opcode, modifiers = parts[0].upper(), tuple(p.upper() for p in parts[1:])
+    spec = OPCODES.get(opcode)
+    if spec is None:
+        raise AssemblyError(f"unknown opcode {opcode!r}", line)
+    for mod in modifiers:
+        if mod not in spec.modifiers:
+            raise AssemblyError(f"{opcode} does not accept modifier .{mod}", line)
+    if len(modifiers) < spec.required_modifiers:
+        raise AssemblyError(
+            f"{opcode} requires {spec.required_modifiers} modifier(s)", line)
+    operands = _split_operands(operand_text)
+    signature = list(spec.dsts) + list(spec.srcs)
+    if len(operands) != len(signature):
+        raise AssemblyError(
+            f"{opcode} expects {len(signature)} operand(s), got {len(operands)}",
+            line)
+    parsed = [
+        _parse_operand(text, kind, line)
+        for text, kind in zip(operands, signature)
+    ]
+    ndst = len(spec.dsts)
+    return Instruction(
+        opcode=opcode,
+        modifiers=modifiers,
+        dsts=tuple(parsed[:ndst]),
+        srcs=tuple(parsed[ndst:]),
+        guard=guard,
+        line=line,
+    )
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble kernel source text into a list of decoded instructions.
+
+    Branch targets are resolved, and every potentially-divergent branch
+    is annotated with its IPDOM reconvergence PC.  Raises
+    :class:`AssemblyError` with the offending source line on any error.
+    """
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    pending: List[Tuple[Instruction, str, int]] = []
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        if not text:
+            continue
+        label_match = _LABEL_RE.match(text)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblyError(f"duplicate label {name!r}", lineno)
+            labels[name] = len(instructions)
+            continue
+        guard = None
+        if text.startswith("@"):
+            guard_text, _, rest = text[1:].partition(" ")
+            guard = _parse_predicate(guard_text.strip(), lineno)
+            text = rest.strip()
+            if not text:
+                raise AssemblyError("guard with no instruction", lineno)
+        mnemonic, _, operand_text = text.partition(" ")
+        inst = _decode(mnemonic, operand_text.strip(), guard, lineno)
+        inst.pc = len(instructions)
+        instructions.append(inst)
+        if inst.is_branch:
+            pending.append((inst, inst.srcs[0].name, lineno))
+
+    for inst, name, lineno in pending:
+        if name not in labels:
+            raise AssemblyError(f"undefined label {name!r}", lineno)
+        target = labels[name]
+        inst.target_pc = target
+        inst.srcs = (LabelRef(name, pc=target),)
+
+    if not instructions or not instructions[-1].is_exit or (
+            instructions[-1].guard is not None):
+        raise AssemblyError(
+            "kernel must end with an unguarded EXIT",
+            instructions[-1].line if instructions else 0)
+
+    attach_reconvergence(instructions)
+    return instructions
+
+
+def max_register_index(instructions: List[Instruction]) -> int:
+    """Highest general-purpose register index used (ignoring ``RZ``), or -1."""
+    highest = -1
+    for inst in instructions:
+        for op in (*inst.dsts, *inst.srcs):
+            if isinstance(op, RegRef) and not op.is_rz:
+                highest = max(highest, op.index)
+            elif isinstance(op, MemRef) and not op.base.is_rz:
+                highest = max(highest, op.base.index)
+    return highest

@@ -1,0 +1,111 @@
+"""Control-flow analysis for assembled kernels.
+
+The SIMT front-end needs a reconvergence point for every branch that can
+split a warp.  Like GPGPU-Sim's PDOM mechanism, we reconverge at the
+*immediate post-dominator* of the branch's basic block: the earliest
+instruction through which every diverged path must pass again.
+
+The assembler calls :func:`attach_reconvergence` after resolving branch
+targets; it builds the CFG over basic blocks, computes immediate
+post-dominators (dominators of the reversed graph, via :mod:`networkx`)
+and writes ``reconv_pc`` into each potentially-divergent branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from repro.isa.instruction import Instruction
+
+#: Virtual CFG node representing "after the last instruction".
+EXIT_NODE = -1
+
+
+def basic_block_starts(instructions: Sequence[Instruction]) -> List[int]:
+    """Return the sorted PCs at which basic blocks begin.
+
+    A block begins at PC 0, at every branch target, and after every
+    branch or EXIT instruction.
+    """
+    starts = {0}
+    for inst in instructions:
+        if inst.is_branch:
+            starts.add(inst.target_pc)
+            if inst.pc + 1 < len(instructions):
+                starts.add(inst.pc + 1)
+        elif inst.is_exit and inst.pc + 1 < len(instructions):
+            starts.add(inst.pc + 1)
+    return sorted(starts)
+
+
+def build_cfg(instructions: Sequence[Instruction]) -> "nx.DiGraph":
+    """Build the basic-block CFG of a kernel.
+
+    Nodes are block-start PCs plus the virtual :data:`EXIT_NODE`; each
+    node stores its ``end`` PC (inclusive).  Edges follow fallthrough
+    and branch-target flow; an unguarded EXIT (or falling off the end)
+    flows to :data:`EXIT_NODE`.
+    """
+    starts = basic_block_starts(instructions)
+    graph = nx.DiGraph()
+    graph.add_node(EXIT_NODE, end=EXIT_NODE)
+    n = len(instructions)
+    for i, start in enumerate(starts):
+        end = (starts[i + 1] - 1) if i + 1 < len(starts) else n - 1
+        graph.add_node(start, end=end)
+    for i, start in enumerate(starts):
+        end = graph.nodes[start]["end"]
+        last = instructions[end]
+        fall = starts[i + 1] if i + 1 < len(starts) else EXIT_NODE
+        if last.is_branch:
+            graph.add_edge(start, last.target_pc)
+            if last.may_diverge:
+                graph.add_edge(start, fall)
+        elif last.is_exit:
+            graph.add_edge(start, EXIT_NODE)
+            if last.guard is not None and fall != EXIT_NODE:
+                graph.add_edge(start, fall)
+        else:
+            graph.add_edge(start, fall)
+    return graph
+
+
+def immediate_post_dominators(graph: "nx.DiGraph") -> Dict[int, int]:
+    """Map each block-start PC to the start PC of its immediate post-dominator.
+
+    Computed as immediate dominators of the reversed CFG rooted at the
+    virtual exit node.  Blocks that cannot reach the exit (e.g. a
+    deliberate infinite loop) are absent from the result.
+    """
+    reversed_graph = graph.reverse(copy=False)
+    idom = nx.immediate_dominators(reversed_graph, EXIT_NODE)
+    return {node: dom for node, dom in idom.items() if node != EXIT_NODE}
+
+
+def attach_reconvergence(instructions: Sequence[Instruction]) -> None:
+    """Annotate every potentially-divergent branch with its reconvergence PC.
+
+    ``reconv_pc`` is the first instruction of the branch block's
+    immediate post-dominator, or ``len(instructions)`` (a sentinel PC
+    one past the end, never executed) when the paths only rejoin at
+    thread exit.
+    """
+    if not instructions:
+        return
+    graph = build_cfg(instructions)
+    ipdom = immediate_post_dominators(graph)
+    sentinel = len(instructions)
+    block_of_pc = {}
+    for start in graph.nodes:
+        if start == EXIT_NODE:
+            continue
+        for pc in range(start, graph.nodes[start]["end"] + 1):
+            block_of_pc[pc] = start
+    for inst in instructions:
+        if not inst.is_branch or not inst.may_diverge:
+            continue
+        block = block_of_pc[inst.pc]
+        dom = ipdom.get(block, EXIT_NODE)
+        inst.reconv_pc = sentinel if dom == EXIT_NODE else dom

@@ -1,0 +1,243 @@
+"""Binary encoding of the SASS-like ISA (16 bytes per instruction).
+
+The instruction-cache extension needs kernels to exist as *bits* so a
+flipped bit re-decodes into a different (or illegal) instruction, the
+way an icache upset behaves on hardware.  The layout packs every
+instruction into one 128-bit word, like real SASS:
+
+====== ======================================================
+byte   contents
+====== ======================================================
+0      opcode index (into the sorted opcode table)
+1      guard: 0x80 present, 0x40 negated, low bits = predicate
+2      modifier slots 1+2 (nibbles; 0 = none, else index+1)
+3      modifier slot 3 (low nibble)
+4, 5   destination slots (0xFF = none; 0x80 flags a predicate)
+6..11  three source slots of (kind, payload) byte pairs
+12..15 32-bit immediate field (immediate value, memory offset,
+       constant offset, branch target | reconvergence)
+====== ======================================================
+
+Source-slot kinds: 0 none, 1 register (payload = index; kind bits
+0x10/0x20 flag negate/abs), 2 predicate (0x10 flags negation),
+3 immediate (value in the imm field), 4 memory operand (payload =
+base register, offset in the imm field), 5 constant (offset in the
+imm field), 6 special register (payload indexes ``SpecialReg.NAMES``),
+7 label (imm field low half = target pc, high half = reconvergence pc,
+0xFFFF = none).
+
+Any bit pattern that does not decode -- unknown opcode index, invalid
+kind, operand kinds that no longer match the opcode signature --
+raises :class:`DecodeError`, which the simulator surfaces as an
+illegal-instruction crash.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODES
+from repro.isa.operands import (ConstRef, Immediate, LabelRef, MemRef,
+                                PredRef, RegRef, SpecialReg)
+
+#: Bytes per encoded instruction.
+WORD_BYTES = 16
+
+#: Stable opcode numbering (alphabetical).
+OPCODE_NAMES = sorted(OPCODES)
+_OPCODE_INDEX = {name: i for i, name in enumerate(OPCODE_NAMES)}
+
+_KIND_NONE = 0
+_KIND_REG = 1
+_KIND_PRED = 2
+_KIND_IMM = 3
+_KIND_MEM = 4
+_KIND_CONST = 5
+_KIND_SREG = 6
+_KIND_LABEL = 7
+_KIND_MASK = 0x0F
+_FLAG_NEGATE = 0x10
+_FLAG_ABS = 0x20
+
+_NO_RECONV = 0xFFFF
+
+
+class DecodeError(Exception):
+    """The bit pattern is not a valid instruction (illegal instruction)."""
+
+
+def _encode_operand(op, word: bytearray, slot: int) -> None:
+    kind_off = 6 + 2 * slot
+    if isinstance(op, RegRef):
+        kind = _KIND_REG
+        if op.negate:
+            kind |= _FLAG_NEGATE
+        if op.absolute:
+            kind |= _FLAG_ABS
+        word[kind_off] = kind
+        word[kind_off + 1] = op.index
+    elif isinstance(op, PredRef):
+        word[kind_off] = _KIND_PRED | (_FLAG_NEGATE if op.negate else 0)
+        word[kind_off + 1] = op.index
+    elif isinstance(op, Immediate):
+        word[kind_off] = _KIND_IMM
+        word[12:16] = struct.pack("<I", op.value)
+    elif isinstance(op, MemRef):
+        word[kind_off] = _KIND_MEM
+        word[kind_off + 1] = op.base.index
+        word[12:16] = struct.pack("<I", op.offset)
+    elif isinstance(op, ConstRef):
+        word[kind_off] = _KIND_CONST
+        word[12:16] = struct.pack("<I", op.offset)
+    elif isinstance(op, SpecialReg):
+        word[kind_off] = _KIND_SREG
+        word[kind_off + 1] = SpecialReg.NAMES.index(op.name)
+    else:
+        raise TypeError(f"cannot encode operand {op!r}")
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Encode one instruction into its 16-byte word."""
+    word = bytearray(WORD_BYTES)
+    word[0] = _OPCODE_INDEX[inst.opcode]
+    if inst.guard is not None:
+        word[1] = 0x80 | (0x40 if inst.guard.negate else 0) \
+            | inst.guard.index
+    spec = inst.spec
+    for i, mod in enumerate(inst.modifiers[:3]):
+        value = spec.modifiers.index(mod) + 1
+        if i < 2:
+            word[2] |= value << (4 * i)
+        else:
+            word[3] = value
+    word[4] = 0xFF
+    word[5] = 0xFF
+    # register indices go up to 255 (RZ), so destination slots store
+    # the full byte; predicate destinations are flagged in byte 3
+    for i, dst in enumerate(inst.dsts[:2]):
+        if isinstance(dst, PredRef):
+            word[3] |= (0x10 << i)
+            word[4 + i] = dst.index
+        else:
+            word[4 + i] = dst.index
+    if inst.is_branch:
+        reconv = inst.reconv_pc if inst.reconv_pc >= 0 else _NO_RECONV
+        word[6] = _KIND_LABEL
+        word[12:16] = struct.pack("<HH", inst.target_pc & 0xFFFF,
+                                  reconv & 0xFFFF)
+    else:
+        for slot, op in enumerate(inst.srcs[:3]):
+            _encode_operand(op, word, slot)
+    return bytes(word)
+
+
+def encode_kernel(instructions: Sequence[Instruction]) -> bytes:
+    """Encode a kernel's instruction list into its binary image."""
+    return b"".join(encode_instruction(inst) for inst in instructions)
+
+
+def decode_instruction(word: bytes, pc: int) -> Instruction:
+    """Decode one 16-byte word back into an instruction.
+
+    Raises :class:`DecodeError` on any ill-formed pattern.
+    """
+    if len(word) != WORD_BYTES:
+        raise DecodeError("truncated instruction word")
+    opcode_idx = word[0]
+    if opcode_idx >= len(OPCODE_NAMES):
+        raise DecodeError(f"invalid opcode index {opcode_idx}")
+    opcode = OPCODE_NAMES[opcode_idx]
+    spec = OPCODES[opcode]
+
+    guard = None
+    if word[1] & 0x80:
+        idx = word[1] & 0x0F
+        if idx > 7:
+            raise DecodeError("invalid guard predicate")
+        guard = PredRef(idx, negate=bool(word[1] & 0x40))
+    elif word[1] & 0x7F:
+        raise DecodeError("invalid guard byte")
+
+    modifiers: List[str] = []
+    slots = [word[2] & 0x0F, (word[2] >> 4) & 0x0F, word[3] & 0x0F]
+    for value in slots:
+        if value == 0:
+            continue
+        if value - 1 >= len(spec.modifiers):
+            raise DecodeError("invalid modifier index")
+        modifiers.append(spec.modifiers[value - 1])
+    if len(modifiers) < spec.required_modifiers:
+        raise DecodeError("missing required modifiers")
+
+    imm_field = struct.unpack("<I", word[12:16])[0]
+
+    dsts = []
+    for i, letter in enumerate(spec.dsts[:2]):
+        is_pred_slot = bool(word[3] & (0x10 << i))
+        index = word[4 + i]
+        if letter == "P":
+            if not is_pred_slot or index > 7:
+                raise DecodeError("destination is not a predicate")
+            dsts.append(PredRef(index))
+        else:
+            if is_pred_slot:
+                raise DecodeError("destination is not a register")
+            dsts.append(RegRef(index))
+
+    srcs = []
+    target_pc = -1
+    reconv_pc = -1
+    if spec.klass.value == "branch":
+        if word[6] & _KIND_MASK != _KIND_LABEL:
+            raise DecodeError("branch without a target")
+        target_pc = imm_field & 0xFFFF
+        reconv_raw = (imm_field >> 16) & 0xFFFF
+        reconv_pc = -1 if reconv_raw == _NO_RECONV else reconv_raw
+        srcs.append(LabelRef(f"L{target_pc}", pc=target_pc))
+    else:
+        for slot, letter in enumerate(spec.srcs[:3]):
+            kind_byte = word[6 + 2 * slot]
+            kind = kind_byte & _KIND_MASK
+            payload = word[7 + 2 * slot]
+            negate = bool(kind_byte & _FLAG_NEGATE)
+            absolute = bool(kind_byte & _FLAG_ABS)
+            if letter == "R":
+                if kind != _KIND_REG:
+                    raise DecodeError("expected a register source")
+                srcs.append(RegRef(payload, negate=negate,
+                                   absolute=absolute))
+            elif letter == "RI":
+                if kind == _KIND_REG:
+                    srcs.append(RegRef(payload, negate=negate,
+                                       absolute=absolute))
+                elif kind == _KIND_IMM:
+                    srcs.append(Immediate(imm_field))
+                else:
+                    raise DecodeError("expected register or immediate")
+            elif letter == "P":
+                if kind != _KIND_PRED or payload > 7:
+                    raise DecodeError("expected a predicate source")
+                srcs.append(PredRef(payload, negate=negate))
+            elif letter == "M":
+                if kind != _KIND_MEM:
+                    raise DecodeError("expected a memory operand")
+                srcs.append(MemRef(RegRef(payload), imm_field))
+            elif letter == "C":
+                if kind != _KIND_CONST:
+                    raise DecodeError("expected a constant operand")
+                if imm_field % 4:
+                    raise DecodeError("misaligned constant offset")
+                srcs.append(ConstRef(imm_field))
+            elif letter == "S":
+                if kind != _KIND_SREG or \
+                        payload >= len(SpecialReg.NAMES):
+                    raise DecodeError("expected a special register")
+                srcs.append(SpecialReg(SpecialReg.NAMES[payload]))
+            else:  # pragma: no cover
+                raise DecodeError(f"unknown signature letter {letter}")
+
+    return Instruction(opcode=opcode, modifiers=tuple(modifiers),
+                       dsts=tuple(dsts), srcs=tuple(srcs), guard=guard,
+                       pc=pc, target_pc=target_pc, reconv_pc=reconv_pc)

@@ -1,0 +1,164 @@
+"""The opcode table of the SASS-like ISA.
+
+Each opcode is described by an :class:`OpSpec` giving its functional
+class (used by the execution unit for dispatch and by the scheduler for
+latency selection) and its operand signature (used by the assembler for
+validation).
+
+Operand-signature letters:
+
+- ``R``  -- general-purpose register,
+- ``RI`` -- register or 32-bit immediate,
+- ``P``  -- predicate register,
+- ``M``  -- memory operand ``[Rn+off]``,
+- ``C``  -- constant-bank operand ``c[off]``,
+- ``S``  -- special register (``SR_TID_X`` ...),
+- ``L``  -- branch-target label.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class OpClass(enum.Enum):
+    """Functional class of an instruction.
+
+    The class selects both the execution-unit handler and the latency
+    class used by the SIMT core's scoreboard.
+    """
+
+    MOVE = "move"
+    INT = "int"
+    FLOAT = "float"
+    SFU = "sfu"
+    PRED = "pred"
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+    BRANCH = "branch"
+    BARRIER = "barrier"
+    EXIT = "exit"
+    NOP = "nop"
+
+
+#: Comparison modifiers accepted by ``ISETP``/``FSETP``.
+CMP_MODIFIERS = ("EQ", "NE", "LT", "LE", "GT", "GE")
+
+#: Boolean-combine modifiers accepted by ``ISETP``/``FSETP``.
+BOOL_MODIFIERS = ("AND", "OR", "XOR")
+
+#: Function modifiers accepted by ``MUFU`` (multi-function SFU unit).
+MUFU_MODIFIERS = ("RCP", "SQRT", "RSQ", "EX2", "LG2", "SIN", "COS")
+
+#: Operation modifiers accepted by ``ATOM``/``RED``.
+ATOMIC_MODIFIERS = ("ADD", "MAX", "MIN", "EXCH")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    Attributes:
+        name: canonical mnemonic, e.g. ``"IADD"``.
+        klass: functional class, see :class:`OpClass`.
+        dsts: operand-signature letters for destinations, in order.
+        srcs: operand-signature letters for sources, in order.
+        space: memory space for loads/stores/atomics
+            (``global``/``shared``/``local``/``const``/``tex``).
+        modifiers: the set of dot-modifiers this opcode accepts.
+        required_modifiers: how many modifiers must be present
+            (e.g. ``ISETP`` requires a compare and a boolean modifier).
+    """
+
+    name: str
+    klass: OpClass
+    dsts: Tuple[str, ...] = ()
+    srcs: Tuple[str, ...] = ()
+    space: str = ""
+    modifiers: Tuple[str, ...] = ()
+    required_modifiers: int = 0
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the opcode touches a memory space."""
+        return self.klass in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC)
+
+    @property
+    def is_control(self) -> bool:
+        """Whether the opcode alters control flow or synchronises."""
+        return self.klass in (OpClass.BRANCH, OpClass.BARRIER, OpClass.EXIT)
+
+
+def _spec(name, klass, dsts=(), srcs=(), space="", modifiers=(), required=0):
+    return OpSpec(
+        name=name,
+        klass=klass,
+        dsts=tuple(dsts),
+        srcs=tuple(srcs),
+        space=space,
+        modifiers=tuple(modifiers),
+        required_modifiers=required,
+    )
+
+
+#: The complete opcode table, keyed by canonical mnemonic.
+OPCODES: Dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # -- data movement ------------------------------------------------
+        _spec("MOV", OpClass.MOVE, dsts="R", srcs=["RI"]),
+        _spec("S2R", OpClass.MOVE, dsts="R", srcs=["S"]),
+        _spec("SEL", OpClass.MOVE, dsts="R", srcs=["R", "RI", "P"]),
+        # -- integer ALU ---------------------------------------------------
+        _spec("IADD", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("ISUB", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("IMUL", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("IMAD", OpClass.INT, dsts="R", srcs=["R", "RI", "R"]),
+        _spec("IMNMX", OpClass.INT, dsts="R", srcs=["R", "RI"],
+              modifiers=["MIN", "MAX"], required=1),
+        _spec("IABS", OpClass.INT, dsts="R", srcs=["R"]),
+        _spec("SHL", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("SHR", OpClass.INT, dsts="R", srcs=["R", "RI"], modifiers=["S"]),
+        _spec("AND", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("OR", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("XOR", OpClass.INT, dsts="R", srcs=["R", "RI"]),
+        _spec("NOT", OpClass.INT, dsts="R", srcs=["R"]),
+        # -- predicate setters ----------------------------------------------
+        _spec("ISETP", OpClass.PRED, dsts="PP", srcs=["R", "RI", "P"],
+              modifiers=list(CMP_MODIFIERS) + list(BOOL_MODIFIERS) + ["U32"],
+              required=2),
+        _spec("FSETP", OpClass.PRED, dsts="PP", srcs=["R", "RI", "P"],
+              modifiers=list(CMP_MODIFIERS) + list(BOOL_MODIFIERS), required=2),
+        # -- fp32 ALU --------------------------------------------------------
+        _spec("FADD", OpClass.FLOAT, dsts="R", srcs=["R", "RI"]),
+        _spec("FMUL", OpClass.FLOAT, dsts="R", srcs=["R", "RI"]),
+        _spec("FFMA", OpClass.FLOAT, dsts="R", srcs=["R", "RI", "R"]),
+        _spec("FMNMX", OpClass.FLOAT, dsts="R", srcs=["R", "RI"],
+              modifiers=["MIN", "MAX"], required=1),
+        _spec("MUFU", OpClass.SFU, dsts="R", srcs=["R"],
+              modifiers=MUFU_MODIFIERS, required=1),
+        _spec("I2F", OpClass.FLOAT, dsts="R", srcs=["R"], modifiers=["U32"]),
+        _spec("F2I", OpClass.FLOAT, dsts="R", srcs=["R"], modifiers=["U32"]),
+        # -- memory ----------------------------------------------------------
+        _spec("LDG", OpClass.LOAD, dsts="R", srcs=["M"], space="global"),
+        _spec("STG", OpClass.STORE, srcs=["M", "R"], space="global"),
+        _spec("TLD", OpClass.LOAD, dsts="R", srcs=["M"], space="tex"),
+        _spec("LDS", OpClass.LOAD, dsts="R", srcs=["M"], space="shared"),
+        _spec("STS", OpClass.STORE, srcs=["M", "R"], space="shared"),
+        _spec("LDL", OpClass.LOAD, dsts="R", srcs=["M"], space="local"),
+        _spec("STL", OpClass.STORE, srcs=["M", "R"], space="local"),
+        _spec("LDC", OpClass.LOAD, dsts="R", srcs=["C"], space="const"),
+        _spec("ATOM", OpClass.ATOMIC, dsts="R", srcs=["M", "R"], space="global",
+              modifiers=ATOMIC_MODIFIERS, required=1),
+        _spec("RED", OpClass.ATOMIC, srcs=["M", "R"], space="global",
+              modifiers=ATOMIC_MODIFIERS, required=1),
+        # -- control ----------------------------------------------------------
+        _spec("BRA", OpClass.BRANCH, srcs=["L"]),
+        _spec("BAR", OpClass.BARRIER, modifiers=["SYNC"], required=1),
+        _spec("EXIT", OpClass.EXIT),
+        _spec("NOP", OpClass.NOP),
+    ]
+}

@@ -1,0 +1,177 @@
+"""Operand models for the SASS-like ISA.
+
+Operands are small immutable records produced by the assembler and
+consumed by the execution unit.  All general-purpose registers are
+32 bits wide; ``RZ`` (register index 255) always reads zero and
+discards writes, and ``PT`` (predicate index 7) always reads true and
+discards writes, exactly as in real SASS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Register index of the always-zero register ``RZ``.
+RZ_INDEX = 255
+
+#: Predicate index of the always-true predicate ``PT``.
+PT_INDEX = 7
+
+#: Number of addressable general-purpose registers (R0..R254 + RZ).
+NUM_REGISTERS = 256
+
+#: Number of addressable predicate registers (P0..P6 + PT).
+NUM_PREDICATES = 8
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """A general-purpose 32-bit register reference.
+
+    ``negate`` and ``absolute`` implement the SASS source-operand
+    modifiers ``-Rn`` and ``|Rn|`` (applied in that textual order:
+    ``-|Rn|`` negates the absolute value).  They are only meaningful
+    for floating-point consumers.
+    """
+
+    index: int
+    negate: bool = False
+    absolute: bool = False
+
+    @property
+    def is_rz(self) -> bool:
+        """Whether this reference names the always-zero register."""
+        return self.index == RZ_INDEX
+
+    def __str__(self) -> str:
+        name = "RZ" if self.is_rz else f"R{self.index}"
+        if self.absolute:
+            name = f"|{name}|"
+        if self.negate:
+            name = f"-{name}"
+        return name
+
+
+@dataclass(frozen=True)
+class PredRef:
+    """A predicate register reference, optionally negated (``!P0``)."""
+
+    index: int
+    negate: bool = False
+
+    @property
+    def is_pt(self) -> bool:
+        """Whether this reference names the always-true predicate."""
+        return self.index == PT_INDEX
+
+    def __str__(self) -> str:
+        name = "PT" if self.is_pt else f"P{self.index}"
+        return f"!{name}" if self.negate else name
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A 32-bit immediate.
+
+    ``value`` always stores the raw 32-bit pattern as an unsigned int;
+    float literals in the assembly text are converted to their IEEE-754
+    binary32 bit pattern at assembly time.  ``is_float`` is recorded
+    purely so the disassembler can render the literal the way it was
+    written.
+    """
+
+    value: int
+    is_float: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"immediate out of 32-bit range: {self.value:#x}")
+
+    def __str__(self) -> str:
+        if self.is_float:
+            import struct
+
+            return repr(struct.unpack("<f", struct.pack("<I", self.value))[0])
+        if self.value > 9:
+            return f"{self.value:#x}"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand ``[Rn+offset]`` (or ``[offset]`` with ``RZ`` base)."""
+
+    base: RegRef
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.base.is_rz:
+            return f"[{self.offset:#x}]"
+        if self.offset:
+            return f"[{self.base}+{self.offset:#x}]"
+        return f"[{self.base}]"
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """A constant-bank operand ``c[offset]``.
+
+    Kernel parameters live at the bottom of the constant bank, exactly
+    like the ``c[0x0][...]`` accesses real SASS uses for parameters.
+    """
+
+    offset: int
+
+    def __str__(self) -> str:
+        return f"c[{self.offset:#x}]"
+
+
+@dataclass(frozen=True)
+class SpecialReg:
+    """A special-register source for ``S2R`` (thread/block geometry)."""
+
+    name: str
+
+    #: The complete set of recognised special register names.
+    NAMES = (
+        "SR_TID_X",
+        "SR_TID_Y",
+        "SR_TID_Z",
+        "SR_CTAID_X",
+        "SR_CTAID_Y",
+        "SR_CTAID_Z",
+        "SR_NTID_X",
+        "SR_NTID_Y",
+        "SR_NTID_Z",
+        "SR_NCTAID_X",
+        "SR_NCTAID_Y",
+        "SR_NCTAID_Z",
+        "SR_LANEID",
+        "SR_WARPID",
+    )
+
+    def __post_init__(self) -> None:
+        if self.name not in self.NAMES:
+            raise ValueError(f"unknown special register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A branch-target operand.
+
+    The assembler's first pass records the symbolic name; the second
+    pass resolves ``pc`` to the index of the target instruction.
+    """
+
+    name: str
+    pc: int = -1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[RegRef, PredRef, Immediate, MemRef, ConstRef, SpecialReg, LabelRef]

@@ -1,0 +1,53 @@
+"""A cycle-level SIMT GPU simulator (the GPGPU-Sim 4.0 substrate).
+
+This package is the from-scratch Python replacement for GPGPU-Sim 4.0
+that the gpuFI-4 paper builds on.  It models:
+
+- SIMT cores (Nvidia SMs) with greedy-then-oldest / loose-round-robin
+  warp schedulers, a register scoreboard, an IPDOM SIMT reconvergence
+  stack and CTA barriers (:mod:`repro.sim.core`),
+- per-thread register files and local memory, per-CTA shared memory
+  (:mod:`repro.sim.warp`, :mod:`repro.sim.cta`),
+- a memory hierarchy of per-core L1 data / texture caches, a banked
+  shared L2 and a DRAM latency model with a cudaMalloc-style global
+  memory allocator (:mod:`repro.sim.cache`, :mod:`repro.sim.memory`),
+- a GigaThread-style global CTA scheduler and a cycle loop with idle
+  skip-ahead (:mod:`repro.sim.gpu`),
+- the three GPU card models used in the paper (:mod:`repro.sim.cards`).
+
+Timing model: instructions execute functionally at issue and their
+results become architecturally visible to dependents after an
+opcode-class latency enforced by the scoreboard ("atomic access,
+delayed timing").  Memory requests walk the cache hierarchy at issue
+time, so cache content dynamics (what is resident when a fault lands)
+are modelled faithfully, while queueing/bandwidth contention is
+approximated by per-level latencies.
+"""
+
+from repro.sim.cards import CARDS, get_card, gtx_titan, quadro_gv100, rtx_2060
+from repro.sim.config import CacheGeometry, GPUConfig
+from repro.sim.device import Device
+from repro.sim.errors import (
+    DeadlockError,
+    MemoryViolation,
+    SimTimeout,
+    SimulationError,
+)
+from repro.sim.kernel import Kernel, KernelLaunch
+
+__all__ = [
+    "CARDS",
+    "get_card",
+    "rtx_2060",
+    "quadro_gv100",
+    "gtx_titan",
+    "CacheGeometry",
+    "GPUConfig",
+    "Device",
+    "Kernel",
+    "KernelLaunch",
+    "SimulationError",
+    "MemoryViolation",
+    "DeadlockError",
+    "SimTimeout",
+]

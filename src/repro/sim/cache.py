@@ -1,0 +1,310 @@
+"""Set-associative cache model with tag *and* data storage.
+
+Unlike GPGPU-Sim -- whose caches hold only tags, which forced the
+gpuFI-4 authors into a deferred "hook" injection mechanism (paper
+section IV.A) -- our caches store the line data directly.  A fault
+injected into a line therefore propagates exactly as on hardware: read
+hits observe it, write hits overwrite it, clean evictions drop it and
+dirty writebacks push it down the hierarchy.
+
+The injection address space of one cache follows the paper's abstract
+line layout (section IV.C.2): every line contributes ``tag_bits`` (57)
+of tag/state followed by ``line_bytes*8`` data bits, lines numbered
+0..num_lines-1 in set-major order.  For the L2, this is also how the
+banked structure is flattened: "the first N lines of the cache belong
+to the first bank with zero identification and so on".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.config import CacheGeometry
+
+
+class CacheLine:
+    """One cache line: valid/dirty state, tag and a private data copy.
+
+    ``armed`` optionally carries deferred fault-injection bit offsets
+    (the paper's "hook" mechanism, see :mod:`repro.faults.hooks`):
+    they are applied on the next read hit and dropped on write hits,
+    refills and invalidations.
+    """
+
+    __slots__ = ("valid", "dirty", "tag", "data", "last_use", "armed",
+                 "meta")
+
+    def __init__(self, line_bytes: int):
+        self.valid = False
+        self.dirty = False
+        self.tag = 0
+        self.data = np.zeros(line_bytes, dtype=np.uint8)
+        self.last_use = 0
+        self.armed = None
+        #: Derived-from-data cache (e.g. decoded instructions);
+        #: dropped whenever the line's bits change.
+        self.meta = None
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.armed = None
+        self.meta = None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters of one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access (0.0 when the cache was never accessed)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.evictions = self.writebacks = 0
+
+
+class Cache:
+    """A single set-associative, LRU, data-holding cache.
+
+    The class provides mechanism only (lookup/fill/invalidate/flip);
+    write policy decisions (write-back vs write-evict vs no-allocate)
+    are made by the memory hierarchy in :mod:`repro.sim.gpu`.
+    """
+
+    def __init__(self, name: str, geometry: CacheGeometry, tag_bits: int = 57):
+        self.name = name
+        self.geometry = geometry
+        self.tag_bits = tag_bits
+        self.stats = CacheStats()
+        self._tick = 0
+        # sets materialise lazily on first touch: an untouched 3 MB L2
+        # costs nothing, and fault flips into untouched lines hit
+        # invalid lines (architecturally masked) exactly as they should
+        self._sets: Dict[int, List[CacheLine]] = {}
+
+    def _ways(self, set_idx: int,
+              create: bool = False) -> Optional[List[CacheLine]]:
+        ways = self._sets.get(set_idx)
+        if ways is None and create:
+            ways = [CacheLine(self.geometry.line_bytes)
+                    for _ in range(self.geometry.assoc)]
+            self._sets[set_idx] = ways
+        return ways
+
+    # -- addressing -----------------------------------------------------
+
+    def line_base(self, addr: int) -> int:
+        """Base address of the line containing ``addr``."""
+        return addr - addr % self.geometry.line_bytes
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        """Return (set index, tag) for an address."""
+        block = addr // self.geometry.line_bytes
+        return block % self.geometry.num_sets, block // self.geometry.num_sets
+
+    def _line_addr(self, set_idx: int, tag: int) -> int:
+        """Inverse of :meth:`_locate`: reconstruct the line base address."""
+        return (tag * self.geometry.num_sets + set_idx) * self.geometry.line_bytes
+
+    # -- core operations ---------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True,
+               for_write: bool = False) -> Optional[CacheLine]:
+        """Probe for the line containing ``addr``; count a hit or miss.
+
+        Read hits trigger any armed deferred injection (hook mode);
+        write hits disarm it, matching the paper's hook state machine.
+        """
+        set_idx, tag = self._locate(addr)
+        self.stats.accesses += 1
+        ways = self._sets.get(set_idx)
+        if ways is not None:
+            for line in ways:
+                if line.valid and line.tag == tag:
+                    self.stats.hits += 1
+                    if touch:
+                        self._tick += 1
+                        line.last_use = self._tick
+                    if line.armed is not None:
+                        if not for_write:
+                            self._apply_bits(line, line.armed)
+                        line.armed = None
+                    return line
+        self.stats.misses += 1
+        return None
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Probe without touching LRU state or counting statistics."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets.get(set_idx)
+        if ways is None:
+            return None
+        for line in ways:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def fill(self, addr: int, data: np.ndarray
+             ) -> Optional[Tuple[int, np.ndarray]]:
+        """Install a line for ``addr`` with ``data``.
+
+        Returns ``(victim_base_address, victim_data)`` when a dirty
+        victim must be written back to the next level, else ``None``.
+        """
+        set_idx, tag = self._locate(addr)
+        ways = self._ways(set_idx, create=True)
+        # refilling an already-resident tag reuses its line (never
+        # create duplicate tags within a set)
+        victim = next((ln for ln in ways if ln.valid and ln.tag == tag),
+                      None)
+        if victim is None:
+            victim = min(ways, key=lambda ln: ln.last_use)
+        writeback = None
+        if victim.valid:
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                writeback = (self._line_addr(set_idx, victim.tag),
+                             victim.data.copy())
+        victim.valid = True
+        victim.dirty = False
+        victim.armed = None
+        victim.meta = None
+        victim.tag = tag
+        victim.data[:] = data
+        self._tick += 1
+        victim.last_use = self._tick
+        return writeback
+
+    def invalidate(self, addr: int) -> Optional[Tuple[int, np.ndarray]]:
+        """Invalidate the line containing ``addr`` if present.
+
+        Returns writeback data when the line was dirty.
+        """
+        line = self.peek(addr)
+        if line is None:
+            return None
+        writeback = None
+        if line.dirty:
+            set_idx, _ = self._locate(addr)
+            self.stats.writebacks += 1
+            writeback = (self._line_addr(set_idx, line.tag), line.data.copy())
+        line.invalidate()
+        return writeback
+
+    def flush(self) -> List[Tuple[int, np.ndarray]]:
+        """Write back every dirty line (lines stay valid and clean)."""
+        out = []
+        for set_idx, ways in self._sets.items():
+            for line in ways:
+                if line.valid and line.dirty:
+                    out.append((self._line_addr(set_idx, line.tag),
+                                line.data.copy()))
+                    line.dirty = False
+                    self.stats.writebacks += 1
+        return out
+
+    def invalidate_all(self) -> None:
+        """Drop every line without writeback (kernel-boundary L1 reset)."""
+        for ways in self._sets.values():
+            for line in ways:
+                line.invalidate()
+
+    # -- word helpers ------------------------------------------------------
+
+    def read_word(self, line: CacheLine, addr: int) -> int:
+        """Read the aligned 32-bit word at ``addr`` from a resident line."""
+        off = addr % self.geometry.line_bytes
+        return int(line.data[off:off + 4].view("<u4")[0])
+
+    def write_word(self, line: CacheLine, addr: int, value: int,
+                   dirty: bool = True) -> None:
+        """Write the aligned 32-bit word at ``addr`` into a resident line."""
+        off = addr % self.geometry.line_bytes
+        line.data[off:off + 4].view("<u4")[0] = value & 0xFFFFFFFF
+        line.meta = None
+        if dirty:
+            line.dirty = True
+
+    # -- fault injection -----------------------------------------------------
+
+    @property
+    def bits_per_line(self) -> int:
+        """Injectable bits per line: abstract tag field + data bits."""
+        return self.tag_bits + self.geometry.line_bytes * 8
+
+    @property
+    def injectable_bits(self) -> int:
+        """Total injectable bits of this cache (the paper's Table I sizes)."""
+        return self.geometry.num_lines * self.bits_per_line
+
+    def line_by_index(self, line_index: int) -> CacheLine:
+        """Line in flat set-major numbering (set*assoc + way)."""
+        set_idx, way = divmod(line_index, self.geometry.assoc)
+        return self._ways(set_idx, create=True)[way]
+
+    def _apply_bits(self, line: CacheLine, bit_offsets) -> None:
+        """XOR a set of per-line bit offsets into tag/data."""
+        line.meta = None  # derived caches are stale once bits change
+        for bit_offset in bit_offsets:
+            if bit_offset < self.tag_bits:
+                line.tag ^= 1 << bit_offset
+            else:
+                data_bit = bit_offset - self.tag_bits
+                line.data[data_bit // 8] ^= 1 << (data_bit % 8)
+
+    def arm_hook(self, line_index: int, bit_offsets) -> Dict[str, object]:
+        """Arm a deferred injection on a line (paper hook semantics).
+
+        Valid lines get the flips applied at their next *read* hit;
+        the hook is dropped on write hits, refills and invalidations.
+        Invalid lines take no hook at all (the paper deactivates the
+        hook when "the cache line is going to be replaced").
+        """
+        line = self.line_by_index(line_index)
+        record = {
+            "cache": self.name,
+            "line": line_index,
+            "bits": list(bit_offsets),
+            "valid": line.valid,
+            "mode": "hook",
+        }
+        if line.valid:
+            line.armed = list(bit_offsets)
+        return record
+
+    def flip_bit(self, line_index: int, bit_offset: int) -> Dict[str, object]:
+        """Flip one bit of the injection address space of this cache.
+
+        ``bit_offset`` is within one line: bits ``[0, tag_bits)`` hit
+        the tag field, the rest hit the data.  Returns a log record
+        describing where the flip landed and whether the line was
+        valid (flips into invalid lines are architecturally masked:
+        the next fill rewrites both tag and data).
+        """
+        if not 0 <= line_index < self.geometry.num_lines:
+            raise ValueError(f"line index {line_index} out of range")
+        if not 0 <= bit_offset < self.bits_per_line:
+            raise ValueError(f"bit offset {bit_offset} out of range")
+        line = self.line_by_index(line_index)
+        record = {
+            "cache": self.name,
+            "line": line_index,
+            "bit": bit_offset,
+            "valid": line.valid,
+            "field": "tag" if bit_offset < self.tag_bits else "data",
+        }
+        self._apply_bits(line, (bit_offset,))
+        return record

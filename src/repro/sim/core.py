@@ -1,0 +1,439 @@
+"""The SIMT core (Nvidia SM) model.
+
+Each core owns its L1 data and texture caches and a set of resident
+CTAs, and issues at most one instruction per warp scheduler per cycle.
+Scheduling is greedy-then-oldest (GTO) by default -- the GPGPU-Sim 4.0
+default -- with loose-round-robin (LRR) available for the scheduler
+ablation bench.
+
+Issue semantics ("atomic access, delayed timing"): an instruction
+executes functionally at issue, and its destination registers become
+available to dependents ``latency`` cycles later, enforced by the
+per-warp scoreboard.  Memory instructions walk the cache hierarchy at
+issue time; their latency reflects where the accesses hit and how many
+coalesced segments they produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.operands import ConstRef, MemRef
+from repro.sim.cache import Cache
+from repro.sim.config import GPUConfig
+from repro.sim.cta import CTA
+from repro.sim.errors import InvalidOperation
+from repro.sim.exec_unit import execute_alu, read_pred
+from repro.sim.warp import Warp
+
+#: Sentinel wake cycle meaning "no wake time known".
+NEVER = 1 << 62
+
+#: Number of shared-memory banks (4-byte interleaved).
+SMEM_BANKS = 32
+
+
+class SIMTCore:
+    """One streaming multiprocessor."""
+
+    def __init__(self, core_id: int, config: GPUConfig, gpu):
+        self.core_id = core_id
+        self.config = config
+        self.gpu = gpu
+        self.l1d: Optional[Cache] = (
+            Cache(f"L1D.{core_id}", config.l1d, config.tag_bits)
+            if config.l1d else None)
+        self.l1t = Cache(f"L1T.{core_id}", config.l1t, config.tag_bits)
+        #: L1 constant cache (paper future-work extension): services
+        #: LDC parameter/constant reads with 64-byte lines.
+        self.l1c = Cache(f"L1C.{core_id}", config.l1c, config.tag_bits)
+        #: L1 instruction cache (paper future-work extension): holds
+        #: the kernels' encoded 16-byte instruction words; active only
+        #: with ``config.model_icache``.
+        self.l1i = Cache(f"L1I.{core_id}", config.l1i, config.tag_bits)
+        self.ctas: List[CTA] = []
+        self.scheduler_policy = "gto"
+        self._last_issued: Dict[int, Optional[Warp]] = {
+            i: None for i in range(config.num_schedulers_per_sm)}
+        self._age_counter = 0
+        self._sched_cache: Optional[List[List[Warp]]] = None
+
+    # -- CTA residency ---------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Whether any CTA is resident."""
+        return bool(self.ctas)
+
+    def next_warp_age(self, nwarps: int) -> int:
+        """Reserve ``nwarps`` consecutive age slots for a new CTA."""
+        base = self._age_counter
+        self._age_counter += nwarps
+        return base
+
+    def add_cta(self, cta: CTA) -> None:
+        """Make a CTA resident on this core."""
+        self.ctas.append(cta)
+        self._sched_cache = None
+
+    def retire_finished_ctas(self) -> int:
+        """Drop completed CTAs; returns how many retired."""
+        before = len(self.ctas)
+        self.ctas = [cta for cta in self.ctas if not cta.done]
+        retired = before - len(self.ctas)
+        if retired:
+            self._sched_cache = None
+        return retired
+
+    def live_warp_count(self) -> int:
+        """Resident warps that have not completed."""
+        return sum(cta.live_warp_count for cta in self.ctas)
+
+    def live_thread_count(self) -> int:
+        """Resident threads that have not exited."""
+        return sum(cta.live_thread_count() for cta in self.ctas)
+
+    def invalidate_l1(self) -> None:
+        """Kernel-boundary L1 reset (L1s are not persistent across kernels)."""
+        if self.l1d is not None:
+            self.l1d.invalidate_all()
+        self.l1t.invalidate_all()
+        self.l1c.invalidate_all()
+        self.l1i.invalidate_all()
+
+    # -- scheduling --------------------------------------------------------
+
+    def _scheduler_warps(self, sched_id: int) -> List[Warp]:
+        if self._sched_cache is None:
+            nsched = self.config.num_schedulers_per_sm
+            cache: List[List[Warp]] = [[] for _ in range(nsched)]
+            for cta in self.ctas:
+                for warp in cta.warps:
+                    cache[warp.age % nsched].append(warp)
+            for bucket in cache:
+                bucket.sort(key=lambda w: w.age)
+            self._sched_cache = cache
+        return self._sched_cache[sched_id]
+
+    def _candidate_order(self, sched_id: int, warps: List[Warp]) -> List[Warp]:
+        last = self._last_issued.get(sched_id)
+        if self.scheduler_policy == "gto":
+            if last is None or last not in warps:
+                return warps
+            ordered = [last]
+            ordered.extend(w for w in warps if w is not last)
+            return ordered
+        # LRR: rotate to just after the last issued warp
+        if last is None or last not in warps:
+            return warps
+        pivot = warps.index(last) + 1
+        return warps[pivot:] + warps[:pivot]
+
+    def cycle(self, now: int) -> Tuple[bool, int]:
+        """Run one cycle; returns ``(issued_anything, earliest_wake)``."""
+        issued = False
+        wake = NEVER
+        for sched_id in range(self.config.num_schedulers_per_sm):
+            warps = self._scheduler_warps(sched_id)
+            if not warps:
+                continue
+            for warp in self._candidate_order(sched_id, warps):
+                if warp.done or warp.at_barrier:
+                    continue
+                if self.config.model_icache:
+                    inst = self._fetch(warp, now)
+                    if inst is None:
+                        wake = min(wake, warp.ifetch_ready)
+                        continue
+                else:
+                    inst = warp.cta.launch.kernel.instructions[warp.pc]
+                if warp.sb_latest > now:
+                    ready = warp.operands_ready_at(inst)
+                    if ready > now:
+                        wake = min(wake, ready)
+                        continue
+                self._issue(warp, inst, now)
+                self._last_issued[sched_id] = warp
+                issued = True
+                break
+        return issued, wake
+
+    # -- instruction fetch (icache extension) ------------------------------
+
+    def _fetch(self, warp: Warp, now: int) -> Optional[Instruction]:
+        """Fetch + decode the warp's next instruction through the L1I.
+
+        Returns ``None`` while the warp is fetch-stalled on a miss.
+        Decoding happens from the (possibly fault-corrupted) line
+        bytes; ill-formed words raise the illegal-instruction error.
+        """
+        from repro.isa.encoding import WORD_BYTES, DecodeError, \
+            decode_instruction
+
+        if warp.ifetch_ready > now:
+            return None
+        kernel = warp.cta.launch.kernel
+        addr = self.gpu.code_base(kernel) + warp.pc * WORD_BYTES
+        base = self.l1i.line_base(addr)
+        line = self.l1i.lookup(base)
+        if line is None:
+            binary = kernel.binary
+            code_off = base - self.gpu.code_base(kernel)
+            chunk = binary[max(code_off, 0):max(code_off, 0)
+                           + self.l1i.geometry.line_bytes]
+            data = np.zeros(self.l1i.geometry.line_bytes, dtype=np.uint8)
+            if code_off >= 0 and chunk:
+                data[:len(chunk)] = np.frombuffer(chunk, dtype=np.uint8)
+            self.l1i.fill(base, data)
+            warp.ifetch_ready = now + self.config.ifetch_miss_latency
+            return None
+        offset = addr - base
+        decoded = line.meta if isinstance(line.meta, dict) else {}
+        inst = decoded.get(offset)
+        if inst is None:
+            word = bytes(line.data[offset:offset + WORD_BYTES])
+            try:
+                inst = decode_instruction(word, warp.pc)
+            except DecodeError as exc:
+                raise InvalidOperation(
+                    f"illegal instruction at pc {warp.pc} "
+                    f"(kernel {kernel.name}): {exc}") from exc
+            decoded[offset] = inst
+            line.meta = decoded
+        return inst
+
+    # -- issue --------------------------------------------------------------
+
+    def _issue(self, warp: Warp, inst: Instruction, now: int) -> None:
+        cfg = self.config
+        active = warp.active_mask()
+        if inst.guard is not None:
+            guard = read_pred(warp, inst.guard)
+            exec_mask = active & guard
+        else:
+            guard = None
+            exec_mask = active
+        klass = inst.spec.klass
+        latency = cfg.alu_latency
+        top = warp.stack[-1]
+
+        if klass is OpClass.BARRIER:
+            top.pc += 1
+            warp.at_barrier = True
+            warp.cta.try_release_barrier()
+        elif klass is OpClass.EXIT:
+            warp.exited |= exec_mask
+            warp.live_count = warp.num_threads - int(
+                np.count_nonzero(warp.exited[:warp.num_threads]))
+            top.pc += 1
+            warp.normalize_stack()
+            if warp.done:
+                warp.cta.try_release_barrier()
+        elif klass is OpClass.BRANCH:
+            taken = exec_mask
+            fall = (active & ~guard) if guard is not None \
+                else np.zeros(32, dtype=bool)
+            if not fall.any():
+                top.pc = inst.target_pc
+            elif not taken.any():
+                top.pc += 1
+            else:
+                from repro.sim.warp import StackEntry
+
+                reconv = inst.reconv_pc
+                top.pc = reconv
+                warp.stack.append(StackEntry(inst.pc + 1, fall.copy(), reconv))
+                warp.stack.append(StackEntry(inst.target_pc, taken.copy(),
+                                             reconv))
+            warp.normalize_stack()
+        else:
+            if inst.is_memory:
+                if exec_mask.any():
+                    latency = self._exec_memory(inst, warp, exec_mask)
+            elif klass is OpClass.SFU:
+                execute_alu(inst, warp, exec_mask)
+                latency = cfg.sfu_latency
+            else:
+                execute_alu(inst, warp, exec_mask)
+            top.pc += 1
+            warp.normalize_stack()
+
+        warp.mark_writes(inst, now + latency)
+        self.gpu.stats.on_issue(inst)
+        if self.gpu.tracer is not None:
+            self.gpu.tracer.on_issue(now, self, warp, inst, exec_mask)
+
+    # -- memory pipeline ----------------------------------------------------------
+
+    def _exec_memory(self, inst: Instruction, warp: Warp,
+                     mask: np.ndarray) -> int:
+        space = inst.spec.space
+        if space == "const":
+            return self._exec_const(inst, warp, mask)
+        if space == "shared":
+            return self._exec_shared(inst, warp, mask)
+        if space == "local":
+            return self._exec_local(inst, warp, mask)
+        return self._exec_global(inst, warp, mask)
+
+    def _addresses(self, inst: Instruction, warp: Warp) -> np.ndarray:
+        mem = inst.srcs[0]
+        assert isinstance(mem, MemRef)
+        if mem.base.is_rz:
+            base = np.zeros(32, dtype=np.int64)
+        else:
+            base = warp.regs[mem.base.index].astype(np.int64)
+        return base + mem.offset
+
+    def _exec_const(self, inst: Instruction, warp: Warp,
+                    mask: np.ndarray) -> int:
+        const = inst.srcs[0]
+        assert isinstance(const, ConstRef)
+        bank = self.gpu.const_bank
+        bank.read_word(const.offset)  # bounds/alignment check
+        line_bytes = self.l1c.geometry.line_bytes
+        base = const.offset - const.offset % line_bytes
+        line = self.l1c.lookup(base)
+        if line is None:
+            latency = self.config.l2_hit_latency  # constant-cache miss
+            end = min(base + line_bytes, bank.SIZE)
+            data = np.zeros(line_bytes, dtype=np.uint8)
+            data[:end - base] = bank.data[base:end]
+            self.l1c.fill(base, data)
+            line = self.l1c.peek(base)
+        else:
+            latency = self.config.const_latency
+        value = self.l1c.read_word(line, const.offset)
+        dst = inst.dsts[0]
+        if not dst.is_rz:
+            warp.regs[dst.index][mask] = np.uint32(value)
+        return latency
+
+    def _exec_shared(self, inst: Instruction, warp: Warp,
+                     mask: np.ndarray) -> int:
+        addrs = self._addresses(inst, warp)
+        lanes = np.nonzero(mask)[0]
+        cta = warp.cta
+        is_load = inst.spec.klass is OpClass.LOAD
+        if is_load:
+            out = warp.regs[inst.dsts[0].index]
+            for lane in lanes:
+                value = cta.smem_read(int(addrs[lane]))
+                if not inst.dsts[0].is_rz:
+                    out[lane] = value
+        else:
+            src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
+                else np.zeros(32, dtype=np.uint32)
+            for lane in lanes:
+                cta.smem_write(int(addrs[lane]), int(src[lane]))
+        # bank-conflict serialisation: worst-case multiplicity over banks
+        bank_counts: Dict[int, int] = {}
+        for addr in {int(addrs[lane]) for lane in lanes}:
+            bank = (addr >> 2) % SMEM_BANKS
+            bank_counts[bank] = bank_counts.get(bank, 0) + 1
+        conflicts = max(bank_counts.values()) if bank_counts else 1
+        return self.config.smem_latency + (conflicts - 1)
+
+    def _exec_local(self, inst: Instruction, warp: Warp,
+                    mask: np.ndarray) -> int:
+        addrs = self._addresses(inst, warp)
+        lanes = np.nonzero(mask)[0]
+        is_load = inst.spec.klass is OpClass.LOAD
+        if is_load:
+            dst = inst.dsts[0]
+            for lane in lanes:
+                value = warp.local_read(int(lane), int(addrs[lane]))
+                if not dst.is_rz:
+                    warp.regs[dst.index][lane] = value
+        else:
+            src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
+                else np.zeros(32, dtype=np.uint32)
+            for lane in lanes:
+                warp.local_write(int(lane), int(addrs[lane]), int(src[lane]))
+        return self.config.l1_hit_latency
+
+    def _exec_global(self, inst: Instruction, warp: Warp,
+                     mask: np.ndarray) -> int:
+        cfg = self.config
+        gpu = self.gpu
+        addrs = self._addresses(inst, warp)
+        lanes = np.nonzero(mask)[0]
+        klass = inst.spec.klass
+        via_texture = inst.spec.space == "tex"
+
+        # bounds/alignment check every lane first (address-register faults
+        # surface here as crashes, before any cache state changes)
+        lane_addrs = addrs[lanes]
+        gpu.memory.check_many(lane_addrs)
+
+        if klass is OpClass.ATOMIC:
+            return self._exec_atomic(inst, warp, lanes, addrs)
+
+        l1: Optional[Cache]
+        if via_texture:
+            l1 = self.l1t
+        else:
+            l1 = self.l1d
+
+        line_bytes = gpu.l2.geometry.line_bytes
+        bases = lane_addrs - lane_addrs % line_bytes
+        unique_bases = np.unique(bases)
+        use_l2 = cfg.l2_service_all or via_texture
+
+        worst = 0
+        if klass is OpClass.LOAD:
+            dst = inst.dsts[0]
+            for base in unique_bases:
+                base = int(base)
+                latency, words = gpu.read_line_via(l1, base, use_l2=use_l2)
+                worst = max(worst, latency)
+                if not dst.is_rz:
+                    seg = bases == base
+                    seg_lanes = lanes[seg]
+                    offs = (lane_addrs[seg] - base) >> 2
+                    warp.regs[dst.index][seg_lanes] = words[offs]
+        else:  # global store: write-evict L1, write-allocate L2
+            src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
+                else np.zeros(32, dtype=np.uint32)
+            for base in unique_bases:
+                base = int(base)
+                seg = bases == base
+                offs = (lane_addrs[seg] - base) >> 2
+                if use_l2:
+                    latency = gpu.l2_write_words(base, offs,
+                                                 src[lanes[seg]])
+                else:
+                    latency = gpu.dram_write_words(base, offs,
+                                                   src[lanes[seg]])
+                if l1 is not None:
+                    l1.invalidate(base)
+                self.l1t.invalidate(base)
+                worst = max(worst, latency)
+        return worst + (len(unique_bases) - 1) * cfg.segment_overhead
+
+    def _exec_atomic(self, inst: Instruction, warp: Warp,
+                     lanes: np.ndarray, addrs: np.ndarray) -> int:
+        """Atomics bypass L1 and read-modify-write in the L2."""
+        gpu = self.gpu
+        op = inst.modifiers[0]
+        returns = inst.opcode == "ATOM"
+        dst = inst.dsts[0] if returns else None
+        src_reg = inst.srcs[1]
+        src = warp.regs[src_reg.index] if not src_reg.is_rz \
+            else np.zeros(32, dtype=np.uint32)
+        worst = 0
+        for lane in lanes:
+            addr = int(addrs[lane])
+            old, latency = gpu.l2_rmw(addr, op, int(src[lane]))
+            worst = max(worst, latency)
+            if returns and dst is not None and not dst.is_rz:
+                warp.regs[dst.index][lane] = old
+            line_base = addr - addr % gpu.l2.geometry.line_bytes
+            if self.l1d is not None:
+                self.l1d.invalidate(line_base)
+            self.l1t.invalidate(line_base)
+        return worst

@@ -1,0 +1,111 @@
+"""CTA (Compute Thread Array / thread block) state.
+
+A CTA owns its warps and its private shared-memory instance, mirroring
+how GPGPU-Sim (and real hardware) give each resident block a private
+shared-memory allocation -- which is exactly why the paper introduces
+the ``df_smem`` derating factor for shared-memory AVF.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sim.errors import MemoryViolation
+from repro.sim.kernel import KernelLaunch
+from repro.sim.warp import WARP_SIZE, Warp
+
+
+class CTA:
+    """One resident thread block with its warps and shared memory."""
+
+    def __init__(self, cta_id: Tuple[int, int], launch: KernelLaunch,
+                 core, age_base: int, smem_ceiling: int):
+        self.cta_id = cta_id
+        self.launch = launch
+        self.core = core
+        kernel = launch.kernel
+        self.smem = (np.zeros(kernel.smem_bytes, dtype=np.uint8)
+                     if kernel.smem_bytes else np.zeros(0, dtype=np.uint8))
+        #: Per-SM shared memory capacity; offsets past the CTA's own
+        #: allocation but inside the SM window alias back into the CTA
+        #: (silent corruption), beyond the window they fault.
+        self.smem_ceiling = smem_ceiling
+
+        bx, by = launch.block
+        nthreads = launch.threads_per_cta
+        self.live_warp_count = launch.warps_per_cta
+        self.warps: List[Warp] = []
+        for wid in range(launch.warps_per_cta):
+            first = wid * WARP_SIZE
+            count = min(WARP_SIZE, nthreads - first)
+            warp = Warp(wid, count, kernel.num_regs, kernel.local_bytes,
+                        cta=self, age=age_base + wid)
+            linear = first + np.arange(WARP_SIZE, dtype=np.int64)
+            warp.sregs = {
+                "SR_TID_X": (linear % bx).astype(np.uint32),
+                "SR_TID_Y": (linear // bx).astype(np.uint32),
+                "SR_TID_Z": np.zeros(WARP_SIZE, dtype=np.uint32),
+                "SR_CTAID_X": np.full(WARP_SIZE, cta_id[0], dtype=np.uint32),
+                "SR_CTAID_Y": np.full(WARP_SIZE, cta_id[1], dtype=np.uint32),
+                "SR_CTAID_Z": np.zeros(WARP_SIZE, dtype=np.uint32),
+                "SR_NTID_X": np.full(WARP_SIZE, bx, dtype=np.uint32),
+                "SR_NTID_Y": np.full(WARP_SIZE, by, dtype=np.uint32),
+                "SR_NTID_Z": np.ones(WARP_SIZE, dtype=np.uint32),
+                "SR_NCTAID_X": np.full(WARP_SIZE, launch.grid[0], dtype=np.uint32),
+                "SR_NCTAID_Y": np.full(WARP_SIZE, launch.grid[1], dtype=np.uint32),
+                "SR_NCTAID_Z": np.ones(WARP_SIZE, dtype=np.uint32),
+                "SR_LANEID": np.arange(WARP_SIZE, dtype=np.uint32),
+                "SR_WARPID": np.full(WARP_SIZE, wid, dtype=np.uint32),
+            }
+            self.warps.append(warp)
+
+    @property
+    def done(self) -> bool:
+        """Whether every warp of this CTA has drained."""
+        return self.live_warp_count == 0
+
+    def on_warp_done(self) -> None:
+        """Bookkeeping callback from :meth:`Warp.normalize_stack`."""
+        self.live_warp_count -= 1
+
+    def live_warps(self) -> List[Warp]:
+        """Warps that have not yet completed."""
+        return [w for w in self.warps if not w.done]
+
+    def live_thread_count(self) -> int:
+        """Number of created-and-not-exited threads (for df_reg stats)."""
+        return sum(w.live_count for w in self.warps)
+
+    # -- shared memory ---------------------------------------------------------
+
+    def _resolve_smem(self, addr: int) -> int:
+        if addr % 4:
+            raise MemoryViolation("shared", addr, "misaligned access")
+        if addr < 0 or addr + 4 > self.smem_ceiling:
+            raise MemoryViolation("shared", addr)
+        if len(self.smem) == 0:
+            raise MemoryViolation("shared", addr, "kernel declares no smem")
+        return addr % len(self.smem) if addr + 4 > len(self.smem) else addr
+
+    def smem_read(self, addr: int) -> int:
+        """Aligned 32-bit shared-memory read."""
+        addr = self._resolve_smem(addr)
+        return int(self.smem[addr:addr + 4].view("<u4")[0])
+
+    def smem_write(self, addr: int, value: int) -> None:
+        """Aligned 32-bit shared-memory write."""
+        addr = self._resolve_smem(addr)
+        self.smem[addr:addr + 4].view("<u4")[0] = value & 0xFFFFFFFF
+
+    # -- barrier ------------------------------------------------------------------
+
+    def try_release_barrier(self) -> bool:
+        """Release the CTA barrier once every live warp has arrived."""
+        live = self.live_warps()
+        if live and all(w.at_barrier for w in live):
+            for w in live:
+                w.at_barrier = False
+            return True
+        return False

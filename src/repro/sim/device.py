@@ -1,0 +1,101 @@
+"""The host-side device API (the CUDA runtime of the simulator).
+
+A :class:`Device` is what benchmark "host code" talks to: allocate
+device memory, copy numpy arrays to/from it, and launch kernels.
+Launches are synchronous (the simulator runs the kernel to completion)
+and cycle counts accumulate across launches, giving the global
+application cycle that fault-injection campaigns index into.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.sim.cards import get_card
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.sim.kernel import Kernel, KernelLaunch
+from repro.sim.stats import LaunchStats
+
+
+class Device:
+    """One simulated GPU device with a CUDA-like host API."""
+
+    def __init__(self, config: Union[GPUConfig, str]):
+        if isinstance(config, str):
+            config = get_card(config)
+        self.config = config
+        self.gpu = GPU(config)
+
+    # -- memory management ------------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate device memory; returns the device pointer."""
+        return self.gpu.memory.malloc(nbytes)
+
+    def alloc_like(self, array: np.ndarray) -> int:
+        """Allocate device memory sized for ``array``."""
+        return self.malloc(array.nbytes)
+
+    def to_device(self, array: np.ndarray) -> int:
+        """Allocate + copy: the common cudaMalloc/cudaMemcpy pair."""
+        ptr = self.malloc(array.nbytes)
+        self.memcpy_htod(ptr, array)
+        return ptr
+
+    def memcpy_htod(self, ptr: int, array: np.ndarray) -> None:
+        """Copy a numpy array to device memory."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        self.gpu.host_write(ptr, raw)
+
+    def memcpy_dtoh(self, ptr: int, nbytes: int,
+                    dtype=np.uint8) -> np.ndarray:
+        """Copy device memory back to the host as a numpy array."""
+        raw = self.gpu.host_read(ptr, nbytes)
+        return raw.view(dtype)
+
+    def read_array(self, ptr: int, shape, dtype) -> np.ndarray:
+        """Typed DtoH copy: read ``shape`` elements of ``dtype``."""
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape))
+        return self.memcpy_dtoh(ptr, count * dtype.itemsize,
+                                dtype=dtype).reshape(shape)
+
+    # -- kernel launch ------------------------------------------------------
+
+    def launch(self, kernel: Kernel,
+               grid: Union[int, Sequence[int]],
+               block: Union[int, Sequence[int]],
+               params: Sequence[Union[int, float]] = ()) -> LaunchStats:
+        """Launch a kernel and run it to completion."""
+        request = KernelLaunch.create(kernel, grid, block, params)
+        return self.gpu.run_launch(request)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Global application cycle (cumulative across launches)."""
+        return self.gpu.cycle
+
+    @property
+    def launches(self) -> List[LaunchStats]:
+        """Stats of every completed launch."""
+        return self.gpu.stats.launches
+
+    def set_cycle_budget(self, budget: Optional[int]) -> None:
+        """Set the global cycle budget (``None`` disables the watchdog)."""
+        self.gpu.cycle_budget = budget
+
+    def set_injector(self, injector) -> None:
+        """Attach a fault injector (see :mod:`repro.faults.injector`)."""
+        self.gpu.injector = injector
+
+    def set_scheduler_policy(self, policy: str) -> None:
+        """Select the warp scheduler ('gto' or 'lrr') on every core."""
+        if policy not in ("gto", "lrr"):
+            raise ValueError("scheduler policy must be 'gto' or 'lrr'")
+        for core in self.gpu.cores:
+            core.scheduler_policy = policy

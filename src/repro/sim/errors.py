@@ -1,0 +1,58 @@
+"""Exception hierarchy of the simulator.
+
+The fault-effect classifier maps these onto the paper's outcome
+classes: :class:`MemoryViolation` and other :class:`SimulationError`
+subclasses raised during execution are *Crashes*; :class:`SimTimeout`
+and :class:`DeadlockError` are *Timeouts*.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for abnormal termination of a simulated application.
+
+    Corresponds to the paper's *Crash* outcome: "an error is recorded
+    and the application reaches an abnormal state without the ability
+    to recover".
+    """
+
+
+class MemoryViolation(SimulationError):
+    """An out-of-bounds or misaligned device memory access."""
+
+    def __init__(self, space: str, address: int, reason: str = "out of bounds"):
+        self.space = space
+        self.address = address
+        self.reason = reason
+        super().__init__(f"{space} memory violation at {address:#x}: {reason}")
+
+
+class InvalidOperation(SimulationError):
+    """An architecturally invalid operation (e.g. barrier misuse)."""
+
+
+class SimTimeout(Exception):
+    """The run exceeded its cycle budget (2x the fault-free run).
+
+    Deliberately *not* a :class:`SimulationError`: it maps to the
+    paper's *Timeout* outcome, not to *Crash*.
+    """
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
+        super().__init__(f"simulation exceeded cycle budget at cycle {cycles}")
+
+
+class DeadlockError(SimTimeout):
+    """No warp can ever make progress again (e.g. barrier deadlock).
+
+    On real hardware this manifests as a hang killed by the watchdog,
+    which the paper classifies as Timeout; we subclass
+    :class:`SimTimeout` so the classifier agrees.
+    """
+
+    def __init__(self, cycles: int, reason: str):
+        self.reason = reason
+        Exception.__init__(self, f"deadlock at cycle {cycles}: {reason}")
+        self.cycles = cycles

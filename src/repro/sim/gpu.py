@@ -1,0 +1,318 @@
+"""The top-level GPU: cores, L2, DRAM, GigaThread scheduler, cycle loop.
+
+The cycle loop advances one cycle at a time while any scheduler can
+issue, and skips ahead to the next scoreboard wake-up (or pending
+fault-injection cycle) when every warp is stalled -- preserving exact
+cycle accounting at a fraction of the cost.  Deadlock (no warp can ever
+wake) raises :class:`~repro.sim.errors.DeadlockError`, and exceeding
+the externally set cycle budget raises
+:class:`~repro.sim.errors.SimTimeout`; the fault classifier maps both
+to the paper's *Timeout* outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.cache import Cache
+from repro.sim.config import GPUConfig
+from repro.sim.core import NEVER, SIMTCore
+from repro.sim.cta import CTA
+from repro.sim.errors import DeadlockError, SimTimeout
+from repro.sim.kernel import KernelLaunch
+from repro.sim.memory import ConstantBank, GlobalMemory
+from repro.sim.stats import StatsCollector
+
+
+class GPU:
+    """One simulated GPU chip."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.memory = GlobalMemory(config.global_mem_bytes)
+        self.const_bank = ConstantBank()
+        self.l2 = Cache("L2", config.l2, config.tag_bits)
+        self.cores = [SIMTCore(i, config, self) for i in range(config.num_sms)]
+        self.stats = StatsCollector()
+        #: Global application cycle, cumulative across kernel launches.
+        self.cycle = 0
+        #: Optional cycle budget; exceeded -> :class:`SimTimeout`.
+        self.cycle_budget: Optional[int] = None
+        #: Optional fault injector (duck-typed; see repro.faults.injector).
+        self.injector = None
+        #: Per-bank busy-until cycles for L2 contention modelling.
+        self._l2_bank_busy = [0] * config.l2_banks
+        #: Per-channel busy-until cycles for DRAM contention modelling.
+        self._dram_busy = [0] * config.dram_channels
+        #: Optional execution tracer (see :mod:`repro.sim.trace`).
+        self.tracer = None
+        #: Code-segment bases per kernel (icache extension): each
+        #: kernel's binary image gets a disjoint 1 MB code window.
+        self._code_bases: dict = {}
+
+    # -- CTA scheduling (GigaThread) -------------------------------------
+
+    def max_ctas_per_core(self, launch: KernelLaunch) -> int:
+        """Occupancy limit of one SM for this launch.
+
+        The minimum of the CTA-count, thread-count, register-file and
+        shared-memory constraints (zero resources never constrain).
+        """
+        cfg = self.config
+        kernel = launch.kernel
+        threads = launch.threads_per_cta
+        if threads > cfg.max_threads_per_sm:
+            raise ValueError(
+                f"CTA of {threads} threads exceeds SM capacity "
+                f"{cfg.max_threads_per_sm}")
+        limit = min(cfg.max_ctas_per_sm, cfg.max_threads_per_sm // threads)
+        regs_per_cta = kernel.num_regs * threads
+        if regs_per_cta:
+            limit = min(limit, cfg.registers_per_sm // regs_per_cta)
+        if kernel.smem_bytes:
+            limit = min(limit, cfg.shared_mem_per_sm // kernel.smem_bytes)
+        if limit < 1:
+            raise ValueError(
+                f"kernel {kernel.name} cannot fit on an SM "
+                f"(regs={kernel.num_regs}/thread, smem={kernel.smem_bytes})")
+        return limit
+
+    def _assign_ctas(self, launch: KernelLaunch, queue: List[Tuple[int, int]],
+                     limit: int) -> None:
+        while queue:
+            candidates = [c for c in self.cores if len(c.ctas) < limit]
+            if not candidates:
+                return
+            core = min(candidates, key=lambda c: (len(c.ctas), c.core_id))
+            cta_id = queue.pop(0)
+            age_base = core.next_warp_age(launch.warps_per_cta)
+            core.add_cta(CTA(cta_id, launch, core, age_base,
+                             self.config.shared_mem_per_sm))
+
+    # -- the cycle loop -----------------------------------------------------
+
+    def run_launch(self, launch: KernelLaunch) -> "LaunchStats":
+        """Run one kernel launch to completion; returns its stats."""
+        self.const_bank.load_params(list(launch.params))
+        for core in self.cores:
+            core.invalidate_l1()
+        stats = self.stats.begin_launch(
+            launch.kernel.name, self.cycle, self.config.max_warps_per_sm)
+        stats.grid_ctas = launch.num_ctas
+        stats.threads_per_cta = launch.threads_per_cta
+        stats.regs_per_thread = launch.kernel.num_regs
+        stats.smem_bytes_per_cta = launch.kernel.smem_bytes
+        # force assembly before timing starts so errors surface early
+        launch.kernel.instructions  # noqa: B018
+
+        gx, gy = launch.grid
+        queue = [(x, y) for y in range(gy) for x in range(gx)]
+        limit = self.max_ctas_per_core(launch)
+        self._assign_ctas(launch, queue, limit)
+
+        busy = [core for core in self.cores if core.ctas]
+        while queue or busy:
+            if self.injector is not None:
+                self.injector.apply_due(self, self.cycle)
+            issued = False
+            wake = NEVER
+            for core in busy:
+                core_issued, core_wake = core.cycle(self.cycle)
+                issued = issued or core_issued
+                wake = min(wake, core_wake)
+
+            retired = 0
+            for core in busy:
+                retired += core.retire_finished_ctas()
+            if retired and queue:
+                self._assign_ctas(launch, queue, limit)
+
+            if issued or retired:
+                delta = 1
+            else:
+                if wake == NEVER:
+                    raise DeadlockError(self.cycle, "no warp can make progress")
+                delta = max(1, wake - self.cycle)
+                if self.injector is not None:
+                    due = self.injector.due_cycle()
+                    if due is not None and self.cycle < due < self.cycle + delta:
+                        delta = due - self.cycle
+            self.stats.sample(busy, delta)
+            self.cycle += delta
+            if self.cycle_budget is not None and self.cycle > self.cycle_budget:
+                raise SimTimeout(self.cycle)
+            busy = [core for core in self.cores if core.ctas]
+
+        return self.stats.end_launch(self.cycle)
+
+    def code_base(self, kernel) -> int:
+        """Base address of a kernel's code segment (icache extension)."""
+        base = self._code_bases.get(id(kernel))
+        if base is None:
+            base = (len(self._code_bases) + 1) * (1 << 20)
+            self._code_bases[id(kernel)] = base
+        return base
+
+    # -- memory hierarchy services (called by the cores) ---------------------
+
+    def _l2_contention(self, base: int) -> int:
+        """Bank-conflict delay for one L2 access at the current cycle.
+
+        The L2 is split into address-interleaved banks (paper section
+        IV.B.5); back-to-back accesses to the same bank serialise at
+        the bank service rate.
+        """
+        bank = (base // self.l2.geometry.line_bytes) % self.config.l2_banks
+        busy = self._l2_bank_busy[bank]
+        delay = max(0, busy - self.cycle)
+        self._l2_bank_busy[bank] = (self.cycle + delay
+                                    + self.config.l2_bank_service)
+        return delay
+
+    def _dram_contention(self, base: int) -> int:
+        """Channel-conflict delay for one DRAM access at the current cycle."""
+        channel = ((base // self.l2.geometry.line_bytes)
+                   % self.config.dram_channels)
+        busy = self._dram_busy[channel]
+        delay = max(0, busy - self.cycle)
+        self._dram_busy[channel] = (self.cycle + delay
+                                    + self.config.dram_service)
+        return delay
+
+    def _l2_line(self, base: int,
+                 for_write: bool = False) -> Tuple["CacheLine", int]:
+        """Return the (resident) L2 line for ``base`` and the access latency."""
+        contention = self._l2_contention(base)
+        line = self.l2.lookup(base, for_write=for_write)
+        if line is not None:
+            return line, self.config.l2_hit_latency + contention
+        contention += self._dram_contention(base)
+        data = self.memory.read_line(base, self.l2.geometry.line_bytes)
+        writeback = self.l2.fill(base, data)
+        if writeback is not None:
+            self.memory.write_line(*writeback)
+        return self.l2.peek(base), self.config.dram_latency + contention
+
+    def read_line_via(self, l1: Optional[Cache], base: int,
+                      use_l2: bool = True) -> Tuple[int, np.ndarray]:
+        """Read path for one coalesced segment.
+
+        Returns ``(latency, words)`` where ``words`` is the uint32 view
+        of the line now resident in the highest cache level -- so
+        injected bits in that level are observed, exactly like
+        hardware.  ``use_l2=False`` models the GPGPU-Sim mode where the
+        L2 services texture traffic only (the request goes straight to
+        DRAM past the L2).
+        """
+        if l1 is None:
+            if not use_l2:
+                data = self.memory.read_line(base,
+                                             self.l2.geometry.line_bytes)
+                return (self.config.dram_latency
+                        + self._dram_contention(base)), data.view("<u4")
+            line, latency = self._l2_line(base)
+            return latency, line.data.view("<u4")
+        line = l1.lookup(base)
+        if line is not None:
+            return self.config.l1_hit_latency, line.data.view("<u4")
+        if not use_l2:
+            data = self.memory.read_line(base, self.l2.geometry.line_bytes)
+            latency = self.config.dram_latency + self._dram_contention(base)
+            writeback = l1.fill(base, data)
+            if writeback is not None:
+                self.memory.write_line(*writeback)
+        else:
+            l2_line, latency = self._l2_line(base)
+            writeback = l1.fill(base, l2_line.data)
+            if writeback is not None:
+                self._l2_merge_line(*writeback)
+        line = l1.peek(base)
+        return latency, line.data.view("<u4")
+
+    def dram_write_words(self, base: int, offsets: np.ndarray,
+                         values: np.ndarray) -> int:
+        """Direct DRAM word writes (L2 bypass mode for non-texture)."""
+        line = self.memory.data[base:base + self.l2.geometry.line_bytes]
+        if len(line) == self.l2.geometry.line_bytes:
+            line.view("<u4")[offsets] = values
+        stale = self.l2.peek(base)
+        if stale is not None:
+            stale.data.view("<u4")[offsets] = values
+        return self.config.dram_latency + self._dram_contention(base)
+
+    def l2_write_words(self, base: int, offsets: np.ndarray,
+                       values: np.ndarray) -> int:
+        """Vectorised word writes into one L2 line (write-allocate)."""
+        line, latency = self._l2_line(base, for_write=True)
+        line.data.view("<u4")[offsets] = values
+        line.dirty = True
+        return latency
+
+    def _l2_merge_line(self, base: int, data: np.ndarray) -> None:
+        """Absorb an L1 writeback line into the L2 (write-allocate)."""
+        line, _ = self._l2_line(base, for_write=True)
+        line.data[:] = data
+        line.dirty = True
+
+    def l2_write_word(self, addr: int, value: int) -> int:
+        """Write one word into the L2 (write-back, write-allocate)."""
+        base = self.l2.line_base(addr)
+        line, latency = self._l2_line(base, for_write=True)
+        self.l2.write_word(line, addr, value)
+        return latency
+
+    def l2_rmw(self, addr: int, op: str, value: int) -> Tuple[int, int]:
+        """Atomic read-modify-write in the L2; returns (old value, latency)."""
+        base = self.l2.line_base(addr)
+        line, latency = self._l2_line(base)
+        old = self.l2.read_word(line, addr)
+        def _s32(x):
+            return x - (1 << 32) if x & 0x80000000 else x
+
+        if op == "ADD":
+            new = (old + value) & 0xFFFFFFFF
+        elif op == "MAX":
+            new = max(_s32(old), _s32(value)) & 0xFFFFFFFF
+        elif op == "MIN":
+            new = min(_s32(old), _s32(value)) & 0xFFFFFFFF
+        elif op == "EXCH":
+            new = value & 0xFFFFFFFF
+        else:  # pragma: no cover - assembler restricts modifiers
+            raise ValueError(f"unknown atomic op {op}")
+        self.l2.write_word(line, addr, int(new))
+        return old, latency
+
+    # -- host-side access (cudaMemcpy) -------------------------------------------
+
+    def host_read(self, addr: int, nbytes: int) -> np.ndarray:
+        """Host read of device memory, observing resident L2 lines.
+
+        Clean-but-fault-corrupted L2 lines are visible to the host this
+        way, as they would be through the real L2 on a DtoH copy.
+        """
+        out = self.memory.data[addr:addr + nbytes].copy()
+        line_bytes = self.l2.geometry.line_bytes
+        first = addr - addr % line_bytes
+        for base in range(first, addr + nbytes, line_bytes):
+            line = self.l2.peek(base)
+            if line is None:
+                continue
+            lo = max(base, addr)
+            hi = min(base + line_bytes, addr + nbytes)
+            out[lo - addr:hi - addr] = line.data[lo - base:hi - base]
+        return out
+
+    def host_write(self, addr: int, data: np.ndarray) -> None:
+        """Host write to device memory, updating resident L2 lines."""
+        self.memory.data[addr:addr + len(data)] = data
+        line_bytes = self.l2.geometry.line_bytes
+        first = addr - addr % line_bytes
+        for base in range(first, addr + len(data), line_bytes):
+            line = self.l2.peek(base)
+            if line is None:
+                continue
+            lo = max(base, addr)
+            hi = min(base + line_bytes, addr + len(data))
+            line.data[lo - base:hi - base] = data[lo - addr:hi - addr]

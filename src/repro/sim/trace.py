@@ -1,0 +1,115 @@
+"""Optional instruction-level execution tracing.
+
+A :class:`Tracer` attached to a device records every issued
+instruction (cycle, core, CTA, warp, pc, rendered instruction, active
+lane count) subject to cheap filters.  It exists to answer the
+questions fault-injection debugging raises constantly: *what touched
+this register between the injection and the corruption?  which warp
+was at that PC at cycle X?*
+
+Usage::
+
+    tracer = Tracer(kernels=["kmeansPoint"], max_records=10_000)
+    tracer.attach(dev)
+    dev.launch(...)
+    print(tracer.render(limit=50))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One issued instruction."""
+
+    cycle: int
+    core: int
+    cta: tuple
+    warp: int
+    pc: int
+    text: str
+    active_lanes: int
+
+    def __str__(self) -> str:
+        return (f"{self.cycle:>8}  core{self.core:<3} "
+                f"cta{self.cta} w{self.warp:<3} pc{self.pc:<4} "
+                f"[{self.active_lanes:>2}] {self.text}")
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` for issued instructions.
+
+    Args:
+        kernels: only trace these kernel names (``None`` = all).
+        opcodes: only trace these opcodes (``None`` = all).
+        cores: only trace these core ids (``None`` = all).
+        max_records: ring-buffer capacity; the newest records win.
+    """
+
+    def __init__(self, kernels: Optional[Sequence[str]] = None,
+                 opcodes: Optional[Sequence[str]] = None,
+                 cores: Optional[Sequence[int]] = None,
+                 max_records: int = 100_000):
+        self.kernels = set(kernels) if kernels else None
+        self.opcodes = set(opcodes) if opcodes else None
+        self.cores = set(cores) if cores else None
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def attach(self, device) -> "Tracer":
+        """Hook this tracer into a device; returns self for chaining."""
+        device.gpu.tracer = self
+        return self
+
+    @staticmethod
+    def detach(device) -> None:
+        """Remove any tracer from a device."""
+        device.gpu.tracer = None
+
+    def on_issue(self, now: int, core, warp, inst, exec_mask) -> None:
+        """Called by the core at each issue (when a tracer is attached)."""
+        if self.opcodes is not None and inst.opcode not in self.opcodes:
+            return
+        if self.cores is not None and core.core_id not in self.cores:
+            return
+        if self.kernels is not None and \
+                warp.cta.launch.kernel.name not in self.kernels:
+            return
+        if len(self.records) >= self.max_records:
+            self.records.pop(0)
+            self.dropped += 1
+        self.records.append(TraceRecord(
+            cycle=now,
+            core=core.core_id,
+            cta=tuple(warp.cta.cta_id),
+            warp=warp.warp_id,
+            pc=inst.pc,
+            text=str(inst),
+            active_lanes=int(exec_mask.sum()),
+        ))
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """The trace as text, newest-last (optionally only the tail)."""
+        records = self.records if limit is None else self.records[-limit:]
+        header = (f"{len(self.records)} records"
+                  + (f" ({self.dropped} dropped)" if self.dropped else ""))
+        return "\n".join([header] + [str(r) for r in records])
+
+    def between(self, start: int, end: int) -> List[TraceRecord]:
+        """Records with ``start <= cycle < end``."""
+        return [r for r in self.records if start <= r.cycle < end]
+
+    def touching_register(self, index: int) -> List[TraceRecord]:
+        """Records whose rendered text mentions ``R<index>``.
+
+        A textual filter (fast and good enough for debugging); for
+        exact def-use analysis use the instruction objects directly.
+        """
+        import re
+
+        pattern = re.compile(rf"\bR{index}\b")
+        return [r for r in self.records if pattern.search(r.text)]

@@ -1,0 +1,152 @@
+"""Warp state: registers, predicates, SIMT stack, scoreboard, local memory.
+
+One :class:`Warp` owns the architectural state of its 32 lanes.  The
+register file slice is a ``(num_regs, 32)`` uint32 array -- per-thread
+registers in the paper's terminology -- and is the primary fault
+injection target.  The SIMT reconvergence stack implements IPDOM
+reconvergence using the ``reconv_pc`` annotations computed at assembly
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.isa.operands import PT_INDEX
+from repro.sim.errors import MemoryViolation
+
+WARP_SIZE = 32
+
+
+class StackEntry:
+    """One SIMT reconvergence stack entry."""
+
+    __slots__ = ("pc", "mask", "reconv_pc")
+
+    def __init__(self, pc: int, mask: np.ndarray, reconv_pc: int):
+        self.pc = pc
+        self.mask = mask
+        self.reconv_pc = reconv_pc
+
+
+class Warp:
+    """The architectural and micro-architectural state of one warp."""
+
+    def __init__(self, warp_id_in_cta: int, num_threads: int, num_regs: int,
+                 local_bytes: int, cta, age: int):
+        self.warp_id = warp_id_in_cta
+        self.cta = cta
+        self.age = age
+        self.num_threads = num_threads
+        self.num_regs = num_regs
+
+        self.regs = np.zeros((max(num_regs, 1), WARP_SIZE), dtype=np.uint32)
+        self.preds = np.zeros((8, WARP_SIZE), dtype=bool)
+        self.preds[PT_INDEX, :] = True
+
+        init_mask = np.zeros(WARP_SIZE, dtype=bool)
+        init_mask[:num_threads] = True
+        self.exited = ~init_mask
+        self.stack: List[StackEntry] = [StackEntry(0, init_mask, -1)]
+        #: Cached count of live (created, not exited) threads.
+        self.live_count = num_threads
+
+        self.local_bytes = local_bytes
+        self.local_mem: Optional[np.ndarray] = (
+            np.zeros((WARP_SIZE, local_bytes), dtype=np.uint8)
+            if local_bytes else None)
+
+        #: Scoreboard: register/predicate index -> cycle the value is ready.
+        self.reg_ready: Dict[int, int] = {}
+        self.pred_ready: Dict[int, int] = {}
+        #: Latest completion cycle of any in-flight write (fast path:
+        #: once the clock passes this, every operand is hazard-free).
+        self.sb_latest = 0
+
+        self.at_barrier = False
+        self.done = False
+        #: Earliest cycle this warp may issue again (hazard stall hint).
+        self.wake_cycle = 0
+        #: Instruction-fetch stall (icache extension): no issue before.
+        self.ifetch_ready = 0
+
+        # special-register lanes, filled by the CTA constructor
+        self.sregs: Dict[str, np.ndarray] = {}
+
+    # -- SIMT stack ----------------------------------------------------------
+
+    def active_mask(self) -> np.ndarray:
+        """Live lanes of the top stack entry (bool[32])."""
+        return self.stack[-1].mask & ~self.exited
+
+    def normalize_stack(self) -> None:
+        """Pop empty/reconverged entries; sets ``done`` when drained."""
+        while self.stack:
+            top = self.stack[-1]
+            if not (top.mask & ~self.exited).any():
+                self.stack.pop()
+            elif top.pc == top.reconv_pc:
+                self.stack.pop()
+            else:
+                break
+        if not self.stack and not self.done:
+            self.done = True
+            self.cta.on_warp_done()
+
+    @property
+    def pc(self) -> int:
+        """Current PC (top of the SIMT stack)."""
+        return self.stack[-1].pc
+
+    # -- scoreboard --------------------------------------------------------
+
+    def operands_ready_at(self, inst) -> int:
+        """Earliest cycle at which every operand hazard is cleared."""
+        src_regs, dst_regs, src_preds, dst_preds = inst.scoreboard_sets()
+        ready = 0
+        for idx in src_regs:
+            ready = max(ready, self.reg_ready.get(idx, 0))
+        for idx in dst_regs:
+            ready = max(ready, self.reg_ready.get(idx, 0))
+        for idx in src_preds:
+            ready = max(ready, self.pred_ready.get(idx, 0))
+        for idx in dst_preds:
+            ready = max(ready, self.pred_ready.get(idx, 0))
+        return ready
+
+    def mark_writes(self, inst, completion_cycle: int) -> None:
+        """Record destination availability after issuing ``inst``."""
+        _, dst_regs, _, dst_preds = inst.scoreboard_sets()
+        for idx in dst_regs:
+            self.reg_ready[idx] = completion_cycle
+        for idx in dst_preds:
+            self.pred_ready[idx] = completion_cycle
+        if (dst_regs or dst_preds) and completion_cycle > self.sb_latest:
+            self.sb_latest = completion_cycle
+
+    # -- local memory -----------------------------------------------------------
+
+    def local_read(self, lane: int, addr: int) -> int:
+        """Aligned 32-bit read of this lane's private local memory."""
+        self._check_local(addr)
+        return int(self.local_mem[lane, addr:addr + 4].view("<u4")[0])
+
+    def local_write(self, lane: int, addr: int, value: int) -> None:
+        """Aligned 32-bit write of this lane's private local memory."""
+        self._check_local(addr)
+        self.local_mem[lane, addr:addr + 4].view("<u4")[0] = value & 0xFFFFFFFF
+
+    def _check_local(self, addr: int) -> None:
+        if self.local_mem is None or addr % 4 or not (
+                0 <= addr <= self.local_bytes - 4):
+            raise MemoryViolation("local", addr)
+
+    # -- introspection (used by the fault injector) ----------------------------
+
+    def live_lanes(self) -> np.ndarray:
+        """Indices of lanes that are created and not yet exited."""
+        alive = np.zeros(WARP_SIZE, dtype=bool)
+        alive[:self.num_threads] = True
+        return np.nonzero(alive & ~self.exited)[0]

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.cards import rtx_2060
+from repro.sim.config import CacheGeometry, GPUConfig
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture
+def rtx() -> GPUConfig:
+    """The RTX 2060 card model."""
+    return rtx_2060()
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh RTX 2060 device."""
+    return Device("RTX2060")
+
+
+def tiny_config(**overrides) -> GPUConfig:
+    """A small config for focused microarchitecture tests."""
+    defaults = dict(
+        name="Tiny",
+        architecture="Test",
+        num_sms=2,
+        max_threads_per_sm=256,
+        max_ctas_per_sm=4,
+        registers_per_sm=4096,
+        shared_mem_per_sm=16 * 1024,
+        num_schedulers_per_sm=2,
+        l1d=CacheGeometry(4 * 1024, assoc=2),
+        l1t=CacheGeometry(4 * 1024, assoc=2),
+        l2=CacheGeometry(32 * 1024, assoc=4),
+        l2_banks=2,
+        global_mem_bytes=1024 * 1024,
+    )
+    defaults.update(overrides)
+    return GPUConfig(**defaults)
+
+
+def run_lanes(source: str, num_threads: int = 32, params=(),
+              device: Device = None, smem_bytes: int = 0,
+              local_bytes: int = 0, block=None, grid: int = 1):
+    """Assemble + run a snippet on one (or more) CTAs; returns the device.
+
+    The kernel must store its observable results to global memory.
+    """
+    dev = device or Device("RTX2060")
+    kernel = Kernel("snippet", source, num_params=len(params),
+                    smem_bytes=smem_bytes, local_bytes=local_bytes)
+    dev.launch(kernel, grid=grid, block=block or num_threads, params=params)
+    return dev
+
+
+def as_f32_bits(value: float) -> int:
+    """fp32 bit pattern of a Python float."""
+    return int(np.float32(value).view(np.uint32))

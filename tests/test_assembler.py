@@ -1,0 +1,242 @@
+"""Assembler: syntax, operands, labels, validation, reconvergence."""
+
+import pytest
+
+from repro.isa import AssemblyError, assemble
+from repro.isa.assembler import max_register_index
+from repro.isa.operands import (ConstRef, Immediate, LabelRef, MemRef,
+                                PredRef, RegRef, SpecialReg, PT_INDEX,
+                                RZ_INDEX)
+
+
+def asm1(line: str):
+    """Assemble a single instruction followed by EXIT."""
+    return assemble(line + "\n    EXIT")[0]
+
+
+class TestBasicDecoding:
+    def test_simple_iadd(self):
+        inst = asm1("IADD R1, R2, R3")
+        assert inst.opcode == "IADD"
+        assert inst.dsts == (RegRef(1),)
+        assert inst.srcs == (RegRef(2), RegRef(3))
+
+    def test_immediate_decimal(self):
+        inst = asm1("IADD R1, R2, 42")
+        assert inst.srcs[1] == Immediate(42)
+
+    def test_immediate_hex(self):
+        inst = asm1("MOV R1, 0xff")
+        assert inst.srcs[0] == Immediate(255)
+
+    def test_immediate_negative_wraps(self):
+        inst = asm1("IADD R1, R2, -1")
+        assert inst.srcs[1] == Immediate(0xFFFFFFFF)
+
+    def test_float_immediate_bit_pattern(self):
+        inst = asm1("FMUL R1, R2, 1.5")
+        assert inst.srcs[1] == Immediate(0x3FC00000, is_float=True)
+
+    def test_rz_register(self):
+        inst = asm1("MOV R1, RZ")
+        assert inst.srcs[0].is_rz
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            asm1("MOV R255, R1")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            asm1("FROB R1, R2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            asm1("IADD R1, R2")
+
+    def test_comments_are_stripped(self):
+        insts = assemble("""
+            MOV R1, 1   ; trailing
+            // full line
+            # another
+            EXIT
+        """)
+        assert len(insts) == 2
+
+    def test_case_insensitive_mnemonic(self):
+        assert asm1("iadd R1, R2, R3").opcode == "IADD"
+
+
+class TestOperandKinds:
+    def test_memref_base_plus_offset(self):
+        inst = asm1("LDG R1, [R4+0x10]")
+        assert inst.srcs[0] == MemRef(RegRef(4), 0x10)
+
+    def test_memref_bare_register(self):
+        inst = asm1("LDG R1, [R4]")
+        assert inst.srcs[0] == MemRef(RegRef(4), 0)
+
+    def test_memref_absolute(self):
+        inst = asm1("STS [0x20], R1")
+        mem = inst.srcs[0]
+        assert mem.base.is_rz and mem.offset == 0x20
+
+    def test_memref_rz_base(self):
+        inst = asm1("LDS R1, [RZ]")
+        assert inst.srcs[0].base.is_rz
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(AssemblyError):
+            asm1("LDG R1, [R4+-8]")
+
+    def test_constref(self):
+        inst = asm1("LDC R1, c[0x8]")
+        assert inst.srcs[0] == ConstRef(8)
+
+    def test_constref_misaligned(self):
+        with pytest.raises(AssemblyError):
+            asm1("LDC R1, c[0x3]")
+
+    def test_special_register(self):
+        inst = asm1("S2R R0, SR_TID_X")
+        assert inst.srcs[0] == SpecialReg("SR_TID_X")
+
+    def test_bad_special_register(self):
+        with pytest.raises(AssemblyError):
+            asm1("S2R R0, SR_BOGUS")
+
+    def test_negated_register_source(self):
+        inst = asm1("FADD R1, R2, -R3")
+        assert inst.srcs[1].negate and inst.srcs[1].index == 3
+
+    def test_absolute_register_source(self):
+        inst = asm1("FADD R1, R2, |R3|")
+        assert inst.srcs[1].absolute
+
+    def test_negated_absolute(self):
+        inst = asm1("FADD R1, R2, -|R3|")
+        assert inst.srcs[1].negate and inst.srcs[1].absolute
+
+
+class TestPredication:
+    def test_guard(self):
+        inst = asm1("@P0 IADD R1, R2, R3")
+        assert inst.guard == PredRef(0)
+
+    def test_negated_guard(self):
+        inst = asm1("@!P1 MOV R1, 1")
+        assert inst.guard == PredRef(1, negate=True)
+
+    def test_isetp_operands(self):
+        inst = asm1("ISETP.GE.AND P0, PT, R1, R2, PT")
+        assert inst.dsts[0] == PredRef(0)
+        assert inst.dsts[1].index == PT_INDEX
+        assert inst.modifiers == ("GE", "AND")
+
+    def test_isetp_requires_modifiers(self):
+        with pytest.raises(AssemblyError, match="requires 2"):
+            asm1("ISETP P0, PT, R1, R2, PT")
+
+    def test_bad_modifier(self):
+        with pytest.raises(AssemblyError, match="does not accept"):
+            asm1("IADD.GE R1, R2, R3")
+
+
+class TestLabelsAndBranches:
+    def test_branch_resolution(self):
+        insts = assemble("""
+            MOV R1, 1
+        target:
+            IADD R1, R1, 1
+            BRA target
+            EXIT
+        """)
+        bra = insts[2]
+        assert bra.target_pc == 1
+        assert isinstance(bra.srcs[0], LabelRef)
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("BRA nowhere\nEXIT")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\na:\nEXIT")
+
+    def test_forward_reference(self):
+        insts = assemble("""
+            BRA fwd
+        fwd:
+            EXIT
+        """)
+        assert insts[0].target_pc == 1
+
+    def test_missing_final_exit(self):
+        with pytest.raises(AssemblyError, match="unguarded EXIT"):
+            assemble("MOV R1, 1")
+
+    def test_guarded_final_exit_rejected(self):
+        with pytest.raises(AssemblyError, match="unguarded EXIT"):
+            assemble("@P0 EXIT")
+
+
+class TestReconvergence:
+    def test_if_else_reconverges_at_join(self):
+        insts = assemble("""
+            ISETP.GE.AND P0, PT, R1, R2, PT
+        @P0 BRA else_part
+            MOV R3, 1
+            BRA join
+        else_part:
+            MOV R3, 2
+        join:
+            EXIT
+        """)
+        guarded = insts[1]
+        assert guarded.reconv_pc == 5  # the join/EXIT instruction
+
+    def test_unguarded_branch_has_no_reconvergence(self):
+        insts = assemble("""
+            BRA skip
+        skip:
+            EXIT
+        """)
+        assert insts[0].reconv_pc == -1
+
+    def test_loop_back_edge(self):
+        insts = assemble("""
+        loop:
+            IADD R1, R1, 1
+            ISETP.LT.AND P0, PT, R1, 10, PT
+        @P0 BRA loop
+            EXIT
+        """)
+        assert insts[2].reconv_pc == 3  # falls out to EXIT
+
+    def test_divergent_exit_uses_sentinel(self):
+        insts = assemble("""
+            ISETP.GE.AND P0, PT, R1, R2, PT
+        @P0 EXIT
+            MOV R1, 1
+            EXIT
+        """)
+        # a guarded EXIT is not a branch; nothing to annotate, but the
+        # kernel must still assemble and terminate
+        assert insts[1].is_exit and insts[1].guard is not None
+
+
+class TestRegisterAccounting:
+    def test_max_register_index(self):
+        insts = assemble("""
+            MOV R7, 1
+            LDG R3, [R12]
+            EXIT
+        """)
+        assert max_register_index(insts) == 12
+
+    def test_rz_not_counted(self):
+        insts = assemble("MOV R1, RZ\nEXIT")
+        assert max_register_index(insts) == 1
+
+    def test_empty_register_use(self):
+        insts = assemble("NOP\nEXIT")
+        assert max_register_index(insts) == -1

@@ -1,0 +1,94 @@
+"""The twelve workloads: fault-free correctness on every card,
+registry behaviour, golden-model sanity and SDC sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (BENCHMARK_CLASSES, benchmark_names, make_benchmark)
+from repro.faults.injector import Injector
+from repro.faults.mask import FaultMask
+from repro.faults.targets import Structure
+from repro.sim.device import Device
+
+ALL_CARDS = ("RTX2060", "QuadroGV100", "GTXTitan")
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_CLASSES) == 12
+        assert len(benchmark_names()) == 12
+
+    def test_paper_abbreviations(self):
+        abbrevs = {cls.abbrev for cls in BENCHMARK_CLASSES}
+        assert abbrevs == {"HS", "KM", "SRAD1", "SRAD2", "LUD", "BFS",
+                           "PATHF", "NW", "GE", "BP", "VA", "SP"}
+
+    def test_lookup_by_abbrev(self):
+        assert make_benchmark("hs").name == "hotspot"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            make_benchmark("doom")
+
+    def test_kernels_exposed(self):
+        for cls in BENCHMARK_CLASSES:
+            kernels = cls().kernels()
+            assert kernels, cls.name
+            for kernel in kernels:
+                assert kernel.instructions  # assembles cleanly
+
+
+@pytest.mark.parametrize("card", ALL_CARDS)
+@pytest.mark.parametrize("cls", BENCHMARK_CLASSES,
+                         ids=[c.abbrev for c in BENCHMARK_CLASSES])
+class TestFaultFree:
+    def test_passes_on_card(self, cls, card):
+        bench = cls()
+        dev = Device(card)
+        assert bench.run(dev) is True
+        assert dev.cycle > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["vectoradd", "bfs", "hotspot"])
+    def test_cycle_deterministic(self, name):
+        cycles = set()
+        for _ in range(2):
+            dev = Device("RTX2060")
+            make_benchmark(name).run(dev)
+            cycles.add(dev.cycle)
+        assert len(cycles) == 1
+
+
+class TestSDCSensitivity:
+    """A deliberately corrupted input word must fail the check --
+    the golden comparison actually has teeth."""
+
+    @pytest.mark.parametrize("name,state_key,offset,dtype", [
+        ("vectoradd", "pa", 0, np.float32),
+        # poison the final wall row: earlier rows can be healed by the
+        # min() (algorithmic masking), the last one is directly visible
+        ("pathfinder", "p_wall", 4 * 512 * 7, np.int32),
+        ("needle", "p_ref", 0, np.int32),
+    ])
+    def test_corrupted_input_fails(self, name, state_key, offset, dtype):
+        bench = make_benchmark(name)
+        dev = Device("RTX2060")
+        state = bench.build(dev)
+        poison = np.array([123456789], dtype=dtype)
+        dev.memcpy_htod(state[state_key] + offset, poison)
+        bench.execute(dev, state)
+        assert bench.check(dev, state) is False
+
+    def test_register_fault_campaign_finds_failures(self):
+        """A small seeded RF campaign on a loop-heavy workload must
+        observe at least one failing outcome (kmeans keeps pointers
+        and accumulators live for most of the kernel)."""
+        from repro.faults.campaign import Campaign, CampaignConfig
+
+        result = Campaign(CampaignConfig(
+            benchmark="kmeans", card="RTX2060",
+            structures=(Structure.REGISTER_FILE,),
+            runs_per_structure=10, seed=4)).run()
+        assert result.failures("kmeansPoint",
+                               Structure.REGISTER_FILE) >= 1

@@ -1,0 +1,108 @@
+"""Card models must reproduce the paper's Tables I and V exactly."""
+
+import pytest
+
+from repro.analysis.sizes import (structure_sizes_mb, table1_rows,
+                                  total_injectable_mb)
+from repro.faults.targets import Structure, chip_bits, supported_structures
+from repro.sim.cards import CARDS, get_card, gtx_titan, quadro_gv100, \
+    rtx_2060
+
+
+class TestTableV:
+    """Microarchitectural parameters (paper Table V)."""
+
+    def test_rtx_2060(self):
+        card = rtx_2060()
+        assert card.num_sms == 30
+        assert card.warp_size == 32
+        assert card.max_threads_per_sm == 1024
+        assert card.max_ctas_per_sm == 32
+        assert card.registers_per_sm == 65536
+        assert card.shared_mem_per_sm == 64 * 1024
+        assert card.l1d.size_bytes == 64 * 1024
+        assert card.l1t.size_bytes == 128 * 1024
+        assert card.l2.size_bytes == 3 * 1024 * 1024
+        assert card.technology_nm == 12
+        assert card.raw_fit_per_bit == pytest.approx(1.8e-6)
+
+    def test_quadro_gv100(self):
+        card = quadro_gv100()
+        assert card.num_sms == 80
+        assert card.max_threads_per_sm == 2048
+        assert card.shared_mem_per_sm == 96 * 1024
+        assert card.l1d.size_bytes == 32 * 1024
+        assert card.l2.size_bytes == 6 * 1024 * 1024
+        assert card.raw_fit_per_bit == pytest.approx(1.8e-6)
+
+    def test_gtx_titan(self):
+        card = gtx_titan()
+        assert card.num_sms == 14
+        assert card.max_threads_per_sm == 2048
+        assert card.max_ctas_per_sm == 16
+        assert card.shared_mem_per_sm == 48 * 1024
+        assert card.l1d is None  # "N/A" in the paper
+        assert card.l1t.size_bytes == 48 * 1024
+        assert card.l2.size_bytes == 1536 * 1024
+        assert card.technology_nm == 28
+        assert card.raw_fit_per_bit == pytest.approx(1.2e-5)
+
+
+class TestTableI:
+    """Chip-level structure sizes with 57-bit tags (paper Table I)."""
+
+    @pytest.mark.parametrize("card_name,expected_mb", [
+        ("RTX2060", {"Register File": 7.5, "Shared Memory": 1.875,
+                     "L1 data cache": 1.98, "L1 texture cache": 3.96,
+                     "L2 cache": 3.17}),
+        ("QuadroGV100", {"Register File": 20.0, "Shared Memory": 7.5,
+                         "L1 data cache": 2.64, "L1 texture cache": 10.56,
+                         "L2 cache": 6.33}),
+    ])
+    def test_mb_sizes(self, card_name, expected_mb):
+        rows = dict(table1_rows(get_card(card_name)))
+        for label, mb in expected_mb.items():
+            assert rows[label] / 1024 == pytest.approx(mb, abs=0.01), label
+
+    def test_titan_kb_sizes(self):
+        rows = dict(table1_rows(gtx_titan()))
+        assert rows["Register File"] / 1024 == pytest.approx(3.5, abs=0.01)
+        assert rows["Shared Memory"] == pytest.approx(672.0, abs=0.5)
+        assert rows["L1 data cache"] == 0.0
+        assert rows["L1 texture cache"] == pytest.approx(709.38, abs=0.5)
+        assert rows["L1 instruction cache"] == pytest.approx(59.08, abs=0.1)
+        assert rows["L2 cache"] / 1024 == pytest.approx(1.58, abs=0.01)
+
+    def test_total_injected_areas_match_paper(self):
+        # "18.5MB and 47MB in total for RTX 2060 and Quadro GV100"
+        assert total_injectable_mb(rtx_2060()) == pytest.approx(18.5, abs=0.1)
+        assert total_injectable_mb(quadro_gv100()) == pytest.approx(
+            47.0, abs=0.1)
+
+    def test_tag_overhead_ratio(self):
+        # 57 tag bits per 128-byte line: 64 KB data -> 67.56 KB injectable
+        card = rtx_2060()
+        bits = chip_bits(Structure.L1D_CACHE, card) / card.num_sms
+        assert bits / 8 / 1024 == pytest.approx(67.56, abs=0.01)
+
+
+class TestRegistry:
+    def test_three_cards_registered(self):
+        assert set(CARDS) == {"RTX2060", "QuadroGV100", "GTXTitan"}
+
+    @pytest.mark.parametrize("alias", ["rtx2060", "RTX 2060", "rtx-2060",
+                                       "rtx_2060"])
+    def test_aliases(self, alias):
+        assert get_card(alias).name == "RTX2060"
+
+    def test_unknown_card(self):
+        with pytest.raises(KeyError):
+            get_card("RTX9090")
+
+    def test_titan_supported_structures_skip_l1d(self):
+        structures = supported_structures(gtx_titan())
+        assert Structure.L1D_CACHE not in structures
+        assert Structure.REGISTER_FILE in structures
+
+    def test_chip_bits_local_mem_zero(self):
+        assert chip_bits(Structure.LOCAL_MEM, rtx_2060()) == 0

@@ -1,0 +1,52 @@
+"""Outcome classification (Masked / SDC / Crash / Timeout / Performance)."""
+
+import pytest
+
+from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect, classify_run
+from repro.faults.runner import RunResult
+
+
+def result(status="completed", passed=True, cycles=1000):
+    return RunResult(status=status, passed=passed,
+                     message="", cycles=cycles)
+
+
+class TestClassification:
+    def test_masked(self):
+        assert classify_run(result(), 1000) is FaultEffect.MASKED
+
+    def test_performance_when_cycles_differ(self):
+        assert classify_run(result(cycles=1100), 1000) is \
+            FaultEffect.PERFORMANCE
+        assert classify_run(result(cycles=900), 1000) is \
+            FaultEffect.PERFORMANCE
+
+    def test_sdc(self):
+        assert classify_run(result(passed=False), 1000) is FaultEffect.SDC
+
+    def test_sdc_even_with_identical_cycles(self):
+        assert classify_run(result(passed=False, cycles=1000), 1000) is \
+            FaultEffect.SDC
+
+    def test_crash(self):
+        assert classify_run(result(status="crash", passed=None), 1000) is \
+            FaultEffect.CRASH
+
+    def test_timeout(self):
+        assert classify_run(result(status="timeout", passed=None), 1000) is \
+            FaultEffect.TIMEOUT
+
+
+class TestFailureSemantics:
+    def test_failure_classes(self):
+        assert FaultEffect.SDC.is_failure
+        assert FaultEffect.CRASH.is_failure
+        assert FaultEffect.TIMEOUT.is_failure
+
+    def test_non_failure_classes(self):
+        assert not FaultEffect.MASKED.is_failure
+        assert not FaultEffect.PERFORMANCE.is_failure
+
+    def test_timeout_factor_is_two(self):
+        # "equal to two times the fault-free execution time"
+        assert TIMEOUT_FACTOR == 2

@@ -1,0 +1,67 @@
+"""The ``gpufi`` command-line front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks_and_cards(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vectoradd" in out and "RTX2060" in out
+
+
+class TestProfile:
+    def test_profile_output(self, capsys):
+        assert main(["profile", "--benchmark", "vectoradd",
+                     "--card", "RTX2060"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorAdd" in out and "occupancy" in out
+
+
+class TestCampaign:
+    def test_campaign_flags(self, capsys, tmp_path):
+        log = tmp_path / "log.jsonl"
+        assert main(["campaign", "--benchmark", "vectoradd",
+                     "--structures", "register_file", "--runs", "5",
+                     "--seed", "2", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "wAVF" in out and "FIT" in out
+        assert log.exists()
+
+    def test_campaign_config_file(self, capsys, tmp_path):
+        config = tmp_path / "gpufi.config"
+        config.write_text(
+            "-gpufi_benchmark vectoradd\n"
+            "-gpufi_card RTX2060\n"
+            "-gpufi_components register_file\n"
+            "-gpufi_runs 3\n")
+        assert main(["campaign", "--config", str(config)]) == 0
+        assert "register_file" in capsys.readouterr().out
+
+    def test_campaign_requires_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+
+class TestReport:
+    def test_report_from_log(self, capsys, tmp_path):
+        log = tmp_path / "log.jsonl"
+        main(["campaign", "--benchmark", "vectoradd", "--structures",
+              "register_file", "--runs", "4", "--log", str(log)])
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "vectorAdd" in out and "FR" in out
+
+
+class TestMarkdownOutput:
+    def test_campaign_markdown_report(self, capsys, tmp_path):
+        report = tmp_path / "report.md"
+        assert main(["campaign", "--benchmark", "vectoradd",
+                     "--structures", "register_file", "--runs", "3",
+                     "--markdown", str(report)]) == 0
+        text = report.read_text()
+        assert text.startswith("# gpuFI-4 campaign")
+        assert "wAVF" in text

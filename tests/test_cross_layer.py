@@ -1,0 +1,160 @@
+"""End-to-end cross-layer fault propagation scenarios.
+
+Each test stages a microarchitectural fault and follows it through the
+full stack to an application-visible outcome -- the cross-layer
+propagation chains the paper's framework exists to measure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import Injector
+from repro.faults.mask import FaultMask
+from repro.faults.targets import Structure
+from repro.sim.device import Device
+from repro.sim.errors import SimTimeout
+from repro.sim.kernel import Kernel
+
+
+class TestL2DataLoss:
+    def test_dirty_line_tag_flip_loses_stores(self):
+        """Stores sit dirty in the L2; flipping a tag bit of that line
+        orphans the data -- the host later reads the stale DRAM copy."""
+        dev = Device("RTX2060")
+        store_kernel = Kernel("burst_store", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    MOV R10, 0xBEEF
+    STG [R9], R10
+    EXIT
+""", num_params=1)
+        out = dev.malloc(128)
+        dev.launch(store_kernel, grid=1, block=32, params=[out])
+        # locate the dirty line and flip one of its tag bits
+        l2 = dev.gpu.l2
+        line = l2.peek(out)
+        assert line is not None and line.dirty
+        target = next(idx for idx in range(l2.geometry.num_lines)
+                      if l2.line_by_index(idx) is line)
+        l2.flip_bit(target, 5)  # tag bit
+        values = dev.read_array(out, (32,), np.uint32)
+        assert (values == 0).all()  # the 0xBEEF stores are lost
+
+    def test_clean_line_data_flip_visible_to_host(self):
+        dev = Device("RTX2060")
+        data = np.arange(32, dtype=np.uint32)
+        ptr = dev.to_device(data)
+        touch = Kernel("touch", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    LDG R10, [R9]
+    EXIT
+""", num_params=1)
+        dev.launch(touch, grid=1, block=32, params=[ptr])
+        line = dev.gpu.l2.peek(ptr)
+        assert line is not None
+        word_bit = 57 + (ptr % 128) * 8  # first data bit of word 0
+        target = next(idx for idx in range(dev.gpu.l2.geometry.num_lines)
+                      if dev.gpu.l2.line_by_index(idx) is line)
+        dev.gpu.l2.flip_bit(target, word_bit)
+        assert dev.read_array(ptr, (32,), np.uint32)[0] == 1  # 0 ^ 1
+
+
+class TestTexturePathCorruption:
+    def test_l1t_data_flip_reaches_tld(self):
+        dev = Device("RTX2060")
+        data = np.zeros(32, dtype=np.uint32)
+        ptr = dev.to_device(data)
+        out = dev.malloc(128)
+        kernel = Kernel("tex_twice", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    LDC R9, c[0x4]
+    IADD R10, R8, R3
+    TLD R11, [R10]             ; fills the L1T line
+    MOV R12, 0
+loop:
+    IADD R12, R12, 1
+    ISETP.LT.AND P0, PT, R12, 100, PT
+@P0 BRA loop
+    TLD R13, [R10]             ; re-read: hits the corrupted line
+    IADD R14, R9, R3
+    STG [R14], R13
+    EXIT
+""", num_params=2)
+        # the fill lands in way 0 of the set addressed by ptr
+        card = dev.config
+        set_idx = (ptr // card.l1t.line_bytes) % card.l1t.num_sets
+        line_index = set_idx * card.l1t.assoc
+        mask = FaultMask(structure=Structure.L1T_CACHE, cycle=150,
+                         entry_index=line_index, bit_offsets=(57,),
+                         seed=2, n_cores=30)
+        dev.set_injector(Injector([mask]))
+        dev.launch(kernel, grid=1, block=32, params=[ptr, out])
+        values = dev.read_array(out, (32,), np.uint32)
+        # the flipped bit lands in whichever word the line holds; at
+        # least the first word of the block must show it
+        assert values[0] == 1
+
+
+class TestSharedMemoryCorruption:
+    def test_smem_flip_between_produce_and_consume(self):
+        dev = Device("RTX2060")
+        out = dev.malloc(128)
+        kernel = Kernel("smem_rdwr", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    MOV R10, 0x10
+    STS [R3], R10
+    BAR.SYNC
+    MOV R11, 0
+loop:
+    IADD R11, R11, 1
+    ISETP.LT.AND P0, PT, R11, 100, PT
+@P0 BRA loop
+    LDS R12, [R3]
+    STG [R9], R12
+    EXIT
+""", num_params=1, smem_bytes=128)
+        mask = FaultMask(structure=Structure.SHARED_MEM, cycle=150,
+                         entry_index=0, bit_offsets=(1,), seed=3)
+        dev.set_injector(Injector([mask]))
+        dev.launch(kernel, grid=1, block=32, params=[out])
+        values = dev.read_array(out, (32,), np.uint32)
+        assert values[0] == 0x12
+        assert (values[1:] == 0x10).all()
+
+
+class TestControlFlowFaults:
+    def test_loop_counter_flip_times_out(self):
+        dev = Device("RTX2060")
+        dev.set_cycle_budget(20_000)
+        out = dev.malloc(128)
+        kernel = Kernel("bounded_loop", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    MOV R11, 0
+loop:
+    IADD R11, R11, 1
+    ISETP.LT.AND P0, PT, R11, 500, PT
+@P0 BRA loop
+    STG [R9], R11
+    EXIT
+""", num_params=1)
+        # flip bit 31 of the loop counter mid-run: counter goes hugely
+        # negative, the bound check keeps the warp looping
+        mask = FaultMask(structure=Structure.REGISTER_FILE, cycle=500,
+                         entry_index=11, bit_offsets=(31,),
+                         warp_level=True, seed=4)
+        dev.set_injector(Injector([mask]))
+        with pytest.raises(SimTimeout):
+            dev.launch(kernel, grid=1, block=32, params=[out])

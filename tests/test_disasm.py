@@ -1,0 +1,87 @@
+"""Instruction/operand rendering and disassembly re-assembly."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.operands import (ConstRef, Immediate, MemRef, PredRef,
+                                RegRef, SpecialReg)
+
+SOURCE = """
+    S2R R0, SR_TID_X
+    MOV R1, 0x10
+    MOV R2, 1.5
+@P0 IADD R3, R1, -R2
+    ISETP.GE.AND P0, PT, R3, R1, PT
+    LDG R4, [R3+0x20]
+    LDC R5, c[0x8]
+    STS [R3], R4
+    FMNMX.MIN R6, R4, |R5|
+    MUFU.RCP R7, R6
+@!P0 BRA done
+    BAR.SYNC
+done:
+    EXIT
+"""
+
+
+class TestOperandRendering:
+    def test_register(self):
+        assert str(RegRef(5)) == "R5"
+        assert str(RegRef(255)) == "RZ"
+        assert str(RegRef(3, negate=True)) == "-R3"
+        assert str(RegRef(3, absolute=True)) == "|R3|"
+        assert str(RegRef(3, negate=True, absolute=True)) == "-|R3|"
+
+    def test_predicate(self):
+        assert str(PredRef(0)) == "P0"
+        assert str(PredRef(7)) == "PT"
+        assert str(PredRef(2, negate=True)) == "!P2"
+
+    def test_immediate(self):
+        assert str(Immediate(5)) == "5"
+        assert str(Immediate(255)) == "0xff"
+        assert str(Immediate(0x3FC00000, is_float=True)) == "1.5"
+
+    def test_memref(self):
+        assert str(MemRef(RegRef(4), 0x10)) == "[R4+0x10]"
+        assert str(MemRef(RegRef(4))) == "[R4]"
+        assert str(MemRef(RegRef(255), 0x20)) == "[0x20]"
+
+    def test_constref(self):
+        assert str(ConstRef(8)) == "c[0x8]"
+
+    def test_special(self):
+        assert str(SpecialReg("SR_CTAID_Y")) == "SR_CTAID_Y"
+
+
+class TestInstructionRendering:
+    def test_guard_and_modifiers(self):
+        insts = assemble(SOURCE)
+        texts = [str(i) for i in insts]
+        assert texts[0] == "S2R R0, SR_TID_X"
+        assert texts[3] == "@P0 IADD R3, R1, -R2"
+        assert texts[4] == "ISETP.GE.AND P0, PT, R3, R1, PT"
+        assert texts[8] == "FMNMX.MIN R6, R4, |R5|"
+        assert texts[11] == "BAR.SYNC"
+
+    def test_disassembly_reassembles(self):
+        """str(inst) must be valid assembly producing the same program
+        (modulo label naming, which we regenerate per target PC)."""
+        insts = assemble(SOURCE)
+        lines = []
+        targets = {i.target_pc for i in insts if i.is_branch}
+        for inst in insts:
+            if inst.pc in targets:
+                lines.append(f"L{inst.pc}:")
+            text = str(inst)
+            if inst.is_branch:
+                guard = f"@{inst.guard} " if inst.guard else ""
+                text = f"{guard}BRA L{inst.target_pc}"
+            lines.append(text)
+        recycled = assemble("\n".join(lines))
+        assert len(recycled) == len(insts)
+        for old, new in zip(insts, recycled):
+            assert old.opcode == new.opcode
+            assert old.modifiers == new.modifiers
+            assert old.target_pc == new.target_pc
+            assert old.reconv_pc == new.reconv_pc

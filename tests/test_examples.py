@@ -1,0 +1,35 @@
+"""Every example script must run cleanly (with small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["8"]),
+    ("custom_kernel.py", []),
+    ("cache_fault_anatomy.py", []),
+    ("multibit_study.py", ["4"]),
+    ("multi_structure.py", ["3"]),
+    ("bit_sensitivity.py", ["8"]),
+    ("performance_effect.py", ["6"]),
+    ("compare_generations.py", ["2"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}

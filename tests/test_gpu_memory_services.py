@@ -1,0 +1,90 @@
+"""GPU-level memory services: contention, host access edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cards import rtx_2060
+from repro.sim.gpu import GPU
+
+
+@pytest.fixture
+def gpu():
+    gpu = GPU(rtx_2060())
+    gpu.memory.malloc(64 * 1024)
+    return gpu
+
+
+class TestL2BankContention:
+    def test_back_to_back_same_bank_serialises(self, gpu):
+        base = 0x1000
+        _, first = gpu._l2_line(base)
+        _, second = gpu._l2_line(base)  # same bank, same cycle
+        assert second > gpu.config.l2_hit_latency - 1
+        assert second >= gpu.config.l2_bank_service
+
+    def test_different_banks_independent(self, gpu):
+        line_bytes = gpu.l2.geometry.line_bytes
+        gpu._l2_line(0x1000)
+        # the next line maps to the next bank: no serialisation
+        _, latency = gpu._l2_line(0x1000 + line_bytes)
+        assert latency == gpu.config.dram_latency
+
+    def test_contention_decays_with_time(self, gpu):
+        gpu._l2_line(0x1000)
+        gpu.cycle += 1000
+        _, latency = gpu._l2_line(0x1000)
+        assert latency == gpu.config.l2_hit_latency
+
+    def test_deterministic(self):
+        def run():
+            gpu = GPU(rtx_2060())
+            gpu.memory.malloc(4096)
+            return [gpu._l2_line(0x1000 + 128 * i)[1] for i in range(8)]
+
+        assert run() == run()
+
+
+class TestDramContention:
+    def test_l2_misses_pay_channel_contention(self, gpu):
+        stride = gpu.l2.geometry.line_bytes * gpu.config.dram_channels
+        _, first = gpu._l2_line(0x1000)            # miss -> DRAM
+        _, second = gpu._l2_line(0x1000 + stride)  # same channel, miss
+        assert first == gpu.config.dram_latency
+        assert second > gpu.config.dram_latency
+
+    def test_l2_hits_do_not_touch_dram(self, gpu):
+        gpu._l2_line(0x1000)
+        busy_before = list(gpu._dram_busy)
+        gpu.cycle += 10_000
+        gpu._l2_line(0x1000)  # hit
+        assert gpu._dram_busy == busy_before
+
+
+class TestHostAccess:
+    def test_host_read_spans_multiple_lines(self, gpu):
+        data = np.arange(512, dtype=np.uint8)
+        gpu.host_write(0x1000, data)
+        gpu._l2_line(0x1080)  # make the middle line resident
+        out = gpu.host_read(0x1000, 512)
+        assert np.array_equal(out, data)
+
+    def test_host_read_unaligned_window(self, gpu):
+        data = np.arange(100, dtype=np.uint8)
+        gpu.host_write(0x1020, data)
+        out = gpu.host_read(0x1024, 50)
+        assert np.array_equal(out, data[4:54])
+
+    def test_host_write_partial_line_update(self, gpu):
+        gpu.host_write(0x1000, np.zeros(256, dtype=np.uint8))
+        gpu._l2_line(0x1000)
+        gpu.host_write(0x1004, np.full(4, 0xAB, dtype=np.uint8))
+        line = gpu.l2.peek(0x1000)
+        assert line.data[4] == 0xAB
+        assert line.data[3] == 0
+
+    def test_dram_write_words_syncs_stale_l2(self, gpu):
+        gpu._l2_line(0x1000)
+        gpu.dram_write_words(0x1000, np.array([1]),
+                             np.array([0x42], dtype=np.uint32))
+        assert gpu.l2.read_word(gpu.l2.peek(0x1000), 0x1004) == 0x42
+        assert gpu.memory.read_word(0x1004) == 0x42

@@ -1,0 +1,167 @@
+"""GigaThread CTA scheduling, occupancy limits, launch statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel, KernelLaunch
+
+COUNTER = Kernel("counter", """
+    S2R R0, SR_CTAID_X
+    S2R R2, SR_TID_X
+    ISETP.NE.AND P0, PT, R2, RZ, PT
+@P0 EXIT
+    LDC R4, c[0x0]
+    SHL R5, R0, 2
+    IADD R5, R5, R4
+    MOV R6, 1
+    STG [R5], R6
+    EXIT
+""", num_params=1)
+
+
+class TestOccupancyLimits:
+    def make_kernel(self, smem=0, regs_body="    MOV R1, 1\n"):
+        return Kernel("k", regs_body + "    EXIT", smem_bytes=smem)
+
+    def test_thread_limit(self, device):
+        launch = KernelLaunch.create(self.make_kernel(), grid=1, block=512)
+        # 1024 threads/SM / 512 per CTA = 2 CTAs
+        assert device.gpu.max_ctas_per_core(launch) == 2
+
+    def test_cta_count_limit(self, device):
+        launch = KernelLaunch.create(self.make_kernel(), grid=1, block=32)
+        assert device.gpu.max_ctas_per_core(launch) == 32
+
+    def test_smem_limit(self, device):
+        kernel = self.make_kernel(smem=16 * 1024)  # 64 KB / 16 KB = 4
+        launch = KernelLaunch.create(kernel, grid=1, block=32)
+        assert device.gpu.max_ctas_per_core(launch) == 4
+
+    def test_register_limit(self, device):
+        body = "    MOV R255, 1\n"  # R255 is RZ -> invalid; use R254
+        kernel = Kernel("k", "    MOV R254, 1\n    EXIT")
+        launch = KernelLaunch.create(kernel, grid=1, block=256)
+        # 255 regs * 256 threads = 65280 <= 65536 -> exactly 1 CTA
+        assert device.gpu.max_ctas_per_core(launch) == 1
+
+    def test_oversized_cta_rejected(self, device):
+        kernel = self.make_kernel()
+        launch = KernelLaunch.create(kernel, grid=1, block=(32, 64))
+        with pytest.raises(ValueError, match="exceeds SM capacity"):
+            device.gpu.max_ctas_per_core(launch)
+
+
+class TestCTADistribution:
+    def test_all_ctas_complete(self, device):
+        out = device.malloc(4 * 64)
+        device.launch(COUNTER, grid=64, block=32, params=[out])
+        flags = device.read_array(out, (64,), np.uint32)
+        assert (flags == 1).all()
+
+    def test_small_grid_spreads_across_cores(self, device):
+        out = device.malloc(4 * 8)
+        stats = device.launch(COUNTER, grid=8, block=32, params=[out])
+        assert len(stats.cores_used) == 8
+
+    def test_grid_larger_than_chip_wraps(self, device):
+        # 64 CTAs > 30 SMs: every SM used, some get two
+        out = device.malloc(4 * 64)
+        stats = device.launch(COUNTER, grid=64, block=32, params=[out])
+        assert len(stats.cores_used) == 30
+
+    def test_2d_grid_and_block(self, device):
+        kernel = Kernel("k2d", """
+    S2R R0, SR_CTAID_X
+    S2R R1, SR_CTAID_Y
+    S2R R2, SR_TID_X
+    S2R R3, SR_TID_Y
+    ISETP.NE.AND P0, PT, R2, RZ, PT
+@P0 EXIT
+    ISETP.NE.AND P0, PT, R3, RZ, PT
+@P0 EXIT
+    S2R R4, SR_NCTAID_X
+    IMAD R5, R1, R4, R0      ; linear cta id
+    LDC R6, c[0x0]
+    SHL R7, R5, 2
+    IADD R7, R7, R6
+    MOV R8, 1
+    STG [R7], R8
+    EXIT
+""", num_params=1)
+        out = device.malloc(4 * 12)
+        device.launch(kernel, grid=(4, 3), block=(8, 4), params=[out])
+        assert (device.read_array(out, (12,), np.uint32) == 1).all()
+
+
+class TestLaunchStats:
+    def test_cycles_accumulate_across_launches(self, device):
+        out = device.malloc(4 * 8)
+        device.launch(COUNTER, grid=8, block=32, params=[out])
+        first = device.cycle
+        device.launch(COUNTER, grid=8, block=32, params=[out])
+        assert device.cycle > first
+        assert len(device.launches) == 2
+        assert device.launches[1].start_cycle == first
+
+    def test_occupancy_bounded(self, device):
+        out = device.malloc(4 * 8)
+        stats = device.launch(COUNTER, grid=8, block=32, params=[out])
+        assert 0.0 < stats.occupancy <= 1.0
+
+    def test_mean_threads_reflect_block_size(self, device):
+        out = device.malloc(4 * 4)
+        stats = device.launch(COUNTER, grid=4, block=32, params=[out])
+        # one 32-thread CTA per SM; threads drain as warps exit
+        assert 0 < stats.mean_threads_per_sm <= 32
+
+    def test_instructions_counted(self, device):
+        out = device.malloc(4)
+        stats = device.launch(COUNTER, grid=1, block=32, params=[out])
+        assert stats.instructions == len(COUNTER.instructions)
+
+    def test_determinism(self):
+        cycles = []
+        for _ in range(2):
+            dev = Device("RTX2060")
+            out = dev.malloc(4 * 16)
+            dev.launch(COUNTER, grid=16, block=32, params=[out])
+            cycles.append(dev.cycle)
+        assert cycles[0] == cycles[1]
+
+
+class TestSchedulerPolicies:
+    def _run(self, policy):
+        dev = Device("RTX2060")
+        dev.set_scheduler_policy(policy)
+        bench_out = dev.malloc(4 * 64)
+        dev.launch(COUNTER, grid=64, block=32, params=[bench_out])
+        return dev.cycle
+
+    def test_lrr_and_gto_both_complete(self):
+        assert self._run("gto") > 0
+        assert self._run("lrr") > 0
+
+    def test_unknown_policy_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.set_scheduler_policy("fifo")
+
+
+class TestKernelLaunchValidation:
+    def test_param_count_enforced(self):
+        with pytest.raises(ValueError, match="expects 1 parameter"):
+            KernelLaunch.create(COUNTER, grid=1, block=32, params=[])
+
+    def test_float_params_packed_as_bits(self):
+        kernel = Kernel("k", "    EXIT", num_params=1)
+        launch = KernelLaunch.create(kernel, grid=1, block=32, params=[1.0])
+        assert launch.params[0] == 0x3F800000
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            KernelLaunch.create(COUNTER, grid=0, block=32, params=[0])
+
+    def test_warps_per_cta_rounds_up(self):
+        kernel = Kernel("k", "    EXIT")
+        launch = KernelLaunch.create(kernel, grid=1, block=33)
+        assert launch.warps_per_cta == 2

@@ -1,0 +1,195 @@
+"""The L1 instruction cache extension: encoding, fetch, injection."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import make_benchmark
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.injector import Injector
+from repro.faults.mask import FaultMask
+from repro.faults.targets import CHIP_STRUCTURES, Structure
+from repro.isa.encoding import (WORD_BYTES, DecodeError,
+                                decode_instruction, encode_instruction,
+                                encode_kernel)
+from repro.isa.operands import Immediate
+from repro.sim.cards import rtx_2060
+from repro.sim.device import Device
+from repro.sim.errors import SimulationError
+from repro.sim.kernel import Kernel
+
+
+def icache_card(**extra):
+    return dataclasses.replace(rtx_2060(), model_icache=True, **extra)
+
+
+SPIN = Kernel("icache_spin", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    MOV R10, 0x111
+    MOV R11, 0
+loop:
+    IADD R11, R11, 1
+    ISETP.LT.AND P0, PT, R11, 200, PT
+@P0 BRA loop
+    STG [R9], R10
+    EXIT
+""", num_params=1)
+
+
+class TestEncoding:
+    def test_word_size(self):
+        inst = SPIN.instructions[0]
+        assert len(encode_instruction(inst)) == WORD_BYTES
+
+    def test_kernel_image_size(self):
+        assert len(SPIN.binary) == WORD_BYTES * len(SPIN.instructions)
+
+    def test_all_workload_kernels_roundtrip(self):
+        from repro.bench import BENCHMARK_CLASSES
+
+        def canon(op):
+            return ("imm", op.value) if isinstance(op, Immediate) else op
+
+        for cls in BENCHMARK_CLASSES:
+            for kernel in cls().kernels():
+                for inst in kernel.instructions:
+                    back = decode_instruction(encode_instruction(inst),
+                                              inst.pc)
+                    assert back.opcode == inst.opcode
+                    assert back.modifiers == inst.modifiers
+                    assert back.guard == inst.guard
+                    assert back.dsts == inst.dsts
+                    if inst.is_branch:
+                        assert back.target_pc == inst.target_pc
+                        assert back.reconv_pc == inst.reconv_pc
+                    else:
+                        assert tuple(map(canon, back.srcs)) == \
+                            tuple(map(canon, inst.srcs))
+
+    def test_invalid_opcode_raises(self):
+        word = bytearray(encode_instruction(SPIN.instructions[0]))
+        word[0] = 0xFF
+        with pytest.raises(DecodeError):
+            decode_instruction(bytes(word), 0)
+
+    def test_truncated_word_raises(self):
+        with pytest.raises(DecodeError):
+            decode_instruction(b"\x00" * 4, 0)
+
+    @given(st.binary(min_size=WORD_BYTES, max_size=WORD_BYTES))
+    @settings(max_examples=150, deadline=None)
+    def test_random_words_never_crash_the_decoder(self, word):
+        """Arbitrary bit patterns either decode or raise DecodeError --
+        never any other exception."""
+        try:
+            decode_instruction(word, 0)
+        except DecodeError:
+            pass
+
+
+class TestFetchPath:
+    def test_benchmark_passes_with_icache(self):
+        dev = Device(icache_card())
+        assert make_benchmark("vectoradd").run(dev)
+        l1i = dev.gpu.cores[0].l1i
+        assert l1i.stats.accesses > 0 and l1i.stats.hits > 0
+
+    def test_icache_off_by_default(self):
+        dev = Device("RTX2060")
+        out = dev.malloc(128)
+        dev.launch(SPIN, grid=1, block=32, params=[out])
+        assert dev.gpu.cores[0].l1i.stats.accesses == 0
+
+    def test_fetch_misses_cost_cycles(self):
+        cycles = {}
+        for label, card in (("on", icache_card()),
+                            ("off", rtx_2060())):
+            dev = Device(card)
+            out = dev.malloc(128)
+            dev.launch(SPIN, grid=1, block=32, params=[out])
+            cycles[label] = dev.cycle
+        assert cycles["on"] > cycles["off"]
+
+    def test_determinism(self):
+        def run():
+            dev = Device(icache_card())
+            out = dev.malloc(128)
+            dev.launch(SPIN, grid=1, block=32, params=[out])
+            return dev.cycle
+
+        assert run() == run()
+
+
+class TestIcacheInjection:
+    def _line_index_for_pc(self, dev, kernel, pc):
+        card = dev.config
+        base = dev.gpu.code_base(kernel) + pc * WORD_BYTES
+        base -= base % card.l1i.line_bytes
+        set_idx = (base // card.l1i.line_bytes) % card.l1i.num_sets
+        return set_idx * card.l1i.assoc  # way 0: first fill of the set
+
+    def test_loop_body_word_flip_changes_behaviour(self):
+        """Flipping bits of the loop-body IADD word (re-fetched every
+        iteration) must produce at least one non-clean outcome: SDC,
+        illegal instruction, timeout, or a timing change."""
+        from repro.sim.errors import SimTimeout
+
+        golden = Device(icache_card())
+        out = golden.malloc(128)
+        golden.launch(SPIN, grid=1, block=32, params=[out])
+        golden_cycles = golden.cycle
+
+        outcomes = set()
+        for bit in (0, 1, 2, 32, 33, 96, 100):
+            dev = Device(icache_card())
+            dev.set_cycle_budget(4 * golden_cycles)
+            # pc 6 is the loop's "IADD R11, R11, 1"
+            line_index = self._line_index_for_pc(dev, SPIN, 6)
+            word_bit = 57 + 6 * WORD_BYTES * 8 + bit
+            mask = FaultMask(structure=Structure.L1I_CACHE, cycle=300,
+                             entry_index=line_index,
+                             bit_offsets=(word_bit,), seed=1, n_cores=30)
+            dev.set_injector(Injector([mask]))
+            out = dev.malloc(128)
+            try:
+                dev.launch(SPIN, grid=1, block=32, params=[out])
+                values = dev.read_array(out, (32,), np.uint32)
+                if (values != 0x111).any():
+                    outcomes.add("sdc")
+                elif dev.cycle != golden_cycles:
+                    outcomes.add("performance")
+                else:
+                    outcomes.add("ok")
+            except SimTimeout:
+                outcomes.add("timeout")
+            except SimulationError:
+                outcomes.add("crash")
+        assert outcomes - {"ok"}, \
+            f"at least one icache flip must change behaviour: {outcomes}"
+
+    def test_invalid_line_flip_masked(self):
+        dev = Device(icache_card())
+        mask = FaultMask(structure=Structure.L1I_CACHE, cycle=300,
+                         entry_index=dev.config.l1i.num_lines - 1,
+                         bit_offsets=(60,), seed=2)
+        dev.set_injector(Injector([mask]))
+        out = dev.malloc(128)
+        dev.launch(SPIN, grid=1, block=32, params=[out])
+        assert (dev.read_array(out, (32,), np.uint32) == 0x111).all()
+
+    def test_campaign_over_l1i(self):
+        result = Campaign(CampaignConfig(
+            benchmark="vectoradd", card="RTX2060",
+            structures=(Structure.L1I_CACHE,),
+            runs_per_structure=4, seed=3)).run()
+        assert result.runs("vectorAdd", Structure.L1I_CACHE) == 4
+
+    def test_l1i_not_in_chip_avf(self):
+        assert Structure.L1I_CACHE not in CHIP_STRUCTURES
+        assert not Structure.L1I_CACHE.on_chip

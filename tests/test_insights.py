@@ -1,0 +1,129 @@
+"""Campaign-log insight mining."""
+
+import pytest
+
+from repro.analysis.insights import (bit_position_sensitivity,
+                                     field_breakdown, phase_histogram,
+                                     render_sensitivity, target_breakdown)
+from repro.faults.targets import Structure
+
+
+def record(effect="SDC", bits=(3,), cycle=100, golden=1000,
+           structure="register_file", target="thread", fields=(),
+           synthesized=False):
+    injections = []
+    if target:
+        injection = {"target": target}
+        if fields:
+            injection["flips"] = [{"field": f} for f in fields]
+        injections.append(injection)
+    return {
+        "effect": effect,
+        "structure": structure,
+        "golden_cycles": golden,
+        "synthesized": synthesized,
+        "mask": {"bit_offsets": list(bits), "cycle": cycle},
+        "injections": injections,
+    }
+
+
+class TestBitSensitivity:
+    def test_counts_per_bit(self):
+        records = [record(bits=(3,)), record(bits=(3,), effect="Masked"),
+                   record(bits=(7,), effect="Crash")]
+        out = bit_position_sensitivity(records)
+        assert out[3] == (2, 1)
+        assert out[7] == (1, 1)
+
+    def test_bucketing(self):
+        records = [record(bits=(0,)), record(bits=(7,), effect="Masked")]
+        out = bit_position_sensitivity(records, bucket=8)
+        assert out == {0: (2, 1)}
+
+    def test_structure_filter(self):
+        records = [record(structure="register_file"),
+                   record(structure="l2_cache", bits=(9,))]
+        out = bit_position_sensitivity(records, Structure.L2_CACHE)
+        assert list(out) == [9]
+
+    def test_synthesized_excluded(self):
+        out = bit_position_sensitivity([record(synthesized=True)])
+        assert out == {}
+
+    def test_multibit_counts_each_bit(self):
+        out = bit_position_sensitivity([record(bits=(1, 2, 3))])
+        assert len(out) == 3
+
+    def test_render(self):
+        text = render_sensitivity(bit_position_sensitivity(
+            [record(bits=(3,)), record(bits=(3,), effect="Masked")]))
+        assert "bit    3" in text and "1/2" in text
+
+    def test_render_empty(self):
+        assert "no applicable" in render_sensitivity({})
+
+
+class TestFieldBreakdown:
+    def test_tag_vs_data(self):
+        records = [record(structure="l2_cache", fields=("tag",),
+                          effect="Performance"),
+                   record(structure="l2_cache", fields=("data",),
+                          effect="SDC"),
+                   record(structure="l2_cache", target="none")]
+        out = field_breakdown(records, Structure.L2_CACHE)
+        assert out["tag"] == {"Performance": 1}
+        assert out["data"] == {"SDC": 1}
+        assert out["none"] == {"SDC": 1}  # default effect in helper
+
+    def test_mixed_fields(self):
+        out = field_breakdown([record(fields=("tag", "data"))])
+        assert "data+tag" in out
+
+
+class TestPhaseHistogram:
+    def test_binning(self):
+        records = [record(cycle=50, golden=1000),           # phase 0.05
+                   record(cycle=950, golden=1000,
+                          effect="Masked")]                 # phase 0.95
+        hist = phase_histogram(records, bins=10)
+        assert hist[0][1:] == (1, 1)
+        assert hist[9][1:] == (1, 0)
+
+    def test_cycle_at_end_clamped(self):
+        hist = phase_histogram([record(cycle=1000, golden=1000)], bins=4)
+        assert hist[3][1] == 1
+
+    def test_missing_golden_skipped(self):
+        hist = phase_histogram([record(golden=0)], bins=4)
+        assert all(runs == 0 for _, runs, _ in hist)
+
+
+class TestTargetBreakdown:
+    def test_counts(self):
+        records = [record(target="thread"), record(target="warp"),
+                   record(target="none"), record(synthesized=True)]
+        out = target_breakdown(records)
+        assert out == {"thread": 1, "warp": 1, "none": 1,
+                       "synthesized": 1}
+
+    def test_unapplied(self):
+        rec = record()
+        rec["injections"] = []
+        assert target_breakdown([rec]) == {"not_applied": 1}
+
+
+class TestOnRealCampaign:
+    def test_end_to_end(self):
+        from repro.faults.campaign import Campaign, CampaignConfig
+
+        result = Campaign(CampaignConfig(
+            benchmark="vectoradd", card="RTX2060",
+            structures=(Structure.REGISTER_FILE,),
+            runs_per_structure=10, seed=17)).run()
+        sensitivity = bit_position_sensitivity(result.records, bucket=8)
+        assert sum(runs for runs, _ in sensitivity.values()) == 10
+        targets = target_breakdown(result.records)
+        assert targets.get("thread", 0) + targets.get("none", 0) + \
+            targets.get("not_applied", 0) == 10
+        hist = phase_histogram(result.records, bins=5)
+        assert sum(runs for _, runs, _ in hist) == 10

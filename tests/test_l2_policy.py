@@ -1,0 +1,70 @@
+"""The l2_service_all configuration (paper section II.B ablation)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench import make_benchmark
+from repro.sim.cards import rtx_2060
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+
+LOAD_STORE = Kernel("load_store", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    LDG R10, [R9]
+    IADD R10, R10, 1
+    STG [R9], R10
+    EXIT
+""", num_params=1)
+
+
+def bypass_card():
+    return dataclasses.replace(rtx_2060(), l2_service_all=False)
+
+
+class TestL2Bypass:
+    def test_functional_correctness_preserved(self):
+        dev = Device(bypass_card())
+        src = np.arange(32, dtype=np.uint32)
+        ptr = dev.to_device(src)
+        dev.launch(LOAD_STORE, grid=1, block=32, params=[ptr])
+        assert np.array_equal(dev.read_array(ptr, (32,), np.uint32),
+                              src + 1)
+
+    def test_l2_not_used_for_global(self):
+        dev = Device(bypass_card())
+        ptr = dev.to_device(np.arange(32, dtype=np.uint32))
+        before = dev.gpu.l2.stats.accesses
+        dev.launch(LOAD_STORE, grid=1, block=32, params=[ptr])
+        assert dev.gpu.l2.stats.accesses == before
+
+    def test_texture_still_uses_l2(self):
+        tex_kernel = Kernel("tex_read", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    TLD R10, [R9]
+    EXIT
+""", num_params=1)
+        dev = Device(bypass_card())
+        ptr = dev.to_device(np.arange(32, dtype=np.uint32))
+        dev.launch(tex_kernel, grid=1, block=32, params=[ptr])
+        assert dev.gpu.l2.stats.accesses > 0
+
+    def test_bypass_is_slower(self):
+        cycles = {}
+        for label, card in (("all", rtx_2060()), ("tex", bypass_card())):
+            dev = Device(card)
+            assert make_benchmark("pathfinder").run(dev)
+            cycles[label] = dev.cycle
+        assert cycles["tex"] >= cycles["all"]
+
+    def test_benchmarks_still_pass(self):
+        for name in ("vectoradd", "bfs"):
+            dev = Device(bypass_card())
+            assert make_benchmark(name).run(dev), name

@@ -1,0 +1,74 @@
+"""Consistency of the opcode table, handlers, and latency coverage."""
+
+import pytest
+
+from repro.isa.opcodes import (ATOMIC_MODIFIERS, MUFU_MODIFIERS, OPCODES,
+                               OpClass)
+from repro.sim.exec_unit import HANDLERS, _MUFU_FN
+
+
+class TestTableCompleteness:
+    def test_every_alu_opcode_has_a_handler(self):
+        for name, spec in OPCODES.items():
+            if spec.klass in (OpClass.MOVE, OpClass.INT, OpClass.FLOAT,
+                              OpClass.SFU, OpClass.PRED, OpClass.NOP):
+                assert name in HANDLERS, f"{name} has no exec handler"
+
+    def test_no_orphan_handlers(self):
+        for name in HANDLERS:
+            assert name in OPCODES
+
+    def test_memory_and_control_have_no_alu_handler(self):
+        for name, spec in OPCODES.items():
+            if spec.is_memory or spec.is_control:
+                assert name not in HANDLERS, name
+
+    def test_mufu_functions_cover_modifiers(self):
+        assert set(_MUFU_FN) == set(MUFU_MODIFIERS)
+
+    def test_atomic_modifiers_supported_by_l2_rmw(self):
+        from repro.sim.cards import rtx_2060
+        from repro.sim.gpu import GPU
+
+        gpu = GPU(rtx_2060())
+        gpu.memory.malloc(64)
+        for op in ATOMIC_MODIFIERS:
+            gpu.l2_rmw(0x1000, op, 1)  # must not raise
+
+    def test_memory_opcodes_declare_a_space(self):
+        for name, spec in OPCODES.items():
+            if spec.is_memory:
+                assert spec.space, f"{name} missing memory space"
+            else:
+                assert not spec.space, name
+
+    def test_loads_have_one_reg_dst(self):
+        for name, spec in OPCODES.items():
+            if spec.klass is OpClass.LOAD:
+                assert spec.dsts == ("R",), name
+
+    def test_stores_have_no_dst(self):
+        for name, spec in OPCODES.items():
+            if spec.klass is OpClass.STORE:
+                assert spec.dsts == (), name
+
+    def test_required_modifiers_within_declared(self):
+        for name, spec in OPCODES.items():
+            assert spec.required_modifiers <= len(spec.modifiers), name
+
+
+class TestBenchmarksUseTheISA:
+    def test_isa_coverage_by_workloads(self):
+        """The 12 workloads collectively exercise most of the ISA."""
+        from repro.bench import BENCHMARK_CLASSES
+
+        used = set()
+        for cls in BENCHMARK_CLASSES:
+            for kernel in cls().kernels():
+                used.update(inst.opcode for inst in kernel.instructions)
+        expected = {"S2R", "MOV", "IADD", "ISUB", "IMUL", "IMAD", "IMNMX",
+                    "SHL", "SHR", "AND", "ISETP", "FSETP", "FADD", "FMUL",
+                    "FFMA", "FMNMX", "MUFU", "LDG", "STG", "TLD", "LDS",
+                    "STS", "LDL", "STL", "LDC", "BRA", "BAR", "EXIT"}
+        missing = expected - used
+        assert not missing, f"workloads never use: {sorted(missing)}"

@@ -1,0 +1,45 @@
+"""Cross-process reproducibility: identical seeds => identical results.
+
+Campaign results must not depend on Python hash randomisation, dict
+ordering, or any other process-specific state — a reliability study
+must be exactly replayable from its configuration.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+_SCRIPT = """
+import json
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.targets import Structure
+
+result = Campaign(CampaignConfig(
+    benchmark="pathfinder", card="RTX2060",
+    structures=(Structure.REGISTER_FILE, Structure.L2_CACHE),
+    runs_per_structure=4, seed=1234)).run()
+out = {
+    "golden_cycles": result.golden_cycles,
+    "effects": sorted((rec["structure"], rec["run"], rec["effect"],
+                       rec["mask"]["cycle"], rec["mask"]["entry_index"])
+                      for rec in result.records),
+}
+print(json.dumps(out))
+"""
+
+
+def _run_once(hashseed: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT], capture_output=True, text=True,
+        timeout=600, env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin"
+                          ":/bin:/usr/local/bin"})
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_identical_across_processes_and_hash_seeds():
+    a = _run_once("0")
+    b = _run_once("424242")
+    assert a == b

@@ -1,0 +1,59 @@
+"""Statistical-significance helpers (Leveugle et al. sampling)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (margin_of_error,
+                                       required_injections)
+
+
+class TestRequiredInjections:
+    def test_paper_scale_campaign(self):
+        # a few thousand injections suffice for ~2% error at 99%
+        # confidence over a huge population (the paper's 3,000 figure
+        # corresponds to e ~ 2.35%; <2% needs ~4,148)
+        n = required_injections(1e12, error=0.02, confidence=0.99)
+        assert 4000 < n < 4300
+
+    def test_small_population_needs_fewer(self):
+        assert required_injections(1000, error=0.02) < 1000
+
+    def test_tighter_error_needs_more(self):
+        loose = required_injections(1e12, error=0.05)
+        tight = required_injections(1e12, error=0.01)
+        assert tight > loose
+
+    def test_invalid_error(self):
+        with pytest.raises(ValueError):
+            required_injections(1e6, error=0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            required_injections(1e6, confidence=0.42)
+
+
+class TestMarginOfError:
+    def test_paper_3000_runs(self):
+        # 3,000 injections -> ~2.35% at 99% confidence
+        e = margin_of_error(3000)
+        assert e == pytest.approx(0.0235, abs=0.001)
+
+    def test_zero_runs_is_total_uncertainty(self):
+        assert margin_of_error(0) == 1.0
+
+    def test_exhaustive_sampling_is_exact(self):
+        assert margin_of_error(100, population=100) == 0.0
+
+    def test_more_runs_tighter(self):
+        assert margin_of_error(1000) > margin_of_error(4000)
+
+    @given(st.integers(10, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_consistency(self, n):
+        """required_injections(margin_of_error(n)) ~ n for big N."""
+        e = margin_of_error(n, population=1e15)
+        recovered = required_injections(1e15, error=e)
+        assert abs(recovered - n) <= max(1, 0.01 * n)  # ceil slack

@@ -1,0 +1,91 @@
+"""Instruction-level tracer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.device import Device
+from repro.sim.kernel import Kernel
+from repro.sim.trace import Tracer
+
+KERNEL = Kernel("traced", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    MOV R10, 5
+    STG [R9], R10
+    EXIT
+""", num_params=1)
+
+
+def run_traced(**tracer_kwargs):
+    dev = Device("RTX2060")
+    tracer = Tracer(**tracer_kwargs).attach(dev)
+    out = dev.malloc(128)
+    dev.launch(KERNEL, grid=1, block=32, params=[out])
+    return tracer
+
+
+class TestTracer:
+    def test_records_every_issue(self):
+        tracer = run_traced()
+        assert len(tracer.records) == len(KERNEL.instructions)
+        assert tracer.records[0].text == "S2R R0, SR_TID_X"
+        assert tracer.records[-1].text == "EXIT"
+
+    def test_cycles_monotonic(self):
+        tracer = run_traced()
+        cycles = [r.cycle for r in tracer.records]
+        assert cycles == sorted(cycles)
+
+    def test_opcode_filter(self):
+        tracer = run_traced(opcodes=["STG"])
+        assert len(tracer.records) == 1
+        assert tracer.records[0].pc == 5
+
+    def test_kernel_filter(self):
+        tracer = run_traced(kernels=["other"])
+        assert not tracer.records
+
+    def test_core_filter(self):
+        tracer = run_traced(cores=[0])
+        assert len(tracer.records) == len(KERNEL.instructions)
+        tracer = run_traced(cores=[7])
+        assert not tracer.records  # single CTA lands on core 0
+
+    def test_ring_buffer(self):
+        tracer = run_traced(max_records=3)
+        assert len(tracer.records) == 3
+        assert tracer.dropped == len(KERNEL.instructions) - 3
+        assert tracer.records[-1].text == "EXIT"
+
+    def test_render(self):
+        tracer = run_traced()
+        text = tracer.render(limit=2)
+        assert "EXIT" in text and "records" in text
+
+    def test_between(self):
+        tracer = run_traced()
+        last = tracer.records[-1].cycle
+        assert tracer.between(0, last + 1) == tracer.records
+        assert tracer.between(last + 1, last + 2) == []
+
+    def test_touching_register(self):
+        tracer = run_traced()
+        touching = tracer.touching_register(10)
+        assert {r.text for r in touching} == {"MOV R10, 5",
+                                              "STG [R9], R10"}
+        # R1 must not match R10
+        assert not tracer.touching_register(1)
+
+    def test_active_lane_counts(self):
+        tracer = run_traced()
+        assert all(r.active_lanes == 32 for r in tracer.records)
+
+    def test_detach(self):
+        dev = Device("RTX2060")
+        tracer = Tracer().attach(dev)
+        Tracer.detach(dev)
+        out = dev.malloc(128)
+        dev.launch(KERNEL, grid=1, block=32, params=[out])
+        assert not tracer.records

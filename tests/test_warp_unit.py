@@ -1,0 +1,159 @@
+"""Direct unit tests of the Warp and CTA state objects."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cta import CTA
+from repro.sim.errors import MemoryViolation
+from repro.sim.kernel import Kernel, KernelLaunch
+from repro.sim.warp import StackEntry, Warp
+
+
+class _FakeCTA:
+    def on_warp_done(self):
+        self.done_called = True
+
+
+def make_warp(num_threads=32, num_regs=8, local_bytes=0):
+    return Warp(0, num_threads, num_regs, local_bytes, cta=_FakeCTA(),
+                age=0)
+
+
+class TestWarpState:
+    def test_initial_masks(self):
+        warp = make_warp(num_threads=20)
+        assert warp.active_mask().sum() == 20
+        assert warp.live_count == 20
+        assert list(warp.live_lanes()) == list(range(20))
+
+    def test_pt_predicate_always_true(self):
+        warp = make_warp()
+        assert warp.preds[7].all()
+
+    def test_stack_pop_on_empty_mask(self):
+        warp = make_warp(num_threads=4)
+        warp.exited[:] = True
+        warp.normalize_stack()
+        assert warp.done
+        assert warp.cta.done_called
+
+    def test_stack_pop_on_reconvergence(self):
+        warp = make_warp()
+        mask = np.ones(32, dtype=bool)
+        warp.stack.append(StackEntry(7, mask.copy(), 7))  # pc == reconv
+        warp.normalize_stack()
+        assert len(warp.stack) == 1
+
+    def test_done_transition_fires_once(self):
+        warp = make_warp(num_threads=1)
+
+        calls = []
+        warp.cta.on_warp_done = lambda: calls.append(1)
+        warp.exited[:] = True
+        warp.normalize_stack()
+        warp.normalize_stack()
+        assert calls == [1]
+
+
+class TestScoreboard:
+    def make_inst(self, srcs=(), dsts=()):
+        class FakeInst:
+            def __init__(self, s, d):
+                self._s, self._d = s, d
+
+            def scoreboard_sets(self):
+                return (tuple(self._s), tuple(self._d), (), ())
+
+        return FakeInst(srcs, dsts)
+
+    def test_ready_when_untracked(self):
+        warp = make_warp()
+        assert warp.operands_ready_at(self.make_inst(srcs=(1, 2))) == 0
+
+    def test_raw_hazard(self):
+        warp = make_warp()
+        warp.mark_writes(self.make_inst(dsts=(3,)), completion_cycle=50)
+        assert warp.operands_ready_at(self.make_inst(srcs=(3,))) == 50
+
+    def test_waw_hazard(self):
+        warp = make_warp()
+        warp.mark_writes(self.make_inst(dsts=(3,)), completion_cycle=40)
+        assert warp.operands_ready_at(self.make_inst(dsts=(3,))) == 40
+
+    def test_sb_latest_fast_path(self):
+        warp = make_warp()
+        warp.mark_writes(self.make_inst(dsts=(3,)), completion_cycle=99)
+        assert warp.sb_latest == 99
+        warp.mark_writes(self.make_inst(dsts=(4,)), completion_cycle=50)
+        assert warp.sb_latest == 99  # keeps the max
+
+
+class TestWarpLocalMemory:
+    def test_roundtrip(self):
+        warp = make_warp(local_bytes=32)
+        warp.local_write(5, 8, 0xABCD)
+        assert warp.local_read(5, 8) == 0xABCD
+        assert warp.local_read(4, 8) == 0  # thread-private
+
+    def test_oob(self):
+        warp = make_warp(local_bytes=32)
+        with pytest.raises(MemoryViolation):
+            warp.local_read(0, 32)
+
+    def test_no_local_mem(self):
+        warp = make_warp(local_bytes=0)
+        with pytest.raises(MemoryViolation):
+            warp.local_write(0, 0, 1)
+
+
+class TestCTAUnit:
+    def make_cta(self, block=(32, 1), smem=256):
+        kernel = Kernel("k", "    EXIT", smem_bytes=smem)
+        launch = KernelLaunch.create(kernel, grid=1, block=block)
+        return CTA((0, 0), launch, core=None, age_base=0,
+                   smem_ceiling=64 * 1024)
+
+    def test_special_registers_2d(self):
+        kernel = Kernel("k", "    EXIT")
+        launch = KernelLaunch.create(kernel, grid=(2, 3), block=(8, 4))
+        cta = CTA((1, 2), launch, core=None, age_base=0,
+                  smem_ceiling=64 * 1024)
+        warp = cta.warps[0]
+        assert warp.sregs["SR_CTAID_X"][0] == 1
+        assert warp.sregs["SR_CTAID_Y"][0] == 2
+        assert warp.sregs["SR_NTID_X"][0] == 8
+        assert warp.sregs["SR_TID_X"][9] == 1   # linear 9 -> (1, 1)
+        assert warp.sregs["SR_TID_Y"][9] == 1
+
+    def test_smem_roundtrip(self):
+        cta = self.make_cta()
+        cta.smem_write(12, 77)
+        assert cta.smem_read(12) == 77
+
+    def test_smem_misaligned(self):
+        cta = self.make_cta()
+        with pytest.raises(MemoryViolation, match="misaligned"):
+            cta.smem_read(6)
+
+    def test_smem_alias_within_window(self):
+        cta = self.make_cta(smem=256)
+        cta.smem_write(0, 42)
+        assert cta.smem_read(256) == 42  # wraps into own allocation
+
+    def test_smem_beyond_window_faults(self):
+        cta = self.make_cta()
+        with pytest.raises(MemoryViolation):
+            cta.smem_read(64 * 1024)
+
+    def test_barrier_release_all_live(self):
+        cta = self.make_cta(block=(64, 1))
+        for warp in cta.warps:
+            warp.at_barrier = True
+        assert cta.try_release_barrier()
+        assert not any(w.at_barrier for w in cta.warps)
+
+    def test_barrier_waits_for_stragglers(self):
+        cta = self.make_cta(block=(64, 1))
+        cta.warps[0].at_barrier = True
+        assert not cta.try_release_barrier()
+        assert cta.warps[0].at_barrier
