@@ -13,6 +13,9 @@ Scaling knobs (environment):
   margin of error actually achieved.
 - ``GPUFI_CARDS`` -- comma list of cards (default: all three).
 - ``GPUFI_BENCHMARKS`` -- comma list of workloads (default: all 12).
+- ``GPUFI_JOBS`` -- worker processes per campaign (default 1).
+  Results are byte-identical for any value (order-independent
+  per-run seeding), so this is a pure wall-clock knob.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.faults.campaign import (AppProfile, Campaign, CampaignConfig,
                                    CampaignResult, profile_application)
 
 RUNS = int(os.environ.get("GPUFI_RUNS", "16"))
+JOBS = int(os.environ.get("GPUFI_JOBS", "1"))
 
 ALL_CARDS = ("RTX2060", "QuadroGV100", "GTXTitan")
 CARDS = tuple(c.strip() for c in os.environ.get(
@@ -74,7 +78,7 @@ def get_campaign(benchmark: str, card: str, bits: int = 1,
         print(f"\n[campaign] {benchmark} on {card} "
               f"({bits}-bit, {RUNS} runs/structure)...",
               file=sys.stderr, flush=True)
-        result = Campaign(config).run()
+        result = Campaign(config).run(jobs=JOBS)
         _campaigns[key] = result
         _profiles.setdefault((benchmark, card), result.profile)
     return _campaigns[key]

@@ -1,0 +1,115 @@
+"""Executor scaling: wall-clock of ``jobs=1`` vs ``jobs=N``.
+
+Measures one fixed campaign (planned once, so profiling cost is
+excluded) executed serially and on a worker pool, asserts the
+aggregated records are byte-identical, and reports the speedup.
+
+Run standalone for the acceptance measurement::
+
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py \
+        --runs 100 --jobs 4
+
+or under pytest-benchmark with the other benches
+(``GPUFI_SCALING_RUNS`` / ``GPUFI_SCALING_JOBS`` scale it).  The >= 2x
+speedup assertion only applies when the machine actually has the
+cores: on a box with fewer than ``2 * jobs`` usable CPUs the measured
+ratio is reported but not enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from _harness import emit
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.targets import Structure
+
+RUNS = int(os.environ.get("GPUFI_SCALING_RUNS", "32"))
+JOBS = int(os.environ.get("GPUFI_SCALING_JOBS", "4"))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def measure(runs: int, jobs: int):
+    """Time the same planned campaign at jobs=1 and jobs=``jobs``."""
+    def fresh_campaign():
+        campaign = Campaign(CampaignConfig(
+            benchmark="vectoradd", card="RTX2060",
+            structures=(Structure.REGISTER_FILE,),
+            runs_per_structure=runs, seed=2022))
+        return campaign, campaign.plan()
+
+    timings = {}
+    records = {}
+    for n in (1, jobs):
+        campaign, specs = fresh_campaign()
+        start = time.perf_counter()
+        recs = campaign.execute(specs, jobs=n)
+        timings[n] = time.perf_counter() - start
+        records[n] = campaign.aggregate(recs)
+    return timings, records
+
+
+def report(runs: int, jobs: int):
+    timings, results = measure(runs, jobs)
+    identical = (json.dumps(results[1].records)
+                 == json.dumps(results[jobs].records))
+    speedup = timings[1] / timings[jobs] if timings[jobs] else 0.0
+    cpus = _usable_cpus()
+    lines = [
+        f"campaign: vectoradd/register_file, {runs} runs, "
+        f"{cpus} usable CPU(s)",
+        f"jobs=1:      {timings[1]:8.2f}s  "
+        f"({runs / timings[1]:.2f} runs/s)",
+        f"jobs={jobs}:      {timings[jobs]:8.2f}s  "
+        f"({runs / timings[jobs]:.2f} runs/s)",
+        f"speedup:     {speedup:.2f}x",
+        f"aggregated records byte-identical: {identical}",
+    ]
+    return speedup, identical, cpus, "\n".join(lines)
+
+
+def test_executor_scaling(benchmark):
+    def once():
+        return report(RUNS, JOBS)
+
+    speedup, identical, cpus, text = benchmark.pedantic(
+        once, rounds=1, iterations=1)
+    emit("executor_scaling", text)
+    assert identical, "jobs=1 and jobs=N records diverged"
+    if cpus >= 2 * JOBS:
+        assert speedup >= 2.0, text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=100)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    speedup, identical, cpus, text = report(args.runs, args.jobs)
+    print(text)
+    if not identical:
+        print("FAIL: parallel records diverged from serial", file=sys.stderr)
+        return 1
+    if cpus >= 2 * args.jobs and speedup < 2.0:
+        print(f"FAIL: speedup {speedup:.2f}x < 2x with {cpus} CPUs",
+              file=sys.stderr)
+        return 1
+    if cpus < 2 * args.jobs:
+        print(f"note: only {cpus} usable CPU(s); speedup target "
+              "not enforced", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

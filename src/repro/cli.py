@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--model-icache", action="store_true",
                           help="model + inject the L1 instruction cache")
     campaign.add_argument("--log", help="JSONL output path")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the injection runs "
+                               "(results are identical for any count)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip runs already recorded in --log "
+                               "(resume an interrupted campaign)")
     campaign.add_argument("--markdown",
                           help="write a full Markdown report here")
 
@@ -134,8 +140,12 @@ def _campaign_config(args) -> CampaignConfig:
 
 def _cmd_campaign(args) -> int:
     config = _campaign_config(args)
+    if args.resume and config.log_path is None:
+        raise SystemExit("--resume needs --log (the file to resume from)")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
     campaign = Campaign(config, progress=lambda msg: print(f"  .. {msg}"))
-    result = campaign.run()
+    result = campaign.run(jobs=args.jobs, resume=args.resume)
     print(result.summary())
     error = margin_of_error(config.runs_per_structure)
     print(f"per-structure margin of error: +/-{error * 100:.1f}% "

@@ -24,16 +24,28 @@ from repro.faults.campaign import (
 from repro.faults.classify import FaultEffect, classify_run
 from repro.faults.config_file import dump_config, load_config, \
     parse_config_text
+from repro.faults.executor import (CampaignExecutor, RunSpec,
+                                   execute_run)
 from repro.faults.injector import Injector
-from repro.faults.mask import FaultMask, MaskGenerator, MultiBitMode
-from repro.faults.parser import aggregate_records, load_records
+from repro.faults.mask import (FaultMask, MaskGenerator, MultiBitMode,
+                               derive_run_seed, rng_for_run)
+from repro.faults.parser import (aggregate_records, load_records,
+                                 scan_completed_records)
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure
+from repro.sim.device import RunOptions
 
 __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignResult",
+    "CampaignExecutor",
+    "RunSpec",
+    "RunOptions",
+    "execute_run",
+    "derive_run_seed",
+    "rng_for_run",
+    "scan_completed_records",
     "KernelProfile",
     "profile_application",
     "FaultEffect",

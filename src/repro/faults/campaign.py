@@ -14,17 +14,14 @@ complete application execution on a fresh device.
 
 from __future__ import annotations
 
-import json
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect, classify_run
-from repro.faults.injector import Injector
-from repro.faults.mask import FaultMask, MaskGenerator, MultiBitMode
+from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect
+from repro.faults.executor import CampaignExecutor, RunSpec
+from repro.faults.mask import MultiBitMode, derive_run_seed
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure, supported_structures
 from repro.sim.cards import get_card
@@ -241,126 +238,117 @@ class CampaignResult:
 
 
 class Campaign:
-    """Runs a full injection campaign and aggregates the results."""
+    """Runs a full injection campaign and aggregates the results.
+
+    The campaign is a three-phase pipeline, each phase public:
+
+    1. :meth:`plan` profiles the fault-free application once and
+       enumerates every injection run as an addressable
+       :class:`~repro.faults.executor.RunSpec` whose seed is derived
+       from ``(campaign seed, kernel, structure, run_index)``;
+    2. :meth:`execute` dispatches the specs -- serially or on a worker
+       pool -- via :class:`~repro.faults.executor.CampaignExecutor`;
+    3. :meth:`aggregate` folds the result records into a
+       :class:`CampaignResult`.
+
+    :meth:`run` chains the three, so existing callers are unchanged.
+    Because every run's randomness is keyed on its coordinates, the
+    aggregated result is byte-identical for any ``jobs`` count and
+    for resumed runs.
+    """
 
     def __init__(self, config: CampaignConfig,
                  progress: Optional[Callable[[str], None]] = None):
         self.config = config
         self._progress = progress or (lambda msg: None)
+        self.profile: Optional[AppProfile] = None
+        self.golden_cycles: Optional[int] = None
 
-    def run(self) -> CampaignResult:
-        """Profile, inject, classify, aggregate."""
+    def plan(self) -> List[RunSpec]:
+        """Profile the golden run and enumerate every injection run."""
         cfg = self.config
-        card = cfg.resolved_card()
-        profile, golden = profile_application(
-            cfg.benchmark, card, cfg.scheduler_policy)
-        budget = TIMEOUT_FACTOR * golden.cycles
+        if self.profile is None:
+            profile, golden = profile_application(
+                cfg.benchmark, cfg.resolved_card(), cfg.scheduler_policy)
+            self.profile = profile
+            self.golden_cycles = golden.cycles
+        budget = TIMEOUT_FACTOR * self.golden_cycles
 
         target_kernels = (list(cfg.kernels) if cfg.kernels
-                          else sorted(profile.kernels))
+                          else sorted(self.profile.kernels))
         structures = cfg.resolved_structures()
-        rng = np.random.default_rng(cfg.seed)
 
-        records: List[dict] = []
-        log_file = None
-        if cfg.log_path is not None:
-            Path(cfg.log_path).parent.mkdir(parents=True, exist_ok=True)
-            log_file = open(cfg.log_path, "w", encoding="utf-8")
-        try:
-            for kernel_name in target_kernels:
-                kp = profile.kernels[kernel_name]
-                windows = kp.windows
-                if cfg.invocation is not None:
-                    if not 0 <= cfg.invocation < len(windows):
-                        raise ValueError(
-                            f"kernel {kernel_name} has {len(windows)} "
-                            f"invocation(s); index {cfg.invocation} "
-                            "out of range")
-                    windows = [windows[cfg.invocation]]
-                generator = MaskGenerator(
-                    card, windows, kp.regs_per_thread, kp.smem_bytes,
-                    kp.local_bytes, rng)
-                for structure in structures:
-                    records.extend(self._run_structure(
-                        kernel_name, kp, structure, generator, golden,
-                        budget, log_file))
-        finally:
-            if log_file is not None:
-                log_file.close()
+        specs: List[RunSpec] = []
+        for kernel_name in target_kernels:
+            kp = self.profile.kernels[kernel_name]
+            windows = kp.windows
+            if cfg.invocation is not None:
+                if not 0 <= cfg.invocation < len(windows):
+                    raise ValueError(
+                        f"kernel {kernel_name} has {len(windows)} "
+                        f"invocation(s); index {cfg.invocation} "
+                        "out of range")
+                windows = [windows[cfg.invocation]]
+            for structure in structures:
+                # a kernel that allocates none of the target structure:
+                # the fault lands in unallocated space and is masked by
+                # construction -- no simulation needed
+                no_target = (
+                    (structure is Structure.SHARED_MEM
+                     and kp.smem_bytes == 0)
+                    or (structure is Structure.LOCAL_MEM
+                        and kp.local_bytes == 0))
+                for run_index in range(cfg.runs_per_structure):
+                    specs.append(RunSpec(
+                        benchmark=cfg.benchmark,
+                        card=cfg.card,
+                        kernel=kernel_name,
+                        structure=structure,
+                        run_index=run_index,
+                        seed=derive_run_seed(cfg.seed, kernel_name,
+                                             structure, run_index),
+                        windows=tuple((s, e) for s, e in windows),
+                        regs_per_thread=kp.regs_per_thread,
+                        smem_bytes=kp.smem_bytes,
+                        local_bytes=kp.local_bytes,
+                        golden_cycles=self.golden_cycles,
+                        cycle_budget=budget,
+                        bits_per_fault=cfg.bits_per_fault,
+                        multibit_mode=cfg.multibit_mode,
+                        warp_level=cfg.warp_level,
+                        n_blocks=cfg.n_blocks,
+                        n_cores=cfg.n_cores,
+                        scheduler_policy=cfg.scheduler_policy,
+                        cache_hook_mode=cfg.cache_hook_mode,
+                        model_icache=cfg.model_icache,
+                        synthesized=no_target,
+                    ))
+        return specs
 
-        counts = aggregate_counts(records)
-        return CampaignResult(config=cfg, profile=profile,
-                              golden_cycles=golden.cycles,
-                              records=records, counts=counts)
+    def execute(self, specs: Sequence[RunSpec], jobs: int = 1,
+                resume: bool = False) -> List[dict]:
+        """Execute planned specs; returns records in plan order."""
+        executor = CampaignExecutor(
+            jobs=jobs, progress=self._progress,
+            log_path=self.config.log_path, resume=resume)
+        return executor.execute(specs)
 
-    # -- internals -----------------------------------------------------------
+    def aggregate(self, records: Sequence[dict]) -> CampaignResult:
+        """Fold run records into the campaign result."""
+        if self.profile is None:
+            # aggregate() on records loaded from disk: profile the
+            # application to recover kernel weights and golden cycles
+            self.plan()
+        return CampaignResult(config=self.config, profile=self.profile,
+                              golden_cycles=self.golden_cycles,
+                              records=list(records),
+                              counts=aggregate_counts(records))
 
-    def _run_structure(self, kernel_name: str, kp: KernelProfile,
-                       structure: Structure, generator: MaskGenerator,
-                       golden: RunResult, budget: int,
-                       log_file) -> List[dict]:
-        cfg = self.config
-        records = []
-        no_target = (
-            (structure is Structure.SHARED_MEM and kp.smem_bytes == 0)
-            or (structure is Structure.LOCAL_MEM and kp.local_bytes == 0))
-        for run_index in range(cfg.runs_per_structure):
-            if no_target:
-                # the kernel allocates none of this structure: the fault
-                # lands in unallocated space and is masked by construction
-                record = self._record(
-                    kernel_name, structure, run_index, mask=None,
-                    result=None, effect=FaultEffect.MASKED, golden=golden,
-                    synthesized=True)
-            else:
-                mask = generator.generate(
-                    structure, n_bits=cfg.bits_per_fault,
-                    mode=cfg.multibit_mode, warp_level=cfg.warp_level,
-                    n_blocks=cfg.n_blocks, n_cores=cfg.n_cores)
-                injector = Injector([mask],
-                                    cache_hook_mode=cfg.cache_hook_mode)
-                result = run_application(
-                    _make_benchmark(cfg.benchmark), cfg.resolved_card(),
-                    injector=injector, cycle_budget=budget,
-                    scheduler_policy=cfg.scheduler_policy)
-                effect = classify_run(result, golden.cycles)
-                record = self._record(kernel_name, structure, run_index,
-                                      mask, result, effect, golden)
-            records.append(record)
-            if log_file is not None:
-                log_file.write(json.dumps(record) + "\n")
-            if (run_index + 1) % 25 == 0:
-                self._progress(
-                    f"{cfg.benchmark}/{kernel_name}/{structure.value}: "
-                    f"{run_index + 1}/{cfg.runs_per_structure}")
-        return records
-
-    def _record(self, kernel: str, structure: Structure, run_index: int,
-                mask: Optional[FaultMask], result: Optional[RunResult],
-                effect: FaultEffect, golden: RunResult,
-                synthesized: bool = False) -> dict:
-        record = {
-            "benchmark": self.config.benchmark,
-            "card": self.config.card,
-            "kernel": kernel,
-            "structure": structure.value,
-            "run": run_index,
-            "effect": effect.value,
-            "golden_cycles": golden.cycles,
-            "synthesized": synthesized,
-        }
-        if mask is not None:
-            record["mask"] = mask.to_dict()
-        if result is not None:
-            record.update({
-                "status": result.status,
-                "passed": result.passed,
-                "cycles": result.cycles,
-                "message": result.message,
-                "error": result.error,
-                "injections": result.injection_log,
-            })
-        return record
+    def run(self, jobs: int = 1, resume: bool = False) -> CampaignResult:
+        """Profile, inject (possibly in parallel), classify, aggregate."""
+        specs = self.plan()
+        records = self.execute(specs, jobs=jobs, resume=resume)
+        return self.aggregate(records)
 
 
 def aggregate_counts(records: Sequence[dict]

@@ -1,0 +1,320 @@
+"""Parallel campaign execution engine.
+
+The paper's methodology needs thousands of complete application
+executions per campaign (100 runs x structures x kernels).  Every
+injected run is independent by construction -- a fresh device, one
+mask, one classification -- so campaigns parallelise perfectly once
+each run's randomness is independent of execution order.  This module
+provides that substrate:
+
+- :class:`RunSpec` -- one fully addressable injection run, carrying
+  its coordinates ``(kernel, structure, run_index)`` and the seed
+  derived from them (see :func:`repro.faults.mask.derive_run_seed`).
+  Specs are plain picklable data, safe to ship to worker processes.
+- :func:`execute_run` -- a pure function from spec to result record;
+  the unit of work dispatched to the pool.
+- :class:`CampaignExecutor` -- runs a list of specs on ``jobs`` worker
+  processes, streams records to a JSONL log, skips runs already
+  recorded there (``resume``), and reports throughput (runs/sec, ETA,
+  per-effect running counts).
+
+Because every record is a pure function of its spec, the aggregated
+result is byte-identical between ``jobs=1`` and ``jobs=N`` and between
+a straight-through run and a resumed one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.faults.classify import FaultEffect, classify_run
+from repro.faults.injector import Injector
+from repro.faults.mask import MaskGenerator, MultiBitMode
+from repro.faults.runner import run_application
+from repro.faults.targets import Structure
+from repro.sim.cards import get_card
+from repro.sim.device import RunOptions
+
+#: ``(kernel, structure value, run index)`` -- the coordinates that
+#: uniquely address one injection run within a campaign.
+RunKey = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully specified injection run, ready for dispatch.
+
+    Carries everything :func:`execute_run` needs: the application and
+    card, the target coordinates, the per-run derived seed, and the
+    kernel's profiling facts (execution windows, allocation sizes) the
+    mask generator samples from.  Immutable and picklable.
+    """
+
+    benchmark: str
+    card: str
+    kernel: str
+    structure: Structure
+    run_index: int
+    #: Derived from (campaign seed, kernel, structure, run_index);
+    #: see :func:`repro.faults.mask.derive_run_seed`.
+    seed: int
+    #: Cycle windows of the targeted kernel invocations.
+    windows: Tuple[Tuple[int, int], ...]
+    regs_per_thread: int
+    smem_bytes: int
+    local_bytes: int
+    golden_cycles: int
+    cycle_budget: int
+    bits_per_fault: int = 1
+    multibit_mode: MultiBitMode = MultiBitMode.SAME_ENTRY
+    warp_level: bool = False
+    n_blocks: int = 1
+    n_cores: int = 1
+    scheduler_policy: str = "gto"
+    cache_hook_mode: bool = False
+    model_icache: bool = False
+    #: The kernel allocates none of the target structure: the fault
+    #: lands in unallocated space and is masked by construction, no
+    #: simulation needed.
+    synthesized: bool = False
+
+    @property
+    def key(self) -> RunKey:
+        """The run's address within its campaign."""
+        return (self.kernel, self.structure.value, self.run_index)
+
+
+def _resolved_card(spec: RunSpec):
+    card = get_card(spec.card)
+    if spec.model_icache:
+        card = dataclasses.replace(card, model_icache=True)
+    return card
+
+
+def execute_run(spec: RunSpec) -> dict:
+    """Execute one injection run and return its result record.
+
+    Pure: the record depends only on ``spec``, never on process state,
+    execution order or sibling runs -- the property that makes pool
+    dispatch and resumption sound.
+    """
+    record = {
+        "benchmark": spec.benchmark,
+        "card": spec.card,
+        "kernel": spec.kernel,
+        "structure": spec.structure.value,
+        "run": spec.run_index,
+        "effect": FaultEffect.MASKED.value,
+        "golden_cycles": spec.golden_cycles,
+        "synthesized": spec.synthesized,
+    }
+    if spec.synthesized:
+        return record
+
+    from repro.bench import make_benchmark
+
+    card = _resolved_card(spec)
+    generator = MaskGenerator(card, list(spec.windows),
+                              spec.regs_per_thread, spec.smem_bytes,
+                              spec.local_bytes,
+                              np.random.default_rng(spec.seed))
+    mask = generator.generate(
+        spec.structure, n_bits=spec.bits_per_fault,
+        mode=spec.multibit_mode, warp_level=spec.warp_level,
+        n_blocks=spec.n_blocks, n_cores=spec.n_cores)
+    injector = Injector([mask], cache_hook_mode=spec.cache_hook_mode)
+    result = run_application(
+        make_benchmark(spec.benchmark), card,
+        options=RunOptions(scheduler_policy=spec.scheduler_policy,
+                           cycle_budget=spec.cycle_budget,
+                           injector=injector))
+    effect = classify_run(result, spec.golden_cycles)
+    record["effect"] = effect.value
+    record["mask"] = mask.to_dict()
+    record.update({
+        "status": result.status,
+        "passed": result.passed,
+        "cycles": result.cycles,
+        "message": result.message,
+        "error": result.error,
+        "injections": result.injection_log,
+    })
+    return record
+
+
+class ProgressReporter:
+    """Tracks campaign throughput and renders progress lines.
+
+    Reports runs/sec over the live (non-resumed) portion, the ETA to
+    completion, and the running per-effect counts.
+    """
+
+    def __init__(self, total: int, skipped: int = 0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.total = total
+        self.done = skipped
+        self.live_done = 0
+        self.effects: Dict[str, int] = {}
+        self._clock = clock
+        self._start = clock()
+
+    def record(self, record: dict) -> None:
+        """Account one freshly completed run."""
+        self.done += 1
+        self.live_done += 1
+        effect = record["effect"]
+        self.effects[effect] = self.effects.get(effect, 0) + 1
+
+    def rate(self) -> float:
+        """Completed runs per second (live runs only)."""
+        elapsed = self._clock() - self._start
+        return self.live_done / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to completion, or ``None`` before data."""
+        rate = self.rate()
+        if rate <= 0:
+            return None
+        return (self.total - self.done) / rate
+
+    def render(self) -> str:
+        """One human-readable progress line."""
+        rate = self.rate()
+        eta = self.eta_seconds()
+        eta_text = f"{eta:.0f}s" if eta is not None else "?"
+        counts = ", ".join(f"{e.value}={self.effects[e.value]}"
+                           for e in FaultEffect
+                           if e.value in self.effects)
+        return (f"{self.done}/{self.total} runs "
+                f"({rate:.2f} runs/s, ETA {eta_text})"
+                + (f" [{counts}]" if counts else ""))
+
+
+def _trim_partial_tail(path: Path) -> None:
+    """Drop a record cut mid-write from the end of a campaign log.
+
+    An interrupted campaign can leave a final line without its
+    newline; appending resumed records directly after it would fuse
+    two records.  Truncate back to the last complete line.
+    """
+    with open(path, "rb+") as handle:
+        data = handle.read()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1
+        handle.truncate(cut)
+
+
+def _pool_context():
+    """Fork where available (cheap workers), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class CampaignExecutor:
+    """Executes a plan of :class:`RunSpec` on a worker pool.
+
+    Args:
+        jobs: worker process count; ``1`` executes in-process (no
+            pool, no pickling) with identical results.
+        progress: optional callback receiving progress lines.
+        progress_every: emit progress every N completed runs.
+        log_path: JSONL file records are streamed to as they finish.
+        resume: reuse records already present in ``log_path`` (from an
+            interrupted campaign) instead of re-running them; fresh
+            records are appended to the log.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 progress: Optional[Callable[[str], None]] = None,
+                 progress_every: int = 25,
+                 log_path: Optional[Union[str, Path]] = None,
+                 resume: bool = False):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._progress = progress or (lambda msg: None)
+        self.progress_every = max(progress_every, 1)
+        self.log_path = Path(log_path) if log_path is not None else None
+        self.resume = resume
+
+    def execute(self, specs: Sequence[RunSpec]) -> List[dict]:
+        """Run every spec; returns records in plan (spec) order."""
+        done: Dict[RunKey, dict] = self._load_completed(specs)
+        pending = [spec for spec in specs if spec.key not in done]
+        reporter = ProgressReporter(total=len(specs), skipped=len(done))
+        if done:
+            self._progress(f"resuming: {len(done)} of {len(specs)} runs "
+                           "already recorded")
+
+        log_file = None
+        if self.log_path is not None:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+            append = self.resume and bool(done)
+            if append:
+                _trim_partial_tail(self.log_path)
+            log_file = open(self.log_path, "a" if append else "w",
+                            encoding="utf-8")
+        try:
+            for record in self._completions(pending):
+                done[(record["kernel"], record["structure"],
+                      record["run"])] = record
+                if log_file is not None:
+                    log_file.write(json.dumps(record) + "\n")
+                    log_file.flush()
+                reporter.record(record)
+                if (reporter.live_done % self.progress_every == 0
+                        or reporter.done == reporter.total):
+                    self._progress(reporter.render())
+        finally:
+            if log_file is not None:
+                log_file.close()
+
+        return [done[spec.key] for spec in specs]
+
+    # -- internals -----------------------------------------------------------
+
+    def _completions(self, pending: Sequence[RunSpec]):
+        """Yield records as runs complete (any order)."""
+        if not pending:
+            return
+        if self.jobs == 1:
+            for spec in pending:
+                yield execute_run(spec)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=self.jobs) as pool:
+            yield from pool.imap_unordered(execute_run, pending,
+                                           chunksize=1)
+
+    def _load_completed(self,
+                        specs: Sequence[RunSpec]) -> Dict[RunKey, dict]:
+        """Records of already-executed runs from a partial log."""
+        if not (self.resume and self.log_path is not None
+                and self.log_path.exists()):
+            return {}
+        from repro.faults.parser import scan_completed_records
+
+        wanted = {spec.key for spec in specs}
+        expected = ((specs[0].benchmark, specs[0].card) if specs
+                    else None)
+        done: Dict[RunKey, dict] = {}
+        for key, record in scan_completed_records(self.log_path).items():
+            found = (record.get("benchmark"), record.get("card"))
+            if expected is not None and found != expected:
+                raise ValueError(
+                    f"{self.log_path}: cannot resume -- log records "
+                    f"{found[0]}/{found[1]}, campaign targets "
+                    f"{expected[0]}/{expected[1]}")
+            if key in wanted:
+                done[key] = record
+        return done

@@ -16,6 +16,7 @@ Figs. 5/6), in adjacent positions, or anywhere in the structure.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
@@ -23,6 +24,37 @@ import numpy as np
 
 from repro.faults.targets import Structure
 from repro.sim.config import GPUConfig
+
+
+def derive_run_seed(campaign_seed: int, kernel: str, structure: Structure,
+                    run_index: int) -> int:
+    """Derive the independent random seed of one injection run.
+
+    The seed is keyed on ``(campaign seed, kernel, structure,
+    run_index)`` through :class:`numpy.random.SeedSequence` spawn keys,
+    so every run's fault mask is a pure function of its coordinates:
+    independent of execution order, worker count and Python hash
+    randomisation (the string keys go through CRC-32, never through
+    ``hash()``).  Campaigns aggregate byte-identically whether runs
+    execute serially or on a process pool.
+
+    Returns a 128-bit integer suitable for
+    ``numpy.random.default_rng``.
+    """
+    seq = np.random.SeedSequence(
+        campaign_seed,
+        spawn_key=(zlib.crc32(kernel.encode("utf-8")),
+                   zlib.crc32(structure.value.encode("utf-8")),
+                   int(run_index)))
+    words = seq.generate_state(4, np.uint32)
+    return int.from_bytes(np.asarray(words).tobytes(), "little")
+
+
+def rng_for_run(campaign_seed: int, kernel: str, structure: Structure,
+                run_index: int) -> np.random.Generator:
+    """A fresh generator seeded with :func:`derive_run_seed`."""
+    return np.random.default_rng(
+        derive_run_seed(campaign_seed, kernel, structure, run_index))
 
 
 class MultiBitMode(enum.Enum):

@@ -11,7 +11,7 @@ injections".
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 import json
 
@@ -33,6 +33,41 @@ def load_records(path: Union[str, Path]) -> List[dict]:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
     return records
+
+
+def scan_completed_records(path: Union[str, Path]
+                           ) -> Dict[Tuple[str, str, int], dict]:
+    """Index a (possibly truncated) campaign log by run coordinates.
+
+    Used for resuming interrupted campaigns: returns
+    ``{(kernel, structure, run): record}`` for every complete record
+    in the log.  Unlike :func:`load_records`, a malformed **final**
+    line is tolerated (the tail of a log cut mid-write when the
+    campaign was killed); corruption anywhere else still raises.
+    Duplicate coordinates keep the first occurrence.
+    """
+    completed: Dict[Tuple[str, str, int], dict] = {}
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == last:
+                break  # partial trailing write from an interrupted run
+            raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
+        try:
+            key = (record["kernel"], record["structure"],
+                   int(record["run"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{path}:{lineno}: record missing run coordinates"
+            ) from exc
+        completed.setdefault(key, record)
+    return completed
 
 
 def aggregate_records(records: Sequence[dict]

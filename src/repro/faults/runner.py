@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.errors import SimTimeout, SimulationError
 
 
@@ -45,7 +45,8 @@ class RunResult:
 def run_application(benchmark, card, injector=None,
                     cycle_budget: Optional[int] = None,
                     keep_device: bool = False,
-                    scheduler_policy: str = "gto") -> RunResult:
+                    scheduler_policy: str = "gto",
+                    options: Optional[RunOptions] = None) -> RunResult:
     """Execute one benchmark application on a fresh device.
 
     Args:
@@ -56,13 +57,20 @@ def run_application(benchmark, card, injector=None,
         keep_device: retain the device on the result (profiling runs
             need its per-launch statistics).
         scheduler_policy: warp scheduler ("gto" or "lrr").
+        options: a :class:`~repro.sim.device.RunOptions` bundling
+            the three previous arguments; mutually exclusive with
+            passing them individually.
     """
-    dev = Device(card)
-    if scheduler_policy != "gto":
-        dev.set_scheduler_policy(scheduler_policy)
-    dev.set_cycle_budget(cycle_budget)
-    if injector is not None:
-        dev.set_injector(injector)
+    if options is None:
+        options = RunOptions(scheduler_policy=scheduler_policy,
+                             cycle_budget=cycle_budget, injector=injector)
+    elif (injector is not None or cycle_budget is not None
+          or scheduler_policy != "gto"):
+        raise ValueError("pass either options= or the individual "
+                         "injector/cycle_budget/scheduler_policy "
+                         "arguments, not both")
+    injector = options.injector
+    dev = Device(card, options)
 
     status, passed, error = "completed", None, ""
     try:

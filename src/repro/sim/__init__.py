@@ -26,7 +26,7 @@ approximated by per-level latencies.
 
 from repro.sim.cards import CARDS, get_card, gtx_titan, quadro_gv100, rtx_2060
 from repro.sim.config import CacheGeometry, GPUConfig
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.errors import (
     DeadlockError,
     MemoryViolation,
@@ -44,6 +44,7 @@ __all__ = [
     "CacheGeometry",
     "GPUConfig",
     "Device",
+    "RunOptions",
     "Kernel",
     "KernelLaunch",
     "SimulationError",

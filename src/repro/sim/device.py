@@ -9,6 +9,8 @@ application cycle that fault-injection campaigns index into.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -19,15 +21,61 @@ from repro.sim.gpu import GPU
 from repro.sim.kernel import Kernel, KernelLaunch
 from repro.sim.stats import LaunchStats
 
+_SCHEDULER_POLICIES = ("gto", "lrr")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options of one device run, fixed at construction.
+
+    Replaces the mutate-after-construction ``set_*`` calls: a device
+    (and :func:`repro.faults.runner.run_application`) accepts one
+    immutable options value, so a run is fully described by
+    ``(benchmark, card, options)`` -- a requirement for dispatching
+    runs to worker processes.
+
+    Attributes:
+        scheduler_policy: warp scheduler ("gto" or "lrr").
+        cycle_budget: watchdog budget in global cycles (``None``
+            disables the watchdog).
+        injector: optional :class:`repro.faults.injector.Injector`.
+    """
+
+    scheduler_policy: str = "gto"
+    cycle_budget: Optional[int] = None
+    injector: Optional[object] = None
+
+    def __post_init__(self):
+        if self.scheduler_policy not in _SCHEDULER_POLICIES:
+            raise ValueError("scheduler policy must be 'gto' or 'lrr'")
+
+
+def _deprecated_setter(name: str) -> None:
+    warnings.warn(
+        f"Device.{name}() is deprecated; pass a RunOptions to the "
+        "Device constructor (or to run_application) instead",
+        DeprecationWarning, stacklevel=3)
+
 
 class Device:
     """One simulated GPU device with a CUDA-like host API."""
 
-    def __init__(self, config: Union[GPUConfig, str]):
+    def __init__(self, config: Union[GPUConfig, str],
+                 options: Optional[RunOptions] = None):
         if isinstance(config, str):
             config = get_card(config)
         self.config = config
         self.gpu = GPU(config)
+        self.options = options or RunOptions()
+        self._apply_options(self.options)
+
+    def _apply_options(self, options: RunOptions) -> None:
+        self.gpu.cycle_budget = options.cycle_budget
+        if options.injector is not None:
+            self.gpu.injector = options.injector
+        if options.scheduler_policy != "gto":
+            for core in self.gpu.cores:
+                core.scheduler_policy = options.scheduler_policy
 
     # -- memory management ------------------------------------------------
 
@@ -86,16 +134,19 @@ class Device:
         return self.gpu.stats.launches
 
     def set_cycle_budget(self, budget: Optional[int]) -> None:
-        """Set the global cycle budget (``None`` disables the watchdog)."""
+        """Deprecated -- pass ``RunOptions(cycle_budget=...)`` instead."""
+        _deprecated_setter("set_cycle_budget")
         self.gpu.cycle_budget = budget
 
     def set_injector(self, injector) -> None:
-        """Attach a fault injector (see :mod:`repro.faults.injector`)."""
+        """Deprecated -- pass ``RunOptions(injector=...)`` instead."""
+        _deprecated_setter("set_injector")
         self.gpu.injector = injector
 
     def set_scheduler_policy(self, policy: str) -> None:
-        """Select the warp scheduler ('gto' or 'lrr') on every core."""
-        if policy not in ("gto", "lrr"):
+        """Deprecated -- pass ``RunOptions(scheduler_policy=...)`` instead."""
+        _deprecated_setter("set_scheduler_policy")
+        if policy not in _SCHEDULER_POLICIES:
             raise ValueError("scheduler policy must be 'gto' or 'lrr'")
         for core in self.gpu.cores:
             core.scheduler_policy = policy

@@ -1,0 +1,206 @@
+"""Parallel campaign executor: order-independent seeding, worker-pool
+parity, resumable runs, and the plan/execute/aggregate API."""
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.executor import (CampaignExecutor, ProgressReporter,
+                                   RunSpec, execute_run)
+from repro.faults.mask import derive_run_seed
+from repro.faults.parser import load_records, scan_completed_records
+from repro.faults.targets import Structure
+
+
+def make_config(**overrides):
+    kwargs = dict(benchmark="vectoradd", card="RTX2060",
+                  structures=(Structure.REGISTER_FILE,),
+                  runs_per_structure=6, seed=11)
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+class TestSeedDerivation:
+    def test_keyed_on_all_coordinates(self):
+        base = derive_run_seed(7, "k", Structure.REGISTER_FILE, 0)
+        assert derive_run_seed(7, "k", Structure.REGISTER_FILE, 0) == base
+        assert derive_run_seed(8, "k", Structure.REGISTER_FILE, 0) != base
+        assert derive_run_seed(7, "k2", Structure.REGISTER_FILE, 0) != base
+        assert derive_run_seed(7, "k", Structure.L2_CACHE, 0) != base
+        assert derive_run_seed(7, "k", Structure.REGISTER_FILE, 1) != base
+
+    def test_plan_seeds_independent_of_plan_shape(self):
+        # the seed of (kernel, structure, run) must not depend on what
+        # else the campaign sweeps -- that is what makes runs addressable
+        wide = Campaign(make_config(
+            structures=(Structure.L2_CACHE, Structure.REGISTER_FILE),
+            runs_per_structure=4)).plan()
+        narrow = Campaign(make_config(
+            structures=(Structure.REGISTER_FILE,),
+            runs_per_structure=2)).plan()
+        wide_seeds = {spec.key: spec.seed for spec in wide}
+        for spec in narrow:
+            assert wide_seeds[spec.key] == spec.seed
+
+
+class TestPlanApi:
+    def test_plan_enumerates_every_run(self):
+        campaign = Campaign(make_config(runs_per_structure=5))
+        specs = campaign.plan()
+        assert len(specs) == 5
+        assert [s.run_index for s in specs] == list(range(5))
+        assert all(s.kernel == "vectorAdd" for s in specs)
+        assert campaign.golden_cycles > 0
+        assert all(s.cycle_budget == 2 * campaign.golden_cycles
+                   for s in specs)
+
+    def test_runspec_pickle_roundtrip(self):
+        spec = Campaign(make_config()).plan()[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.key == spec.key
+
+    def test_execute_run_is_pure(self):
+        spec = Campaign(make_config()).plan()[3]
+        assert execute_run(spec) == execute_run(spec)
+
+    def test_execute_run_matches_run(self):
+        campaign = Campaign(make_config())
+        specs = campaign.plan()
+        result = Campaign(make_config()).run()
+        assert execute_run(specs[2]) == result.records[2]
+
+    def test_aggregate_from_loaded_records(self, tmp_path):
+        log = tmp_path / "c.jsonl"
+        result = Campaign(make_config(log_path=log)).run()
+        replay = Campaign(make_config()).aggregate(load_records(log))
+        assert replay.counts == result.counts
+
+
+class TestWorkerPoolParity:
+    def test_jobs4_byte_identical_to_jobs1(self):
+        serial = Campaign(make_config()).run(jobs=1)
+        pooled = Campaign(make_config()).run(jobs=4)
+        assert serial.counts == pooled.counts
+        assert json.dumps(serial.records) == json.dumps(pooled.records)
+
+    def test_execution_order_does_not_matter(self):
+        campaign = Campaign(make_config())
+        specs = campaign.plan()
+        shuffled = list(specs)
+        random.Random(0).shuffle(shuffled)
+        by_key = {r["run"]: r
+                  for r in CampaignExecutor().execute(shuffled)}
+        plan_order = CampaignExecutor().execute(specs)
+        assert [by_key[r["run"]] for r in plan_order] == plan_order
+
+
+class TestResume:
+    def test_resume_from_partial_log(self, tmp_path):
+        log = tmp_path / "campaign.jsonl"
+        full = Campaign(make_config(log_path=log)).run()
+        lines = log.read_text().splitlines()
+
+        # keep half the records, plus a record cut mid-write when the
+        # campaign was killed
+        log.write_text("\n".join(lines[:3]) + "\n" + lines[3][:40])
+        resumed = Campaign(make_config(log_path=log)).run(resume=True)
+
+        assert json.dumps(resumed.records) == json.dumps(full.records)
+        assert resumed.counts == full.counts
+        # the log was completed in place
+        assert scan_completed_records(log) == {
+            (rec["kernel"], rec["structure"], rec["run"]): rec
+            for rec in full.records}
+
+    def test_resume_with_complete_log_runs_nothing(self, tmp_path):
+        log = tmp_path / "campaign.jsonl"
+        full = Campaign(make_config(log_path=log)).run()
+        before = log.read_text()
+
+        campaign = Campaign(make_config(log_path=log))
+        specs = campaign.plan()
+        records = campaign.execute(specs, resume=True)
+        assert json.dumps(records) == json.dumps(full.records)
+        assert log.read_text() == before
+
+    def test_resume_rejects_foreign_log(self, tmp_path):
+        log = tmp_path / "campaign.jsonl"
+        Campaign(make_config(log_path=log)).run()
+        with pytest.raises(ValueError, match="cannot resume"):
+            Campaign(make_config(benchmark="scalarprod",
+                                 log_path=log)).run(resume=True)
+
+
+class TestScanCompletedRecords:
+    def test_tolerates_truncated_tail_only(self, tmp_path):
+        good = json.dumps({"kernel": "k", "structure": "register_file",
+                           "run": 0, "effect": "Masked"})
+        log = tmp_path / "log.jsonl"
+        log.write_text(good + "\n" + good[:17])
+        assert list(scan_completed_records(log)) == \
+            [("k", "register_file", 0)]
+
+        log.write_text(good[:17] + "\n" + good + "\n")
+        with pytest.raises(ValueError, match="bad JSON"):
+            scan_completed_records(log)
+
+    def test_first_duplicate_wins(self, tmp_path):
+        rec = {"kernel": "k", "structure": "register_file", "run": 1,
+               "effect": "Masked"}
+        log = tmp_path / "log.jsonl"
+        log.write_text(json.dumps(rec) + "\n"
+                       + json.dumps({**rec, "effect": "SDC"}) + "\n")
+        (record,) = scan_completed_records(log).values()
+        assert record["effect"] == "Masked"
+
+
+class TestProgressReporter:
+    def test_rate_eta_and_counts(self):
+        now = [0.0]
+        reporter = ProgressReporter(total=10, skipped=2,
+                                    clock=lambda: now[0])
+        now[0] = 2.0
+        for _ in range(4):
+            reporter.record({"effect": "Masked"})
+        reporter.record({"effect": "SDC"})
+        assert reporter.rate() == pytest.approx(2.5)
+        assert reporter.eta_seconds() == pytest.approx(3 / 2.5)
+        line = reporter.render()
+        assert "7/10 runs" in line
+        assert "Masked=4" in line and "SDC=1" in line
+
+    def test_no_rate_before_first_completion(self):
+        reporter = ProgressReporter(total=5)
+        assert reporter.eta_seconds() is None
+        assert "0/5 runs" in reporter.render()
+
+    def test_campaign_reports_throughput(self):
+        lines = []
+        Campaign(make_config(runs_per_structure=2),
+                 progress=lines.append).run()
+        assert any("runs/s" in line and "ETA" in line for line in lines)
+
+
+class TestCliFlags:
+    def test_campaign_jobs_and_resume(self, tmp_path, capsys):
+        log = tmp_path / "out.jsonl"
+        argv = ["campaign", "--benchmark", "vectoradd",
+                "--structures", "register_file", "--runs", "2",
+                "--seed", "3", "--jobs", "2", "--log", str(log)]
+        assert cli_main(argv) == 0
+        assert len(load_records(log)) == 2
+
+        assert cli_main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming: 2 of 2 runs already recorded" in out
+        assert len(load_records(log)) == 2
+
+    def test_resume_requires_log(self):
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "--benchmark", "vectoradd",
+                      "--resume"])

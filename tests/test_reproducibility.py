@@ -6,6 +6,7 @@ must be exactly replayable from its configuration.
 """
 
 import json
+import os
 import subprocess
 import sys
 
@@ -31,10 +32,18 @@ print(json.dumps(out))
 
 
 def _run_once(hashseed: str) -> dict:
+    # A minimal env isolates the child from ambient PYTHONHASHSEED /
+    # PYTHONDONTWRITEBYTECODE noise; sys.path is forwarded explicitly
+    # so the child resolves the same `repro` package as this process
+    # (the package is typically on PYTHONPATH, not installed).
+    env = {
+        "PYTHONHASHSEED": hashseed,
+        "PATH": os.environ.get("PATH", "/usr/bin:/bin:/usr/local/bin"),
+        "PYTHONPATH": os.pathsep.join(p for p in sys.path if p),
+    }
     proc = subprocess.run(
         [sys.executable, "-c", _SCRIPT], capture_output=True, text=True,
-        timeout=600, env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin"
-                          ":/bin:/usr/local/bin"})
+        timeout=600, env=env)
     assert proc.returncode == 0, proc.stderr[-2000:]
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
