@@ -11,7 +11,7 @@ import pytest
 from _harness import BENCHMARKS, abbrev, emit, run_once
 from repro.analysis.report import render_table
 from repro.bench import make_benchmark
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 
 
 def collect():
@@ -19,8 +19,7 @@ def collect():
     for name in BENCHMARKS:
         cycles = {}
         for policy in ("gto", "lrr"):
-            dev = Device("RTX2060")
-            dev.set_scheduler_policy(policy)
+            dev = Device("RTX2060", RunOptions(scheduler_policy=policy))
             assert make_benchmark(name).run(dev), (name, policy)
             cycles[policy] = dev.cycle
         rows.append((abbrev(name), cycles["gto"], cycles["lrr"],

@@ -1,0 +1,123 @@
+"""Checkpoint fast-forward: wall-clock of from-scratch vs restored runs.
+
+Targets the *last* dynamic invocation of pathfinder's kernel, where
+fast-forwarding pays the most: a from-scratch fault run must replay
+six fault-free invocations before reaching its injection window, while
+a checkpointed run restores the nearest snapshot and simulates only
+the suffix.  The checkpointed timing *includes* the golden capture run
+(cold cache), so the reported speedup is end-to-end.
+
+Record equality is asserted byte-for-byte -- fast-forward is a pure
+wall-clock optimisation.
+
+Run standalone for the acceptance measurement::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint_speedup.py \
+        --runs 16
+
+or under pytest-benchmark with the other benches
+(``GPUFI_CKPT_RUNS`` scales it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _harness import emit
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.targets import Structure
+
+RUNS = int(os.environ.get("GPUFI_CKPT_RUNS", "16"))
+
+#: pathfinder runs its kernel once per pyramid row; target the last one
+INVOCATION = 6
+
+#: end-to-end acceptance floor, golden capture included
+MIN_SPEEDUP = 1.5
+
+
+def _config(runs: int, checkpoint_dir=None) -> CampaignConfig:
+    return CampaignConfig(
+        benchmark="pathfinder", card="RTX2060",
+        structures=(Structure.REGISTER_FILE,),
+        runs_per_structure=runs, invocation=INVOCATION, seed=11,
+        checkpoint_dir=checkpoint_dir)
+
+
+def measure(runs: int):
+    """Time the same campaign from scratch and with checkpointing."""
+    scratch_dir = Path(tempfile.mkdtemp(prefix="gpufi_ckpt_bench_"))
+    try:
+        start = time.perf_counter()
+        scratch = Campaign(_config(runs)).run()
+        t_scratch = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ckpt = Campaign(_config(runs, checkpoint_dir=scratch_dir)).run()
+        t_ckpt = time.perf_counter() - start
+    finally:
+        shutil.rmtree(scratch_dir, ignore_errors=True)
+
+    identical = (json.dumps(scratch.records, sort_keys=True)
+                 == json.dumps(ckpt.records, sort_keys=True))
+    return t_scratch, t_ckpt, identical
+
+
+def report(runs: int):
+    t_scratch, t_ckpt, identical = measure(runs)
+    speedup = t_scratch / t_ckpt if t_ckpt else 0.0
+    lines = [
+        f"campaign: pathfinder/register_file, invocation {INVOCATION} "
+        f"(last of 7), {runs} runs",
+        f"from scratch:  {t_scratch:8.2f}s  "
+        f"({runs / t_scratch:.2f} runs/s)",
+        f"checkpointed:  {t_ckpt:8.2f}s  "
+        f"({runs / t_ckpt:.2f} runs/s, incl. golden capture)",
+        f"speedup:       {speedup:.2f}x  (floor {MIN_SPEEDUP}x)",
+        f"records byte-identical: {identical}",
+    ]
+    return speedup, identical, "\n".join(lines)
+
+
+def test_checkpoint_speedup(benchmark):
+    def once():
+        return report(RUNS)
+
+    speedup, identical, text = benchmark.pedantic(
+        once, rounds=1, iterations=1)
+    emit("checkpoint_speedup", text)
+    assert identical, "checkpointed records diverged from scratch"
+    assert speedup >= MIN_SPEEDUP, text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=RUNS)
+    args = parser.parse_args(argv)
+
+    speedup, identical, text = report(args.runs)
+    print(text)
+    from _harness import OUT_DIR
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "checkpoint_speedup.txt").write_text(text + "\n",
+                                                    encoding="utf-8")
+    if not identical:
+        print("FAIL: checkpointed records diverged", file=sys.stderr)
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x < {MIN_SPEEDUP}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ import numpy as np
 from repro.faults.injector import Injector
 from repro.faults.mask import FaultMask
 from repro.faults.targets import Structure
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.kernel import Kernel
 
 SAXPY = Kernel("saxpy", r"""
@@ -40,14 +40,14 @@ SAXPY = Kernel("saxpy", r"""
 
 
 def run(mask=None):
-    dev = Device("RTX2060")
+    options = (RunOptions(injector=Injector([mask]))
+               if mask is not None else None)
+    dev = Device("RTX2060", options)
     n = 256
     rng = np.random.default_rng(5)
     x = rng.random(n, dtype=np.float32)
     y = rng.random(n, dtype=np.float32)
     px, py = dev.to_device(x), dev.to_device(y)
-    if mask is not None:
-        dev.set_injector(Injector([mask]))
     stats = dev.launch(SAXPY, grid=n // 128, block=128,
                        params=[px, py, n, 2.0])
     out = dev.read_array(py, (n,), np.float32)

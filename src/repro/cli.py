@@ -68,6 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--model-icache", action="store_true",
                           help="model + inject the L1 instruction cache")
     campaign.add_argument("--log", help="JSONL output path")
+    campaign.add_argument("--checkpoint-dir",
+                          help="directory for golden-run checkpoints; "
+                               "fault runs fast-forward to their "
+                               "injection cycle (results identical)")
+    campaign.add_argument("--checkpoint-interval", type=int,
+                          help="capture stride in cycles (default: "
+                               "geometric auto-spacing)")
+    campaign.add_argument("--verify-restore", action="store_true",
+                          help="cross-check every fast-forwarded run "
+                               "against a from-scratch run")
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the injection runs "
                                "(results are identical for any count)")
@@ -135,6 +145,10 @@ def _campaign_config(args) -> CampaignConfig:
         cache_hook_mode=args.cache_hook_mode,
         model_icache=args.model_icache,
         log_path=Path(args.log) if args.log else None,
+        checkpoint_dir=(Path(args.checkpoint_dir)
+                        if args.checkpoint_dir else None),
+        checkpoint_interval=args.checkpoint_interval,
+        verify_restore=args.verify_restore,
     )
 
 

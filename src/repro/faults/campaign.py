@@ -25,6 +25,7 @@ from repro.faults.mask import MultiBitMode, derive_run_seed
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure, supported_structures
 from repro.sim.cards import get_card
+from repro.sim.device import RunOptions
 
 
 @dataclass
@@ -80,17 +81,29 @@ def _make_benchmark(name: str):
 
 
 def profile_application(benchmark_name: str, card: str,
-                        scheduler_policy: str = "gto"
+                        scheduler_policy: str = "gto",
+                        checkpointer=None
                         ) -> Tuple[AppProfile, RunResult]:
-    """Run the fault-free ("golden") execution and build the profile."""
+    """Run the fault-free ("golden") execution and build the profile.
+
+    With a ``checkpointer``
+    (:class:`repro.sim.checkpoint.CheckpointRecorder`), the golden run
+    also captures architectural snapshots and is finalized into a
+    complete on-disk checkpoint set fault runs can fast-forward from.
+    """
     bench = _make_benchmark(benchmark_name)
     kernel_meta = {k.name: k for k in bench.kernels()}
-    golden = run_application(bench, card, keep_device=True,
-                             scheduler_policy=scheduler_policy)
+    golden = run_application(
+        bench, card, keep_device=True,
+        options=RunOptions(scheduler_policy=scheduler_policy,
+                           checkpointer=checkpointer))
     if golden.status != "completed" or not golden.passed:
         raise RuntimeError(
             f"fault-free run of {benchmark_name} on {card} did not pass: "
             f"{golden.status} / {golden.message} {golden.error}")
+    if checkpointer is not None:
+        checkpointer.finalize(golden.device.gpu.stats.launches,
+                              golden.cycles)
 
     per_kernel: Dict[str, List] = defaultdict(list)
     for launch in golden.device.launches:
@@ -165,6 +178,16 @@ class CampaignConfig:
     #: ``Structure.L1I_CACHE`` injection and adds fetch timing.
     model_icache: bool = False
     log_path: Optional[Path] = None
+    #: Root directory for golden-run checkpoint sets (see
+    #: :mod:`repro.sim.checkpoint`).  ``None`` disables checkpointing;
+    #: results are byte-identical either way.
+    checkpoint_dir: Optional[Path] = None
+    #: Fixed capture stride in cycles; ``None`` uses geometric
+    #: auto-spacing (and reuses any complete existing set).
+    checkpoint_interval: Optional[int] = None
+    #: Cross-check mode: re-run every fast-forwarded run from scratch
+    #: and fail loudly on any record difference.
+    verify_restore: bool = False
 
     def resolved_card(self):
         """The card model with campaign-level extensions applied."""
@@ -265,11 +288,36 @@ class Campaign:
         self.golden_cycles: Optional[int] = None
 
     def plan(self) -> List[RunSpec]:
-        """Profile the golden run and enumerate every injection run."""
+        """Profile the golden run and enumerate every injection run.
+
+        With ``checkpoint_dir`` set, the golden profiling run also
+        captures a checkpoint set (unless a complete, compatible set
+        for the same fingerprint already exists on disk) and every
+        planned spec references it for fast-forward execution.
+        """
         cfg = self.config
+        checkpointer = None
+        checkpoint_key = None
+        if cfg.checkpoint_dir is not None:
+            from repro.sim.checkpoint import (CheckpointStore,
+                                              campaign_fingerprint)
+
+            checkpoint_key = campaign_fingerprint(
+                _make_benchmark(cfg.benchmark), cfg.resolved_card(),
+                cfg.scheduler_policy)
+            store = CheckpointStore(cfg.checkpoint_dir)
+            existing = store.open(checkpoint_key)
+            reusable = existing is not None and (
+                cfg.checkpoint_interval is None
+                or existing.interval == cfg.checkpoint_interval)
+            if not reusable:
+                checkpointer = store.recorder(checkpoint_key,
+                                              cfg.checkpoint_interval)
+                self.profile = None  # re-profile with capture enabled
         if self.profile is None:
             profile, golden = profile_application(
-                cfg.benchmark, cfg.resolved_card(), cfg.scheduler_policy)
+                cfg.benchmark, cfg.resolved_card(), cfg.scheduler_policy,
+                checkpointer=checkpointer)
             self.profile = profile
             self.golden_cycles = golden.cycles
         budget = TIMEOUT_FACTOR * self.golden_cycles
@@ -322,6 +370,11 @@ class Campaign:
                         cache_hook_mode=cfg.cache_hook_mode,
                         model_icache=cfg.model_icache,
                         synthesized=no_target,
+                        checkpoint_dir=(str(cfg.checkpoint_dir)
+                                        if cfg.checkpoint_dir is not None
+                                        else None),
+                        checkpoint_key=checkpoint_key,
+                        verify_restore=cfg.verify_restore,
                     ))
         return specs
 

@@ -85,6 +85,15 @@ class RunSpec:
     #: lands in unallocated space and is masked by construction, no
     #: simulation needed.
     synthesized: bool = False
+    #: Golden-run checkpoint set to fast-forward from (directory root
+    #: + fingerprint key; see :mod:`repro.sim.checkpoint`).  ``None``
+    #: simulates from scratch.  Records are byte-identical either way.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_key: Optional[str] = None
+    #: Cross-check mode: every fast-forwarded run is re-executed from
+    #: scratch and the records compared; a difference raises
+    #: :class:`repro.sim.checkpoint.RestoreParityError`.
+    verify_restore: bool = False
 
     @property
     def key(self) -> RunKey:
@@ -99,12 +108,39 @@ def _resolved_card(spec: RunSpec):
     return card
 
 
+def _finish_record(base: dict, result, spec: RunSpec, mask) -> dict:
+    """Fill one result record from a completed application run.
+
+    Deliberately carries no trace of *how* the run was simulated
+    (fast-forwarded or from scratch): records must stay byte-identical
+    for any checkpointing configuration.
+    """
+    record = dict(base)
+    record["effect"] = classify_run(result, spec.golden_cycles).value
+    record["mask"] = mask.to_dict()
+    record.update({
+        "status": result.status,
+        "passed": result.passed,
+        "cycles": result.cycles,
+        "message": result.message,
+        "error": result.error,
+        "injections": result.injection_log,
+    })
+    return record
+
+
 def execute_run(spec: RunSpec) -> dict:
     """Execute one injection run and return its result record.
 
     Pure: the record depends only on ``spec``, never on process state,
     execution order or sibling runs -- the property that makes pool
     dispatch and resumption sound.
+
+    When the spec references a checkpoint set, the run restores the
+    nearest golden snapshot at or before its injection cycle and
+    simulates only the suffix; any checkpoint problem (missing set,
+    replay divergence) falls back to a from-scratch run, so the
+    record is the same either way.
     """
     record = {
         "benchmark": spec.benchmark,
@@ -130,24 +166,50 @@ def execute_run(spec: RunSpec) -> dict:
         spec.structure, n_bits=spec.bits_per_fault,
         mode=spec.multibit_mode, warp_level=spec.warp_level,
         n_blocks=spec.n_blocks, n_cores=spec.n_cores)
-    injector = Injector([mask], cache_hook_mode=spec.cache_hook_mode)
-    result = run_application(
-        make_benchmark(spec.benchmark), card,
-        options=RunOptions(scheduler_policy=spec.scheduler_policy,
-                           cycle_budget=spec.cycle_budget,
-                           injector=injector))
-    effect = classify_run(result, spec.golden_cycles)
-    record["effect"] = effect.value
-    record["mask"] = mask.to_dict()
-    record.update({
-        "status": result.status,
-        "passed": result.passed,
-        "cycles": result.cycles,
-        "message": result.message,
-        "error": result.error,
-        "injections": result.injection_log,
-    })
-    return record
+
+    def simulate(fast_forward=None):
+        # a fresh injector per attempt: its log and armed state are
+        # consumed by the run
+        injector = Injector([mask], cache_hook_mode=spec.cache_hook_mode)
+        return run_application(
+            make_benchmark(spec.benchmark), card,
+            options=RunOptions(scheduler_policy=spec.scheduler_policy,
+                               cycle_budget=spec.cycle_budget,
+                               injector=injector,
+                               fast_forward=fast_forward))
+
+    result = None
+    if spec.checkpoint_dir and spec.checkpoint_key:
+        from repro.sim.checkpoint import (CheckpointError,
+                                          open_checkpoint_set)
+
+        ckpt_set = open_checkpoint_set(spec.checkpoint_dir,
+                                       spec.checkpoint_key)
+        if (ckpt_set is not None
+                and ckpt_set.golden_cycles == spec.golden_cycles):
+            fast_forward = ckpt_set.fast_forward(mask.cycle)
+            if fast_forward.active:
+                try:
+                    result = simulate(fast_forward)
+                except CheckpointError:
+                    result = None  # replay diverged -> run from scratch
+
+    fast_forwarded = result is not None
+    if result is None:
+        result = simulate()
+    final = _finish_record(record, result, spec, mask)
+
+    if fast_forwarded and spec.verify_restore:
+        from repro.sim.checkpoint import RestoreParityError
+
+        baseline = _finish_record(record, simulate(), spec, mask)
+        if (json.dumps(final, sort_keys=True)
+                != json.dumps(baseline, sort_keys=True)):
+            raise RestoreParityError(
+                f"run {spec.key} diverged after checkpoint restore:\n"
+                f"  fast-forwarded: {json.dumps(final, sort_keys=True)}\n"
+                f"  from scratch:   {json.dumps(baseline, sort_keys=True)}")
+    return final
 
 
 class ProgressReporter:

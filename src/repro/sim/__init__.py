@@ -25,6 +25,14 @@ approximated by per-level latencies.
 """
 
 from repro.sim.cards import CARDS, get_card, gtx_titan, quadro_gv100, rtx_2060
+from repro.sim.checkpoint import (
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointRecorder,
+    CheckpointStore,
+    RestoreParityError,
+    campaign_fingerprint,
+)
 from repro.sim.config import CacheGeometry, GPUConfig
 from repro.sim.device import Device, RunOptions
 from repro.sim.errors import (
@@ -51,4 +59,10 @@ __all__ = [
     "MemoryViolation",
     "DeadlockError",
     "SimTimeout",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointRecorder",
+    "CheckpointStore",
+    "RestoreParityError",
+    "campaign_fingerprint",
 ]

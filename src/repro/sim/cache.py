@@ -17,7 +17,7 @@ to the first bank with zero identification and so on".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -308,3 +308,58 @@ class Cache:
         }
         self._apply_bits(line, (bit_offset,))
         return record
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture tag+data state of every materialised set.
+
+        Invalid lines contribute only their LRU timestamp (their data
+        is never read, but ``last_use`` participates in victim
+        selection); ``meta`` is derived from data and is rebuilt lazily
+        after restore.
+        """
+        sets = {}
+        for set_idx, ways in self._sets.items():
+            entries = []
+            for line in ways:
+                if line.valid:
+                    entries.append({
+                        "valid": True,
+                        "dirty": line.dirty,
+                        "tag": line.tag,
+                        "data": line.data.copy(),
+                        "last_use": line.last_use,
+                        "armed": (list(line.armed)
+                                  if line.armed is not None else None),
+                    })
+                else:
+                    entries.append({"valid": False,
+                                    "last_use": line.last_use})
+            sets[set_idx] = entries
+        return {"tick": self._tick, "stats": asdict(self.stats),
+                "sets": sets}
+
+    def restore(self, snap: Dict[str, object]) -> None:
+        """Rebuild cache contents from a :meth:`snapshot` dict.
+
+        Arrays are copied so a shared (cached) snapshot stays pristine
+        across repeated restores.
+        """
+        self._tick = snap["tick"]
+        self.stats = CacheStats(**snap["stats"])
+        self._sets = {}
+        for set_idx, entries in snap["sets"].items():
+            ways = []
+            for entry in entries:
+                line = CacheLine(self.geometry.line_bytes)
+                line.last_use = entry["last_use"]
+                if entry["valid"]:
+                    line.valid = True
+                    line.dirty = entry["dirty"]
+                    line.tag = entry["tag"]
+                    line.data[:] = entry["data"]
+                    armed = entry["armed"]
+                    line.armed = list(armed) if armed is not None else None
+                ways.append(line)
+            self._sets[set_idx] = ways

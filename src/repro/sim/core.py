@@ -105,6 +105,50 @@ class SIMTCore:
         self.l1c.invalidate_all()
         self.l1i.invalidate_all()
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture caches, resident CTAs and scheduler state.
+
+        ``_last_issued`` warps are recorded by their (core-unique) age;
+        the per-scheduler bucket cache is derived and rebuilt lazily.
+        """
+        return {
+            "scheduler_policy": self.scheduler_policy,
+            "age_counter": self._age_counter,
+            "last_issued": {sid: (w.age if w is not None else None)
+                            for sid, w in self._last_issued.items()},
+            "l1d": self.l1d.snapshot() if self.l1d is not None else None,
+            "l1t": self.l1t.snapshot(),
+            "l1c": self.l1c.snapshot(),
+            "l1i": self.l1i.snapshot(),
+            "ctas": [cta.snapshot() for cta in self.ctas],
+        }
+
+    def restore(self, snap: dict, launch) -> None:
+        """Rebuild core state from a :meth:`snapshot` dict.
+
+        ``launch`` must be the KernelLaunch the snapshot was taken in;
+        resident CTAs are reconstructed against it.
+        """
+        self.scheduler_policy = snap["scheduler_policy"]
+        self._age_counter = snap["age_counter"]
+        if self.l1d is not None:
+            self.l1d.restore(snap["l1d"])
+        self.l1t.restore(snap["l1t"])
+        self.l1c.restore(snap["l1c"])
+        self.l1i.restore(snap["l1i"])
+        self.ctas = [CTA.from_snapshot(s, launch, self)
+                     for s in snap["ctas"]]
+        self._sched_cache = None
+        by_age = {w.age: w for cta in self.ctas for w in cta.warps}
+        # ages referencing warps of already-retired CTAs resolve to
+        # None -- equivalent, since _candidate_order treats a warp that
+        # is no longer resident exactly like None
+        self._last_issued = {
+            sid: (by_age.get(age) if age is not None else None)
+            for sid, age in snap["last_issued"].items()}
+
     # -- scheduling --------------------------------------------------------
 
     def _scheduler_warps(self, sched_id: int) -> List[Warp]:

@@ -99,6 +99,35 @@ class CTA:
         addr = self._resolve_smem(addr)
         self.smem[addr:addr + 4].view("<u4")[0] = value & 0xFFFFFFFF
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture this CTA's id, shared memory and per-warp state."""
+        return {
+            "cta_id": tuple(self.cta_id),
+            "age_base": self.warps[0].age,
+            "live_warp_count": self.live_warp_count,
+            "smem": self.smem.copy(),
+            "warps": [w.snapshot() for w in self.warps],
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict, launch: KernelLaunch, core) -> "CTA":
+        """Rebuild a resident CTA from a :meth:`snapshot` dict.
+
+        The constructor recomputes identity state (sregs, geometry)
+        exactly as the original assignment did; the mutable state is
+        then overwritten per warp.
+        """
+        cta = cls(tuple(snap["cta_id"]), launch, core, snap["age_base"],
+                  core.config.shared_mem_per_sm)
+        if len(cta.smem):
+            cta.smem[:] = snap["smem"]
+        cta.live_warp_count = snap["live_warp_count"]
+        for warp, wsnap in zip(cta.warps, snap["warps"]):
+            warp.restore_state(wsnap)
+        return cta
+
     # -- barrier ------------------------------------------------------------------
 
     def try_release_barrier(self) -> bool:

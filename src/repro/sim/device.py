@@ -39,15 +39,27 @@ class RunOptions:
         cycle_budget: watchdog budget in global cycles (``None``
             disables the watchdog).
         injector: optional :class:`repro.faults.injector.Injector`.
+        checkpointer: optional
+            :class:`repro.sim.checkpoint.CheckpointRecorder` capturing
+            golden-run snapshots.
+        fast_forward: optional
+            :class:`repro.sim.checkpoint.FastForward` replaying the
+            run prefix from a recorded checkpoint set.
     """
 
     scheduler_policy: str = "gto"
     cycle_budget: Optional[int] = None
     injector: Optional[object] = None
+    checkpointer: Optional[object] = None
+    fast_forward: Optional[object] = None
 
     def __post_init__(self):
         if self.scheduler_policy not in _SCHEDULER_POLICIES:
             raise ValueError("scheduler policy must be 'gto' or 'lrr'")
+        if self.checkpointer is not None and self.fast_forward is not None:
+            raise ValueError(
+                "checkpointer (capture) and fast_forward (restore) are "
+                "mutually exclusive")
 
 
 def _deprecated_setter(name: str) -> None:
@@ -73,6 +85,9 @@ class Device:
         self.gpu.cycle_budget = options.cycle_budget
         if options.injector is not None:
             self.gpu.injector = options.injector
+        if options.checkpointer is not None:
+            self.gpu.checkpointer = options.checkpointer
+        self._fast_forward = options.fast_forward
         if options.scheduler_policy != "gto":
             for core in self.gpu.cores:
                 core.scheduler_policy = options.scheduler_policy
@@ -100,8 +115,19 @@ class Device:
 
     def memcpy_dtoh(self, ptr: int, nbytes: int,
                     dtype=np.uint8) -> np.ndarray:
-        """Copy device memory back to the host as a numpy array."""
+        """Copy device memory back to the host as a numpy array.
+
+        During a golden capture the copy is recorded; during a
+        fast-forwarded replay, copies before the restore point are
+        served from the recording (host control flow replays exactly).
+        """
+        tag = len(self.gpu.stats.launches)
+        ff = self._fast_forward
+        if ff is not None and not ff.done:
+            return ff.on_host_read(ptr, nbytes, tag).view(dtype)
         raw = self.gpu.host_read(ptr, nbytes)
+        if self.gpu.checkpointer is not None:
+            self.gpu.checkpointer.record_host_read(tag, ptr, nbytes, raw)
         return raw.view(dtype)
 
     def read_array(self, ptr: int, shape, dtype) -> np.ndarray:
@@ -117,8 +143,17 @@ class Device:
                grid: Union[int, Sequence[int]],
                block: Union[int, Sequence[int]],
                params: Sequence[Union[int, float]] = ()) -> LaunchStats:
-        """Launch a kernel and run it to completion."""
+        """Launch a kernel and run it to completion.
+
+        While a fast-forward replay is attached and the restore point
+        has not been reached, launches before it are skipped (their
+        golden stats are credited) and the launch *at* the restore
+        point resumes simulation from the restored snapshot.
+        """
         request = KernelLaunch.create(kernel, grid, block, params)
+        ff = self._fast_forward
+        if ff is not None and not ff.done:
+            return ff.on_launch(self.gpu, request)
         return self.gpu.run_launch(request)
 
     # -- introspection --------------------------------------------------------

@@ -42,6 +42,10 @@ class GPU:
         self.cycle_budget: Optional[int] = None
         #: Optional fault injector (duck-typed; see repro.faults.injector).
         self.injector = None
+        #: Optional checkpoint recorder (duck-typed; see
+        #: repro.sim.checkpoint): its ``on_cycle(gpu, launch, queue)``
+        #: runs at the top of every cycle-loop iteration.
+        self.checkpointer = None
         #: Per-bank busy-until cycles for L2 contention modelling.
         self._l2_bank_busy = [0] * config.l2_banks
         #: Per-channel busy-until cycles for DRAM contention modelling.
@@ -111,9 +115,26 @@ class GPU:
         queue = [(x, y) for y in range(gy) for x in range(gx)]
         limit = self.max_ctas_per_core(launch)
         self._assign_ctas(launch, queue, limit)
+        return self._cycle_loop(launch, queue, limit)
 
+    def resume_launch(self, launch: KernelLaunch,
+                      queue: List[Tuple[int, int]]) -> "LaunchStats":
+        """Re-enter the cycle loop after :meth:`restore`.
+
+        The launch-entry work of :meth:`run_launch` (parameter load, L1
+        invalidation, stats record, CTA assignment) is *not* redone --
+        all of it is part of the restored state.
+        """
+        launch.kernel.instructions  # noqa: B018 -- force assembly
+        limit = self.max_ctas_per_core(launch)
+        return self._cycle_loop(launch, queue, limit)
+
+    def _cycle_loop(self, launch: KernelLaunch, queue: List[Tuple[int, int]],
+                    limit: int) -> "LaunchStats":
         busy = [core for core in self.cores if core.ctas]
         while queue or busy:
+            if self.checkpointer is not None:
+                self.checkpointer.on_cycle(self, launch, queue)
             if self.injector is not None:
                 self.injector.apply_due(self, self.cycle)
             issued = False
@@ -148,12 +169,67 @@ class GPU:
         return self.stats.end_launch(self.cycle)
 
     def code_base(self, kernel) -> int:
-        """Base address of a kernel's code segment (icache extension)."""
-        base = self._code_bases.get(id(kernel))
+        """Base address of a kernel's code segment (icache extension).
+
+        Keyed by kernel *name* (unique within an application), not
+        object identity, so the mapping survives snapshot/restore and
+        is reproducible across processes.
+        """
+        base = self._code_bases.get(kernel.name)
         if base is None:
             base = (len(self._code_bases) + 1) * (1 << 20)
-            self._code_bases[id(kernel)] = base
+            self._code_bases[kernel.name] = base
         return base
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self, launch: KernelLaunch,
+                 queue: List[Tuple[int, int]]) -> dict:
+        """Capture the complete architectural + timing state mid-launch.
+
+        ``launch`` and ``queue`` are the in-flight kernel launch and
+        its not-yet-assigned CTA queue; the launch itself is recorded
+        as a descriptor (name/grid/block/params) used to validate the
+        replayed launch at restore time.
+        """
+        return {
+            "cycle": self.cycle,
+            "launch": {
+                "kernel": launch.kernel.name,
+                "grid": tuple(launch.grid),
+                "block": tuple(launch.block),
+                "params": tuple(int(p) for p in launch.params),
+            },
+            "queue": [tuple(c) for c in queue],
+            "l2_bank_busy": list(self._l2_bank_busy),
+            "dram_busy": list(self._dram_busy),
+            "code_bases": dict(self._code_bases),
+            "memory": self.memory.snapshot(),
+            "const_bank": self.const_bank.snapshot(),
+            "l2": self.l2.snapshot(),
+            "stats": self.stats.snapshot(),
+            "cores": [core.snapshot() for core in self.cores],
+        }
+
+    def restore(self, snap: dict,
+                launch: KernelLaunch) -> List[Tuple[int, int]]:
+        """Rebuild the GPU from a :meth:`snapshot` dict.
+
+        ``launch`` must be the replayed KernelLaunch matching the
+        snapshot's launch descriptor (the caller validates).  Returns
+        the restored CTA queue to pass to :meth:`resume_launch`.
+        """
+        self.cycle = snap["cycle"]
+        self._l2_bank_busy = list(snap["l2_bank_busy"])
+        self._dram_busy = list(snap["dram_busy"])
+        self._code_bases = dict(snap["code_bases"])
+        self.memory.restore(snap["memory"])
+        self.const_bank.restore(snap["const_bank"])
+        self.l2.restore(snap["l2"])
+        self.stats.restore(snap["stats"])
+        for core, csnap in zip(self.cores, snap["cores"]):
+            core.restore(csnap, launch)
+        return [tuple(c) for c in snap["queue"]]
 
     # -- memory hierarchy services (called by the cores) ---------------------
 

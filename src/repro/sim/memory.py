@@ -136,6 +136,23 @@ class GlobalMemory:
         end = min(addr + len(data), self.size)
         self.data[addr:end] = data[: end - addr]
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture DRAM contents and allocator state."""
+        return {"data": self.data.copy(), "next": self._next,
+                "allocations": [tuple(a) for a in self._allocations]}
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild DRAM and allocator from a :meth:`snapshot` dict."""
+        self.data[:] = snap["data"]
+        self._next = snap["next"]
+        self._allocations = [tuple(a) for a in snap["allocations"]]
+        self._starts = np.array([a for a, _ in self._allocations],
+                                dtype=np.int64)
+        self._ends = np.array([e for _, e in self._allocations],
+                              dtype=np.int64)
+
 
 class ConstantBank:
     """The constant memory bank; kernel parameters live at offset 0.
@@ -162,3 +179,13 @@ class ConstantBank:
         if not 0 <= offset <= self.SIZE - 4:
             raise MemoryViolation("constant", offset)
         return int(self.data[offset:offset + 4].view("<u4")[0])
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture bank contents."""
+        return {"data": self.data.copy()}
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild bank contents from a :meth:`snapshot` dict."""
+        self.data[:] = snap["data"]

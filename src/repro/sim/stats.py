@@ -9,6 +9,7 @@ section V.A.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
@@ -109,3 +110,16 @@ class StatsCollector:
     def total_cycles(self) -> int:
         """Sum of launch cycles across the application."""
         return sum(ls.cycles for ls in self.launches)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deep-copy the archived and in-flight launch records."""
+        return {"launches": copy.deepcopy(self.launches),
+                "current": copy.deepcopy(self.current)}
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild collector state (copies, so shared snapshots stay
+        pristine across repeated restores)."""
+        self.launches = copy.deepcopy(snap["launches"])
+        self.current = copy.deepcopy(snap["current"])

@@ -150,3 +150,48 @@ class Warp:
         alive = np.zeros(WARP_SIZE, dtype=bool)
         alive[:self.num_threads] = True
         return np.nonzero(alive & ~self.exited)[0]
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the warp's mutable architectural + pipeline state.
+
+        Identity fields (ids, geometry) and the derived ``sregs`` are
+        omitted: restore reconstructs the warp through the CTA
+        constructor, which recomputes them.
+        """
+        return {
+            "regs": self.regs.copy(),
+            "preds": self.preds.copy(),
+            "exited": self.exited.copy(),
+            "live_count": self.live_count,
+            "stack": [(e.pc, e.mask.copy(), e.reconv_pc)
+                      for e in self.stack],
+            "local_mem": (self.local_mem.copy()
+                          if self.local_mem is not None else None),
+            "reg_ready": dict(self.reg_ready),
+            "pred_ready": dict(self.pred_ready),
+            "sb_latest": self.sb_latest,
+            "at_barrier": self.at_barrier,
+            "done": self.done,
+            "wake_cycle": self.wake_cycle,
+            "ifetch_ready": self.ifetch_ready,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Overwrite mutable state from a :meth:`snapshot` dict."""
+        self.regs[:] = snap["regs"]
+        self.preds[:] = snap["preds"]
+        self.exited[:] = snap["exited"]
+        self.live_count = snap["live_count"]
+        self.stack = [StackEntry(pc, mask.copy(), reconv)
+                      for pc, mask, reconv in snap["stack"]]
+        if self.local_mem is not None:
+            self.local_mem[:] = snap["local_mem"]
+        self.reg_ready = dict(snap["reg_ready"])
+        self.pred_ready = dict(snap["pred_ready"])
+        self.sb_latest = snap["sb_latest"]
+        self.at_barrier = snap["at_barrier"]
+        self.done = snap["done"]
+        self.wake_cycle = snap["wake_cycle"]
+        self.ifetch_ready = snap["ifetch_ready"]

@@ -1,0 +1,174 @@
+"""Golden-run checkpointing and fast-forward injection.
+
+The contract under test: a campaign executed with ``checkpoint_dir``
+set produces records *byte-identical* to the same campaign executed
+from scratch, for any capture interval, because every fault run
+restores a full architectural snapshot taken at a cycle at or before
+its injection cycle and replays only the suffix.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.targets import Structure
+from repro.sim.cards import rtx_2060
+from repro.sim.checkpoint import (CheckpointRecorder, CheckpointStore,
+                                  campaign_fingerprint, _dumps, _loads)
+from repro.sim.device import Device, RunOptions
+from repro.sim.kernel import Kernel, KernelLaunch
+
+
+def run_campaign(tmp_path, benchmark, runs, checkpoint_dir=None,
+                 interval=None, verify=False, seed=7):
+    config = CampaignConfig(
+        benchmark=benchmark, card="RTX2060",
+        structures=(Structure.REGISTER_FILE, Structure.L2_CACHE),
+        runs_per_structure=runs, seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=interval,
+        verify_restore=verify)
+    return Campaign(config).run()
+
+
+class TestCampaignParity:
+    """>= 32 fast-forwarded runs over two benchmarks and two
+    structures must be byte-identical to from-scratch execution."""
+
+    @pytest.mark.parametrize("bench_name,runs", [
+        ("vectoradd", 8),   # 8 runs x 2 structures x 1 kernel  = 16
+        ("bfs", 4),         # 4 runs x 2 structures x 2 kernels = 16
+    ])
+    def test_checkpointed_records_byte_identical(self, tmp_path,
+                                                 bench_name, runs):
+        scratch = run_campaign(tmp_path, bench_name, runs)
+        ckpt = run_campaign(tmp_path, bench_name, runs,
+                            checkpoint_dir=tmp_path / "ckpt")
+        assert len(scratch.records) >= 16
+        assert (json.dumps(scratch.records, sort_keys=True)
+                == json.dumps(ckpt.records, sort_keys=True))
+
+    def test_interval_independent(self, tmp_path):
+        """Records do not depend on the capture stride."""
+        baseline = run_campaign(tmp_path, "vectoradd", 4)
+        for interval in (64, 256):
+            got = run_campaign(tmp_path, "vectoradd", 4,
+                               checkpoint_dir=tmp_path / f"i{interval}",
+                               interval=interval)
+            assert (json.dumps(baseline.records, sort_keys=True)
+                    == json.dumps(got.records, sort_keys=True)), interval
+
+    def test_verify_restore_cross_check(self, tmp_path):
+        """--verify-restore re-runs every fast-forwarded run from
+        scratch and raises on any divergence; passing is the test."""
+        result = run_campaign(tmp_path, "vectoradd", 2,
+                              checkpoint_dir=tmp_path / "ckpt",
+                              verify=True)
+        assert len(result.records) == 4
+
+
+class TestCheckpointStore:
+    def test_set_reused_across_plans(self, tmp_path):
+        root = tmp_path / "ckpt"
+        run_campaign(tmp_path, "vectoradd", 1, checkpoint_dir=root)
+        key = next(p.name for p in root.iterdir() if p.is_dir())
+        meta = root / key / "meta.json"
+        before = meta.stat().st_mtime_ns
+        run_campaign(tmp_path, "vectoradd", 1, checkpoint_dir=root)
+        assert meta.stat().st_mtime_ns == before  # no recapture
+
+    def test_interval_change_recaptures(self, tmp_path):
+        root = tmp_path / "ckpt"
+        run_campaign(tmp_path, "vectoradd", 1, checkpoint_dir=root,
+                     interval=500)
+        key = next(p.name for p in root.iterdir() if p.is_dir())
+        run_campaign(tmp_path, "vectoradd", 1, checkpoint_dir=root,
+                     interval=100)
+        meta = json.loads((root / key / "meta.json").read_text())
+        assert meta["interval"] == 100
+
+    def test_torn_set_ignored(self, tmp_path):
+        """A directory without a complete meta.json (crashed capture)
+        must read as absent, not as a corrupt set."""
+        store = CheckpointStore(tmp_path)
+        d = store.path("deadbeef")
+        d.mkdir(parents=True)
+        (d / "ckpt_000_000000000100.bin").write_bytes(b"partial")
+        assert store.open("deadbeef") is None
+
+    def test_format_mismatch_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        d = store.path("cafe")
+        d.mkdir(parents=True)
+        (d / "meta.json").write_text(json.dumps(
+            {"format": -1, "interval": None, "golden_cycles": 1,
+             "checkpoints": [], "complete": True}))
+        assert store.open("cafe") is None
+
+    def test_fingerprint_tracks_code_and_card(self):
+        from repro.bench import make_benchmark
+
+        bench = make_benchmark("vectoradd")
+        base = campaign_fingerprint(bench, rtx_2060(), "gto")
+        assert base == campaign_fingerprint(
+            make_benchmark("vectoradd"), rtx_2060(), "gto")
+        assert base != campaign_fingerprint(bench, rtx_2060(), "lrr")
+        assert base != campaign_fingerprint(
+            make_benchmark("pathfinder"), rtx_2060(), "gto")
+
+
+class TestSnapshotRoundtrip:
+    KERNEL = Kernel("snap_probe", """
+    S2R R0, SR_TID_X
+    SHL R3, R0, 2
+    LDC R8, c[0x0]
+    IADD R9, R8, R3
+    MOV R10, 0x55
+    STG [R9], R10
+    EXIT
+""", num_params=1)
+
+    def test_blob_roundtrip(self):
+        obj = {"a": np.arange(8, dtype=np.uint32), "b": [1, 2, 3]}
+        back = _loads(_dumps(obj))
+        assert np.array_equal(back["a"], obj["a"])
+        assert back["b"] == obj["b"]
+
+    def test_gpu_state_roundtrip(self):
+        """snapshot -> clobber -> restore leaves memory, cycle and
+        stats identical."""
+        dev = Device("RTX2060")
+        out = dev.malloc(128)
+        dev.launch(self.KERNEL, grid=1, block=32, params=[out])
+        gpu = dev.gpu
+        request = KernelLaunch.create(self.KERNEL, grid=1, block=32,
+                                      params=[out])
+        snap = _loads(_dumps(gpu.snapshot(request, [])))
+        cycle = gpu.cycle
+        mem = gpu.memory.snapshot()["data"].copy()
+        gpu.memory.restore({"data": np.zeros_like(mem),
+                            "next": 0, "allocations": []})
+        gpu.cycle = 0
+        gpu.restore(snap, request)
+        assert gpu.cycle == cycle
+        assert np.array_equal(gpu.memory.snapshot()["data"], mem)
+        assert (dev.read_array(out, (32,), np.uint32) == 0x55).all()
+
+    def test_recorder_writes_complete_set(self, tmp_path):
+        rec = CheckpointRecorder(tmp_path / "set", interval=50)
+        dev = Device("RTX2060", RunOptions(checkpointer=rec))
+        out = dev.malloc(128)
+        dev.launch(self.KERNEL, grid=1, block=32, params=[out])
+        rec.finalize(dev.gpu.stats.launches, dev.cycle)
+        meta = json.loads((tmp_path / "set" / "meta.json").read_text())
+        assert meta["complete"] and meta["checkpoints"]
+        ckpt_set = CheckpointStore(tmp_path).open("set")
+        assert ckpt_set is not None
+        assert ckpt_set.golden_cycles == dev.cycle
+
+    def test_checkpointer_and_fast_forward_exclusive(self):
+        rec = CheckpointRecorder("/tmp/unused")
+        with pytest.raises(ValueError):
+            RunOptions(checkpointer=rec, fast_forward=object())

@@ -37,6 +37,43 @@ class TestClassification:
             FaultEffect.TIMEOUT
 
 
+class TestPrecedence:
+    """Status outranks the output check, which outranks timing."""
+
+    def test_crash_wins_over_failed_output(self):
+        assert classify_run(result(status="crash", passed=False),
+                            1000) is FaultEffect.CRASH
+
+    def test_crash_wins_over_passed_output_and_changed_cycles(self):
+        assert classify_run(result(status="crash", passed=True,
+                                   cycles=1234), 1000) is FaultEffect.CRASH
+
+    def test_timeout_wins_over_failed_output(self):
+        assert classify_run(result(status="timeout", passed=False),
+                            1000) is FaultEffect.TIMEOUT
+
+    def test_timeout_wins_over_passed_output(self):
+        # a run can produce correct partial output and still hang
+        assert classify_run(result(status="timeout", passed=True,
+                                   cycles=2000), 1000) is FaultEffect.TIMEOUT
+
+    def test_sdc_wins_over_changed_cycles(self):
+        # FAILED output with a cycle delta is SDC, not Performance
+        assert classify_run(result(passed=False, cycles=1700),
+                            1000) is FaultEffect.SDC
+
+    def test_passed_with_cycle_delta_is_performance_not_masked(self):
+        for cycles in (999, 1001, 2 * 1000 - 1):
+            assert classify_run(result(cycles=cycles), 1000) is \
+                FaultEffect.PERFORMANCE
+
+    def test_passed_none_is_not_sdc_masked(self):
+        # completed but the output check never ran (passed=None):
+        # `not None` is truthy, so this classifies as SDC -- the run
+        # cannot prove its output was correct
+        assert classify_run(result(passed=None), 1000) is FaultEffect.SDC
+
+
 class TestFailureSemantics:
     def test_failure_classes(self):
         assert FaultEffect.SDC.is_failure

@@ -14,7 +14,7 @@ from repro.faults.injector import Injector
 from repro.faults.mask import FaultMask
 from repro.faults.targets import CHIP_STRUCTURES, Structure, chip_bits
 from repro.sim.cards import gtx_titan, rtx_2060
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.kernel import Kernel
 
 PARAM_SPIN = Kernel("param_spin", """
@@ -66,11 +66,10 @@ class TestConstCacheModel:
 
 class TestConstCacheInjection:
     def _run(self, bit, cycle=50):
-        dev = Device("RTX2060")
         mask = FaultMask(structure=Structure.L1C_CACHE, cycle=cycle,
                          entry_index=0, bit_offsets=(bit,), seed=1)
         injector = Injector([mask])
-        dev.set_injector(injector)
+        dev = Device("RTX2060", RunOptions(injector=injector))
         out = dev.malloc(128)
         dev.launch(PARAM_SPIN, grid=1, block=32, params=[out, 7])
         return dev.read_array(out, (32,), np.uint32), injector
@@ -115,11 +114,10 @@ loop:
     STG [R9], R10
     EXIT
 """, num_params=2)
-        dev = Device("RTX2060")
         # bit 57 + 32 = lowest bit of the second parameter word
         mask = FaultMask(structure=Structure.L1C_CACHE, cycle=100,
                          entry_index=0, bit_offsets=(57 + 32,), seed=1)
-        dev.set_injector(Injector([mask]))
+        dev = Device("RTX2060", RunOptions(injector=Injector([mask])))
         out = dev.malloc(128)
         dev.launch(kernel, grid=1, block=32, params=[out, 8])
         values = dev.read_array(out, (32,), np.uint32)

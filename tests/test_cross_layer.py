@@ -11,7 +11,7 @@ import pytest
 from repro.faults.injector import Injector
 from repro.faults.mask import FaultMask
 from repro.faults.targets import Structure
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.errors import SimTimeout
 from repro.sim.kernel import Kernel
 
@@ -66,9 +66,20 @@ class TestL2DataLoss:
 
 class TestTexturePathCorruption:
     def test_l1t_data_flip_reaches_tld(self):
-        dev = Device("RTX2060")
+        # allocation addresses are deterministic, so probe the target
+        # line index with a scratch device before building the mask
         data = np.zeros(32, dtype=np.uint32)
+        probe = Device("RTX2060")
+        probe_ptr = probe.to_device(data)
+        card = probe.config
+        set_idx = (probe_ptr // card.l1t.line_bytes) % card.l1t.num_sets
+        line_index = set_idx * card.l1t.assoc
+        mask = FaultMask(structure=Structure.L1T_CACHE, cycle=150,
+                         entry_index=line_index, bit_offsets=(57,),
+                         seed=2, n_cores=30)
+        dev = Device("RTX2060", RunOptions(injector=Injector([mask])))
         ptr = dev.to_device(data)
+        assert ptr == probe_ptr
         out = dev.malloc(128)
         kernel = Kernel("tex_twice", """
     S2R R0, SR_TID_X
@@ -87,14 +98,6 @@ loop:
     STG [R14], R13
     EXIT
 """, num_params=2)
-        # the fill lands in way 0 of the set addressed by ptr
-        card = dev.config
-        set_idx = (ptr // card.l1t.line_bytes) % card.l1t.num_sets
-        line_index = set_idx * card.l1t.assoc
-        mask = FaultMask(structure=Structure.L1T_CACHE, cycle=150,
-                         entry_index=line_index, bit_offsets=(57,),
-                         seed=2, n_cores=30)
-        dev.set_injector(Injector([mask]))
         dev.launch(kernel, grid=1, block=32, params=[ptr, out])
         values = dev.read_array(out, (32,), np.uint32)
         # the flipped bit lands in whichever word the line holds; at
@@ -104,7 +107,9 @@ loop:
 
 class TestSharedMemoryCorruption:
     def test_smem_flip_between_produce_and_consume(self):
-        dev = Device("RTX2060")
+        mask = FaultMask(structure=Structure.SHARED_MEM, cycle=150,
+                         entry_index=0, bit_offsets=(1,), seed=3)
+        dev = Device("RTX2060", RunOptions(injector=Injector([mask])))
         out = dev.malloc(128)
         kernel = Kernel("smem_rdwr", """
     S2R R0, SR_TID_X
@@ -123,9 +128,6 @@ loop:
     STG [R9], R12
     EXIT
 """, num_params=1, smem_bytes=128)
-        mask = FaultMask(structure=Structure.SHARED_MEM, cycle=150,
-                         entry_index=0, bit_offsets=(1,), seed=3)
-        dev.set_injector(Injector([mask]))
         dev.launch(kernel, grid=1, block=32, params=[out])
         values = dev.read_array(out, (32,), np.uint32)
         assert values[0] == 0x12
@@ -134,8 +136,14 @@ loop:
 
 class TestControlFlowFaults:
     def test_loop_counter_flip_times_out(self):
-        dev = Device("RTX2060")
-        dev.set_cycle_budget(20_000)
+        # flip bit 31 of the loop counter mid-run: counter goes hugely
+        # negative, the bound check keeps the warp looping
+        mask = FaultMask(structure=Structure.REGISTER_FILE, cycle=500,
+                         entry_index=11, bit_offsets=(31,),
+                         warp_level=True, seed=4)
+        dev = Device("RTX2060",
+                     RunOptions(cycle_budget=20_000,
+                                injector=Injector([mask])))
         out = dev.malloc(128)
         kernel = Kernel("bounded_loop", """
     S2R R0, SR_TID_X
@@ -150,11 +158,5 @@ loop:
     STG [R9], R11
     EXIT
 """, num_params=1)
-        # flip bit 31 of the loop counter mid-run: counter goes hugely
-        # negative, the bound check keeps the warp looping
-        mask = FaultMask(structure=Structure.REGISTER_FILE, cycle=500,
-                         entry_index=11, bit_offsets=(31,),
-                         warp_level=True, seed=4)
-        dev.set_injector(Injector([mask]))
         with pytest.raises(SimTimeout):
             dev.launch(kernel, grid=1, block=32, params=[out])

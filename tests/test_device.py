@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.kernel import Kernel
 
 STORE_TID = Kernel("store_tid", """
@@ -63,17 +63,46 @@ class TestMemcpy:
 
 class TestBudgets:
     def test_budget_cleared(self, device):
-        device.set_cycle_budget(10)
-        device.set_cycle_budget(None)
+        with pytest.warns(DeprecationWarning):
+            device.set_cycle_budget(10)
+        with pytest.warns(DeprecationWarning):
+            device.set_cycle_budget(None)
         p_out = device.malloc(128)
         device.launch(STORE_TID, grid=1, block=32, params=[p_out])
 
-    def test_injector_detach(self, device):
+    def test_budget_via_options(self):
+        dev = Device("RTX2060", RunOptions(cycle_budget=100_000))
+        p_out = dev.malloc(128)
+        dev.launch(STORE_TID, grid=1, block=32, params=[p_out])
+
+    def test_empty_injector_via_options(self):
         from repro.faults.injector import Injector
 
-        device.set_injector(Injector([]))
-        p_out = device.malloc(128)
-        device.launch(STORE_TID, grid=1, block=32, params=[p_out])
+        dev = Device("RTX2060", RunOptions(injector=Injector([])))
+        p_out = dev.malloc(128)
+        dev.launch(STORE_TID, grid=1, block=32, params=[p_out])
+
+
+class TestDeprecatedSetters:
+    """The ``Device.set_*`` mutators still work but warn; everything
+    else in the suite goes through :class:`RunOptions`."""
+
+    def test_set_cycle_budget_warns(self, device):
+        with pytest.warns(DeprecationWarning,
+                          match=r"set_cycle_budget\(\) is deprecated"):
+            device.set_cycle_budget(10)
+
+    def test_set_injector_warns(self, device):
+        from repro.faults.injector import Injector
+
+        with pytest.warns(DeprecationWarning,
+                          match=r"set_injector\(\) is deprecated"):
+            device.set_injector(Injector([]))
+
+    def test_set_scheduler_policy_warns(self, device):
+        with pytest.warns(DeprecationWarning,
+                          match=r"set_scheduler_policy\(\) is deprecated"):
+            device.set_scheduler_policy("lrr")
 
 
 class TestCardSelection:

@@ -6,7 +6,7 @@ import pytest
 from repro.faults.injector import Injector
 from repro.faults.mask import FaultMask
 from repro.faults.targets import Structure
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.kernel import Kernel
 
 # spins long enough for mid-kernel injections to have a live target,
@@ -28,9 +28,8 @@ loop:
 
 
 def run_with(masks, kernel=SPIN, smem=0, local=0, card="RTX2060"):
-    dev = Device(card)
     injector = Injector(masks)
-    dev.set_injector(injector)
+    dev = Device(card, RunOptions(injector=injector))
     out = dev.malloc(4 * 32)
     dev.launch(kernel, grid=1, block=32, params=[out])
     return dev, injector, dev.read_array(out, (32,), np.uint32)
@@ -177,10 +176,9 @@ class TestCacheInjection:
         assert injector.log[0]["flips"][0]["field"] == "tag"
 
     def test_hook_mode_defers(self):
-        dev = Device("RTX2060")
         injector = Injector([mask_for(Structure.L2_CACHE, bits=(100,))],
                             cache_hook_mode=True)
-        dev.set_injector(injector)
+        dev = Device("RTX2060", RunOptions(injector=injector))
         out = dev.malloc(4 * 32)
         dev.launch(SPIN, grid=1, block=32, params=[out])
         assert injector.log[0]["flips"][0]["mode"] == "hook"

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.kernel import Kernel, KernelLaunch
 
 COUNTER = Kernel("counter", """
@@ -132,8 +132,7 @@ class TestLaunchStats:
 
 class TestSchedulerPolicies:
     def _run(self, policy):
-        dev = Device("RTX2060")
-        dev.set_scheduler_policy(policy)
+        dev = Device("RTX2060", RunOptions(scheduler_policy=policy))
         bench_out = dev.malloc(4 * 64)
         dev.launch(COUNTER, grid=64, block=32, params=[bench_out])
         return dev.cycle
@@ -142,9 +141,9 @@ class TestSchedulerPolicies:
         assert self._run("gto") > 0
         assert self._run("lrr") > 0
 
-    def test_unknown_policy_rejected(self, device):
+    def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
-            device.set_scheduler_policy("fifo")
+            RunOptions(scheduler_policy="fifo")
 
 
 class TestKernelLaunchValidation:

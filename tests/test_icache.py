@@ -17,7 +17,7 @@ from repro.isa.encoding import (WORD_BYTES, DecodeError,
                                 encode_kernel)
 from repro.isa.operands import Immediate
 from repro.sim.cards import rtx_2060
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.errors import SimulationError
 from repro.sim.kernel import Kernel
 
@@ -145,17 +145,19 @@ class TestIcacheInjection:
         golden.launch(SPIN, grid=1, block=32, params=[out])
         golden_cycles = golden.cycle
 
+        # pc 6 is the loop's "IADD R11, R11, 1"; code bases are keyed
+        # by kernel name, so the golden device sees the same line index
+        line_index = self._line_index_for_pc(golden, SPIN, 6)
+
         outcomes = set()
         for bit in (0, 1, 2, 32, 33, 96, 100):
-            dev = Device(icache_card())
-            dev.set_cycle_budget(4 * golden_cycles)
-            # pc 6 is the loop's "IADD R11, R11, 1"
-            line_index = self._line_index_for_pc(dev, SPIN, 6)
             word_bit = 57 + 6 * WORD_BYTES * 8 + bit
             mask = FaultMask(structure=Structure.L1I_CACHE, cycle=300,
                              entry_index=line_index,
                              bit_offsets=(word_bit,), seed=1, n_cores=30)
-            dev.set_injector(Injector([mask]))
+            dev = Device(icache_card(),
+                         RunOptions(cycle_budget=4 * golden_cycles,
+                                    injector=Injector([mask])))
             out = dev.malloc(128)
             try:
                 dev.launch(SPIN, grid=1, block=32, params=[out])
@@ -174,11 +176,11 @@ class TestIcacheInjection:
             f"at least one icache flip must change behaviour: {outcomes}"
 
     def test_invalid_line_flip_masked(self):
-        dev = Device(icache_card())
+        card = icache_card()
         mask = FaultMask(structure=Structure.L1I_CACHE, cycle=300,
-                         entry_index=dev.config.l1i.num_lines - 1,
+                         entry_index=card.l1i.num_lines - 1,
                          bit_offsets=(60,), seed=2)
-        dev.set_injector(Injector([mask]))
+        dev = Device(card, RunOptions(injector=Injector([mask])))
         out = dev.malloc(128)
         dev.launch(SPIN, grid=1, block=32, params=[out])
         assert (dev.read_array(out, (32,), np.uint32) == 0x111).all()

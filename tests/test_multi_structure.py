@@ -7,6 +7,7 @@ from repro.faults.injector import Injector
 from repro.faults.mask import MaskGenerator
 from repro.faults.targets import Structure
 from repro.sim.cards import rtx_2060
+from repro.sim.device import RunOptions
 
 
 def make_generator(seed=0):
@@ -64,8 +65,7 @@ loop:
                     entry_index=m.entry_index, bit_offsets=m.bit_offsets,
                     seed=m.seed) for m in masks)
         injector = Injector(list(masks))
-        dev = Device("RTX2060")
-        dev.set_injector(injector)
+        dev = Device("RTX2060", RunOptions(injector=injector))
         dev.launch(kernel, grid=1, block=32, params=[])
         assert len(injector.log) == 3
         targets = {rec["mask"]["structure"] for rec in injector.log}

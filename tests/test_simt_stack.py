@@ -3,16 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.sim.device import Device
+from repro.sim.device import Device, RunOptions
 from repro.sim.errors import DeadlockError, SimTimeout
 from repro.sim.kernel import Kernel
 
 
 def run_kernel(source: str, n: int = 32, out_words: int = 32,
                smem_bytes: int = 0, budget=None):
-    dev = Device("RTX2060")
-    if budget:
-        dev.set_cycle_budget(budget)
+    dev = Device("RTX2060",
+                 RunOptions(cycle_budget=budget) if budget else None)
     out = dev.malloc(4 * max(out_words, 1))
     kernel = Kernel("simt_test", source, num_params=1,
                     smem_bytes=smem_bytes)
