@@ -1,0 +1,145 @@
+"""Masked-fault early termination: wall-clock of full vs off.
+
+End-to-end campaign timing (golden profiling run included) over two
+benchmarks x two structures each, with checkpointing enabled on both
+sides so the measured gain *compounds* with -- rather than replaces --
+the checkpoint fast-forward:
+
+- ``early_stop=off``   simulates every injected run to completion;
+- ``early_stop=full``  pre-screens provably-dead targets at plan time
+  and convergence-terminates runs whose state re-joins the golden run.
+
+Per-class effect counts are asserted identical -- early termination is
+a pure wall-clock optimisation.
+
+Run standalone for the acceptance measurement::
+
+    PYTHONPATH=src python benchmarks/bench_early_stop.py --runs 12
+
+or under pytest-benchmark with the other benches.  ``GPUFI_EARLY_RUNS``
+scales the campaign; ``GPUFI_EARLY_STOP_MIN`` overrides the speedup
+floor (CI uses a relaxed floor to tolerate noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+from collections import Counter
+from pathlib import Path
+
+from _harness import emit
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.targets import Structure
+
+RUNS = int(os.environ.get("GPUFI_EARLY_RUNS", "12"))
+
+#: end-to-end acceptance floor over the whole matrix
+MIN_SPEEDUP = float(os.environ.get("GPUFI_EARLY_STOP_MIN", "2.0"))
+
+#: two benchmarks x two structures each
+MATRIX = (
+    ("vectoradd", (Structure.REGISTER_FILE, Structure.L2_CACHE)),
+    ("bfs", (Structure.REGISTER_FILE, Structure.L2_CACHE)),
+)
+
+
+def _config(bench, structures, runs, early_stop, ckpt_root):
+    return CampaignConfig(
+        benchmark=bench, card="RTX2060", structures=structures,
+        runs_per_structure=runs, seed=5,
+        checkpoint_dir=ckpt_root / f"{bench}_{early_stop}",
+        early_stop=early_stop)
+
+
+def _counts(result):
+    return Counter((r["kernel"], r["structure"], r["effect"])
+                   for r in result.records)
+
+
+def measure(runs: int):
+    """Time every matrix entry in both modes; verify count parity."""
+    root = Path(tempfile.mkdtemp(prefix="gpufi_early_stop_bench_"))
+    rows, t_off_total, t_full_total = [], 0.0, 0.0
+    identical = True
+    try:
+        for bench, structures in MATRIX:
+            start = time.perf_counter()
+            off = Campaign(_config(bench, structures, runs, "off",
+                                   root)).run()
+            t_off = time.perf_counter() - start
+
+            start = time.perf_counter()
+            full = Campaign(_config(bench, structures, runs, "full",
+                                    root)).run()
+            t_full = time.perf_counter() - start
+
+            identical &= _counts(off) == _counts(full)
+            prescreened = sum(1 for r in full.records
+                              if r.get("prescreened"))
+            terminated = sum(1 for r in full.records
+                             if r.get("terminated_at") is not None)
+            rows.append((bench, t_off, t_full, len(full.records),
+                         prescreened, terminated))
+            t_off_total += t_off
+            t_full_total += t_full
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return rows, t_off_total, t_full_total, identical
+
+
+def report(runs: int):
+    rows, t_off, t_full, identical = measure(runs)
+    speedup = t_off / t_full if t_full else 0.0
+    lines = [f"early-stop matrix: {runs} runs per structure, "
+             f"checkpointing on in both modes"]
+    for bench, off, full, total, pre, term in rows:
+        lines.append(
+            f"{bench:>10s}: off {off:6.2f}s  full {full:6.2f}s  "
+            f"({off / full if full else 0.0:.2f}x; {pre}/{total} "
+            f"pre-screened, {term} converged)")
+    lines.append(f"overall:    off {t_off:6.2f}s  full {t_full:6.2f}s  "
+                 f"speedup {speedup:.2f}x  (floor {MIN_SPEEDUP}x)")
+    lines.append(f"effect counts identical: {identical}")
+    return speedup, identical, "\n".join(lines)
+
+
+def test_early_stop_speedup(benchmark):
+    def once():
+        return report(RUNS)
+
+    speedup, identical, text = benchmark.pedantic(
+        once, rounds=1, iterations=1)
+    emit("early_stop_speedup", text)
+    assert identical, "early-stop classification counts diverged"
+    assert speedup >= MIN_SPEEDUP, text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=RUNS)
+    args = parser.parse_args(argv)
+
+    speedup, identical, text = report(args.runs)
+    print(text)
+    from _harness import OUT_DIR
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "early_stop_speedup.txt").write_text(text + "\n",
+                                                    encoding="utf-8")
+    if not identical:
+        print("FAIL: effect counts diverged", file=sys.stderr)
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x < {MIN_SPEEDUP}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

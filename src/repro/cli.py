@@ -78,6 +78,13 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--verify-restore", action="store_true",
                           help="cross-check every fast-forwarded run "
                                "against a from-scratch run")
+    campaign.add_argument("--early-stop", default="full",
+                          choices=["off", "converge", "full"],
+                          help="masked-fault early termination: 'converge' "
+                               "ends runs whose state re-joins a golden "
+                               "checkpoint, 'full' also pre-screens "
+                               "provably-dead fault targets "
+                               "(classifications identical in all modes)")
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the injection runs "
                                "(results are identical for any count)")
@@ -149,6 +156,7 @@ def _campaign_config(args) -> CampaignConfig:
                         if args.checkpoint_dir else None),
         checkpoint_interval=args.checkpoint_interval,
         verify_restore=args.verify_restore,
+        early_stop=args.early_stop,
     )
 
 

@@ -24,6 +24,8 @@ from repro.faults.campaign import (
 from repro.faults.classify import FaultEffect, classify_run
 from repro.faults.config_file import dump_config, load_config, \
     parse_config_text
+from repro.faults.early_stop import (EARLY_STOP_MODES, ConvergenceMonitor,
+                                     EarlyConvergence, Prescreener)
 from repro.faults.executor import (CampaignExecutor, RunSpec,
                                    execute_run)
 from repro.faults.injector import Injector
@@ -53,6 +55,10 @@ __all__ = [
     "load_config",
     "dump_config",
     "parse_config_text",
+    "EARLY_STOP_MODES",
+    "ConvergenceMonitor",
+    "EarlyConvergence",
+    "Prescreener",
     "Injector",
     "FaultMask",
     "MaskGenerator",

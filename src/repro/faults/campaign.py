@@ -19,9 +19,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect
+from repro.faults.early_stop import EARLY_STOP_MODES, Prescreener
 from repro.faults.executor import CampaignExecutor, RunSpec
-from repro.faults.mask import MultiBitMode, derive_run_seed
+from repro.faults.mask import MaskGenerator, MultiBitMode, derive_run_seed
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure, supported_structures
 from repro.sim.cards import get_card
@@ -82,7 +85,7 @@ def _make_benchmark(name: str):
 
 def profile_application(benchmark_name: str, card: str,
                         scheduler_policy: str = "gto",
-                        checkpointer=None
+                        checkpointer=None, liveness=None
                         ) -> Tuple[AppProfile, RunResult]:
     """Run the fault-free ("golden") execution and build the profile.
 
@@ -90,13 +93,18 @@ def profile_application(benchmark_name: str, card: str,
     (:class:`repro.sim.checkpoint.CheckpointRecorder`), the golden run
     also captures architectural snapshots and is finalized into a
     complete on-disk checkpoint set fault runs can fast-forward from.
+    With a ``liveness`` trace
+    (:class:`repro.sim.liveness.LivenessTrace`), it additionally
+    records per-structure liveness intervals for dead-site
+    pre-screening.
     """
     bench = _make_benchmark(benchmark_name)
     kernel_meta = {k.name: k for k in bench.kernels()}
     golden = run_application(
         bench, card, keep_device=True,
         options=RunOptions(scheduler_policy=scheduler_policy,
-                           checkpointer=checkpointer))
+                           checkpointer=checkpointer,
+                           liveness=liveness))
     if golden.status != "completed" or not golden.passed:
         raise RuntimeError(
             f"fault-free run of {benchmark_name} on {card} did not pass: "
@@ -188,6 +196,13 @@ class CampaignConfig:
     #: Cross-check mode: re-run every fast-forwarded run from scratch
     #: and fail loudly on any record difference.
     verify_restore: bool = False
+    #: Masked-fault early termination: "off" simulates every injected
+    #: run to completion, "converge" terminates runs once their state
+    #: digest matches a golden checkpoint (needs ``checkpoint_dir``),
+    #: "full" additionally pre-screens provably-dead fault targets at
+    #: plan time from the golden liveness trace.  Classifications are
+    #: identical in every mode; only wall-clock time changes.
+    early_stop: str = "full"
 
     def resolved_card(self):
         """The card model with campaign-level extensions applied."""
@@ -286,6 +301,9 @@ class Campaign:
         self._progress = progress or (lambda msg: None)
         self.profile: Optional[AppProfile] = None
         self.golden_cycles: Optional[int] = None
+        #: Golden-run liveness trace (captured when ``early_stop`` is
+        #: "full"); feeds the plan-time dead-site pre-screener.
+        self._liveness = None
 
     def plan(self) -> List[RunSpec]:
         """Profile the golden run and enumerate every injection run.
@@ -296,6 +314,12 @@ class Campaign:
         planned spec references it for fast-forward execution.
         """
         cfg = self.config
+        if cfg.early_stop not in EARLY_STOP_MODES:
+            raise ValueError(
+                f"early_stop must be one of {EARLY_STOP_MODES}, "
+                f"got {cfg.early_stop!r}")
+        want_liveness = cfg.early_stop == "full"
+        resolved = cfg.resolved_card()
         checkpointer = None
         checkpoint_key = None
         if cfg.checkpoint_dir is not None:
@@ -314,13 +338,24 @@ class Campaign:
                 checkpointer = store.recorder(checkpoint_key,
                                               cfg.checkpoint_interval)
                 self.profile = None  # re-profile with capture enabled
-        if self.profile is None:
+        if self.profile is None or (want_liveness
+                                    and self._liveness is None):
+            liveness = None
+            if want_liveness:
+                from repro.sim.liveness import LivenessTrace
+
+                liveness = LivenessTrace()
             profile, golden = profile_application(
-                cfg.benchmark, cfg.resolved_card(), cfg.scheduler_policy,
-                checkpointer=checkpointer)
+                cfg.benchmark, resolved, cfg.scheduler_policy,
+                checkpointer=checkpointer, liveness=liveness)
             self.profile = profile
             self.golden_cycles = golden.cycles
+            self._liveness = liveness
         budget = TIMEOUT_FACTOR * self.golden_cycles
+        prescreener = None
+        if want_liveness and self._liveness is not None:
+            prescreener = Prescreener(self._liveness, resolved,
+                                      cache_hook_mode=cfg.cache_hook_mode)
 
         target_kernels = (list(cfg.kernels) if cfg.kernels
                           else sorted(self.profile.kernels))
@@ -347,14 +382,32 @@ class Campaign:
                     or (structure is Structure.LOCAL_MEM
                         and kp.local_bytes == 0))
                 for run_index in range(cfg.runs_per_structure):
+                    seed = derive_run_seed(cfg.seed, kernel_name,
+                                           structure, run_index)
+                    prescreen_reason = ""
+                    if prescreener is not None and not no_target:
+                        # regenerate the exact mask execute_run will
+                        # draw (same generator construction, same seed)
+                        mask = MaskGenerator(
+                            resolved, [tuple(w) for w in windows],
+                            kp.regs_per_thread, kp.smem_bytes,
+                            kp.local_bytes,
+                            np.random.default_rng(seed)).generate(
+                                structure, n_bits=cfg.bits_per_fault,
+                                mode=cfg.multibit_mode,
+                                warp_level=cfg.warp_level,
+                                n_blocks=cfg.n_blocks,
+                                n_cores=cfg.n_cores)
+                        prescreen_reason = prescreener.evaluate(
+                            mask, kp.regs_per_thread, kp.smem_bytes,
+                            kp.local_bytes) or ""
                     specs.append(RunSpec(
                         benchmark=cfg.benchmark,
                         card=cfg.card,
                         kernel=kernel_name,
                         structure=structure,
                         run_index=run_index,
-                        seed=derive_run_seed(cfg.seed, kernel_name,
-                                             structure, run_index),
+                        seed=seed,
                         windows=tuple((s, e) for s, e in windows),
                         regs_per_thread=kp.regs_per_thread,
                         smem_bytes=kp.smem_bytes,
@@ -375,6 +428,9 @@ class Campaign:
                                         else None),
                         checkpoint_key=checkpoint_key,
                         verify_restore=cfg.verify_restore,
+                        early_stop=cfg.early_stop,
+                        prescreened=bool(prescreen_reason),
+                        prescreen_reason=prescreen_reason,
                     ))
         return specs
 

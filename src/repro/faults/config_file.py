@@ -58,7 +58,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         "benchmark", "card", "components", "runs", "bits_per_fault",
         "multibit_mode", "warp_level", "blocks", "cores", "kernels",
         "invocation", "seed", "scheduler", "cache_hook_mode",
-        "model_icache", "log",
+        "model_icache", "log", "early_stop",
     }
     unknown = set(options) - known
     if unknown:
@@ -87,6 +87,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         model_icache=options.get("model_icache",
                                  "0").lower() in _BOOL_TRUE,
         log_path=Path(options["log"]) if "log" in options else None,
+        early_stop=options.get("early_stop", "full"),
     )
 
 
@@ -110,6 +111,7 @@ def dump_config(config: CampaignConfig) -> str:
         f"-gpufi_scheduler {config.scheduler_policy}",
         f"-gpufi_cache_hook_mode {int(config.cache_hook_mode)}",
         f"-gpufi_model_icache {int(config.model_icache)}",
+        f"-gpufi_early_stop {config.early_stop}",
     ]
     if config.structures is not None:
         joined = ",".join(s.value for s in config.structures)

@@ -94,6 +94,15 @@ class RunSpec:
     #: scratch and the records compared; a difference raises
     #: :class:`repro.sim.checkpoint.RestoreParityError`.
     verify_restore: bool = False
+    #: Early-termination mode: "off" simulates every run to completion,
+    #: "converge" terminates runs whose state digest re-joins a golden
+    #: checkpoint, "full" additionally accepts plan-time pre-screened
+    #: verdicts.  Classifications are identical in all three modes.
+    early_stop: str = "full"
+    #: Plan-time verdict: the golden liveness trace proved this mask's
+    #: target dead, so the run is Masked without simulation.
+    prescreened: bool = False
+    prescreen_reason: str = ""
 
     @property
     def key(self) -> RunKey:
@@ -113,7 +122,10 @@ def _finish_record(base: dict, result, spec: RunSpec, mask) -> dict:
 
     Deliberately carries no trace of *how* the run was simulated
     (fast-forwarded or from scratch): records must stay byte-identical
-    for any checkpointing configuration.
+    for any checkpointing configuration.  Early termination is the one
+    deliberate exception -- a convergence-terminated run carries its
+    ``terminated_at`` cycle as provenance (the *classification* fields
+    still match a full simulation exactly).
     """
     record = dict(base)
     record["effect"] = classify_run(result, spec.golden_cycles).value
@@ -126,6 +138,8 @@ def _finish_record(base: dict, result, spec: RunSpec, mask) -> dict:
         "error": result.error,
         "injections": result.injection_log,
     })
+    if result.terminated_at is not None:
+        record["terminated_at"] = result.terminated_at
     return record
 
 
@@ -141,6 +155,12 @@ def execute_run(spec: RunSpec) -> dict:
     simulates only the suffix; any checkpoint problem (missing set,
     replay divergence) falls back to a from-scratch run, so the
     record is the same either way.
+
+    Early termination composes with the fast-forward: ``prescreened``
+    specs return their Masked record without simulating at all, and
+    in "converge"/"full" mode each simulation attempt gets a fresh
+    :class:`~repro.faults.early_stop.ConvergenceMonitor` built from
+    the golden checkpoint digests past the injection cycle.
     """
     record = {
         "benchmark": spec.benchmark,
@@ -155,8 +175,6 @@ def execute_run(spec: RunSpec) -> dict:
     if spec.synthesized:
         return record
 
-    from repro.bench import make_benchmark
-
     card = _resolved_card(spec)
     generator = MaskGenerator(card, list(spec.windows),
                               spec.regs_per_thread, spec.smem_bytes,
@@ -167,6 +185,46 @@ def execute_run(spec: RunSpec) -> dict:
         mode=spec.multibit_mode, warp_level=spec.warp_level,
         n_blocks=spec.n_blocks, n_cores=spec.n_cores)
 
+    if spec.prescreened:
+        record["mask"] = mask.to_dict()
+        record["prescreened"] = True
+        record["prescreen_reason"] = spec.prescreen_reason
+        return record
+
+    from repro.bench import make_benchmark
+
+    ckpt_set = None
+    if spec.checkpoint_dir and spec.checkpoint_key:
+        from repro.sim.checkpoint import open_checkpoint_set
+
+        ckpt_set = open_checkpoint_set(spec.checkpoint_dir,
+                                       spec.checkpoint_key)
+        if (ckpt_set is not None
+                and ckpt_set.golden_cycles != spec.golden_cycles):
+            ckpt_set = None  # stale set: neither restore nor converge
+
+    def monitor_factory():
+        return None
+
+    if ckpt_set is not None and spec.early_stop in ("converge", "full"):
+        from repro.faults.early_stop import ConvergenceMonitor
+
+        # checkpoints AT the injection cycle are captured before the
+        # injector fires and carry pre-injection state: only strictly
+        # later digests witness convergence
+        entries = [entry for entry in ckpt_set.meta["checkpoints"]
+                   if entry.get("state_hash")
+                   and entry["cycle"] > mask.cycle]
+        if entries:
+            host_reads = ckpt_set.golden()["host_reads"]
+            golden_cycles = spec.golden_cycles
+
+            def monitor_factory():
+                # fresh per attempt: position/divergence state is
+                # consumed by the run
+                return ConvergenceMonitor(entries, host_reads,
+                                          golden_cycles)
+
     def simulate(fast_forward=None):
         # a fresh injector per attempt: its log and armed state are
         # consumed by the run
@@ -176,23 +234,19 @@ def execute_run(spec: RunSpec) -> dict:
             options=RunOptions(scheduler_policy=spec.scheduler_policy,
                                cycle_budget=spec.cycle_budget,
                                injector=injector,
-                               fast_forward=fast_forward))
+                               fast_forward=fast_forward,
+                               convergence=monitor_factory()))
 
     result = None
-    if spec.checkpoint_dir and spec.checkpoint_key:
-        from repro.sim.checkpoint import (CheckpointError,
-                                          open_checkpoint_set)
+    if ckpt_set is not None:
+        from repro.sim.checkpoint import CheckpointError
 
-        ckpt_set = open_checkpoint_set(spec.checkpoint_dir,
-                                       spec.checkpoint_key)
-        if (ckpt_set is not None
-                and ckpt_set.golden_cycles == spec.golden_cycles):
-            fast_forward = ckpt_set.fast_forward(mask.cycle)
-            if fast_forward.active:
-                try:
-                    result = simulate(fast_forward)
-                except CheckpointError:
-                    result = None  # replay diverged -> run from scratch
+        fast_forward = ckpt_set.fast_forward(mask.cycle)
+        if fast_forward.active:
+            try:
+                result = simulate(fast_forward)
+            except CheckpointError:
+                result = None  # replay diverged -> run from scratch
 
     fast_forwarded = result is not None
     if result is None:
@@ -216,14 +270,28 @@ class ProgressReporter:
     """Tracks campaign throughput and renders progress lines.
 
     Reports runs/sec over the live (non-resumed) portion, the ETA to
-    completion, and the running per-effect counts.
+    completion, and the running per-effect counts.  Runs that finish
+    without simulating (synthesized / pre-screened) are counted
+    separately and excluded from the throughput model: thousands of
+    instant records would otherwise inflate the rate and collapse the
+    ETA of the runs that still have to simulate.  Convergence-stopped
+    runs *are* simulated work (just less of it) and stay in the rate.
+
+    Args:
+        total: total planned runs (including resumed ones).
+        skipped: runs already recorded by a previous (resumed) session.
+        instant_total: pending runs known to complete instantly.
     """
 
     def __init__(self, total: int, skipped: int = 0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 instant_total: int = 0):
         self.total = total
         self.done = skipped
         self.live_done = 0
+        self.instant_total = instant_total
+        self.instant_done = 0
+        self.early_stopped = 0
         self.effects: Dict[str, int] = {}
         self._clock = clock
         self._start = clock()
@@ -232,6 +300,10 @@ class ProgressReporter:
         """Account one freshly completed run."""
         self.done += 1
         self.live_done += 1
+        if record.get("synthesized") or record.get("prescreened"):
+            self.instant_done += 1
+        elif record.get("terminated_at") is not None:
+            self.early_stopped += 1
         effect = record["effect"]
         self.effects[effect] = self.effects.get(effect, 0) + 1
 
@@ -240,12 +312,27 @@ class ProgressReporter:
         elapsed = self._clock() - self._start
         return self.live_done / elapsed if elapsed > 0 else 0.0
 
+    def _sim_rate(self) -> float:
+        """Simulated (non-instant) runs per second."""
+        elapsed = self._clock() - self._start
+        sim_done = self.live_done - self.instant_done
+        return sim_done / elapsed if elapsed > 0 else 0.0
+
     def eta_seconds(self) -> Optional[float]:
-        """Estimated seconds to completion, or ``None`` before data."""
-        rate = self.rate()
+        """Estimated seconds to completion, or ``None`` before data.
+
+        Only runs that will actually simulate enter the estimate; the
+        instantly-completed remainder is treated as free.
+        """
+        remaining = self.total - self.done
+        instant_left = max(self.instant_total - self.instant_done, 0)
+        sim_remaining = max(remaining - instant_left, 0)
+        if sim_remaining == 0:
+            return 0.0 if remaining >= 0 and self.live_done else None
+        rate = self._sim_rate()
         if rate <= 0:
             return None
-        return (self.total - self.done) / rate
+        return sim_remaining / rate
 
     def render(self) -> str:
         """One human-readable progress line."""
@@ -255,9 +342,15 @@ class ProgressReporter:
         counts = ", ".join(f"{e.value}={self.effects[e.value]}"
                            for e in FaultEffect
                            if e.value in self.effects)
+        extras = []
+        if self.instant_done:
+            extras.append(f"pre-screened={self.instant_done}")
+        if self.early_stopped:
+            extras.append(f"early-stopped={self.early_stopped}")
         return (f"{self.done}/{self.total} runs "
                 f"({rate:.2f} runs/s, ETA {eta_text})"
-                + (f" [{counts}]" if counts else ""))
+                + (f" [{counts}]" if counts else "")
+                + (f" ({', '.join(extras)})" if extras else ""))
 
 
 def _trim_partial_tail(path: Path) -> None:
@@ -313,7 +406,10 @@ class CampaignExecutor:
         """Run every spec; returns records in plan (spec) order."""
         done: Dict[RunKey, dict] = self._load_completed(specs)
         pending = [spec for spec in specs if spec.key not in done]
-        reporter = ProgressReporter(total=len(specs), skipped=len(done))
+        reporter = ProgressReporter(
+            total=len(specs), skipped=len(done),
+            instant_total=sum(1 for spec in pending
+                              if spec.synthesized or spec.prescreened))
         if done:
             self._progress(f"resuming: {len(done)} of {len(specs)} runs "
                            "already recorded")

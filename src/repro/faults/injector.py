@@ -56,17 +56,7 @@ class Injector:
 
     def _apply(self, gpu, mask: FaultMask, now: int) -> dict:
         rng = np.random.default_rng(mask.seed)
-        handler = {
-            Structure.REGISTER_FILE: self._inject_register_file,
-            Structure.LOCAL_MEM: self._inject_local,
-            Structure.SHARED_MEM: self._inject_shared,
-            Structure.L1D_CACHE: self._inject_l1d,
-            Structure.L1T_CACHE: self._inject_l1t,
-            Structure.L1C_CACHE: self._inject_l1c,
-            Structure.L1I_CACHE: self._inject_l1i,
-            Structure.L2_CACHE: self._inject_l2,
-        }[mask.structure]
-        return handler(gpu, mask, rng)
+        return self._HANDLERS[mask.structure](self, gpu, mask, rng)
 
     @staticmethod
     def _live_warps(gpu) -> List[Tuple[int, object]]:
@@ -185,3 +175,16 @@ class Injector:
         line = mask.entry_index % gpu.l2.geometry.num_lines
         return {"target": "l2",
                 "flips": self._flip_cache(gpu.l2, line, mask.bit_offsets)}
+
+    #: Structure -> unbound handler; built once at class definition
+    #: instead of per applied mask.
+    _HANDLERS = {
+        Structure.REGISTER_FILE: _inject_register_file,
+        Structure.LOCAL_MEM: _inject_local,
+        Structure.SHARED_MEM: _inject_shared,
+        Structure.L1D_CACHE: _inject_l1d,
+        Structure.L1T_CACHE: _inject_l1t,
+        Structure.L1C_CACHE: _inject_l1c,
+        Structure.L1I_CACHE: _inject_l1i,
+        Structure.L2_CACHE: _inject_l2,
+    }

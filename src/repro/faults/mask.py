@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import enum
 import zlib
-from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,9 +65,12 @@ class MultiBitMode(enum.Enum):
     ADJACENT = "adjacent"
 
 
-@dataclass(frozen=True)
 class FaultMask:
     """One fully specified transient fault.
+
+    A frozen, ``__slots__``-backed value object (hand-written rather
+    than a dataclass: ``slots=True`` needs Python 3.10 and campaigns
+    construct millions of these).
 
     Attributes:
         structure: target hardware structure.
@@ -86,14 +88,46 @@ class FaultMask:
         seed: seed for the run-time spatial draw (thread/warp/CTA/core).
     """
 
-    structure: Structure
-    cycle: int
-    entry_index: int
-    bit_offsets: Tuple[int, ...]
-    warp_level: bool = False
-    n_blocks: int = 1
-    n_cores: int = 1
-    seed: int = 0
+    __slots__ = ("structure", "cycle", "entry_index", "bit_offsets",
+                 "warp_level", "n_blocks", "n_cores", "seed")
+
+    def __init__(self, structure: Structure, cycle: int, entry_index: int,
+                 bit_offsets: Tuple[int, ...], warp_level: bool = False,
+                 n_blocks: int = 1, n_cores: int = 1, seed: int = 0):
+        object.__setattr__(self, "structure", structure)
+        object.__setattr__(self, "cycle", cycle)
+        object.__setattr__(self, "entry_index", entry_index)
+        object.__setattr__(self, "bit_offsets", bit_offsets)
+        object.__setattr__(self, "warp_level", warp_level)
+        object.__setattr__(self, "n_blocks", n_blocks)
+        object.__setattr__(self, "n_cores", n_cores)
+        object.__setattr__(self, "seed", seed)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"FaultMask is immutable (tried to set "
+                             f"{name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"FaultMask is immutable (tried to delete "
+                             f"{name!r})")
+
+    def _astuple(self) -> tuple:
+        return (self.structure, self.cycle, self.entry_index,
+                self.bit_offsets, self.warp_level, self.n_blocks,
+                self.n_cores, self.seed)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not FaultMask:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return ("FaultMask(structure={!r}, cycle={!r}, entry_index={!r}, "
+                "bit_offsets={!r}, warp_level={!r}, n_blocks={!r}, "
+                "n_cores={!r}, seed={!r})".format(*self._astuple()))
 
     def to_dict(self) -> dict:
         """JSON-serialisable form for campaign logs."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.faults.early_stop import EarlyConvergence
 from repro.sim.device import Device, RunOptions
 from repro.sim.errors import SimTimeout, SimulationError
 
@@ -28,6 +29,9 @@ class RunResult:
     injection_log: List[dict] = field(default_factory=list)
     launch_cycles: List[int] = field(default_factory=list)
     device: Optional[Device] = None  #: kept only when ``keep_device``
+    #: Cycle at which a convergence monitor proved the run re-joined
+    #: the golden execution (None when the run was simulated in full).
+    terminated_at: Optional[int] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form for campaign logs."""
@@ -39,6 +43,7 @@ class RunResult:
             "error": self.error,
             "injections": self.injection_log,
             "launch_cycles": self.launch_cycles,
+            "terminated_at": self.terminated_at,
         }
 
 
@@ -73,10 +78,17 @@ def run_application(benchmark, card, injector=None,
     dev = Device(card, options)
 
     status, passed, error = "completed", None, ""
+    cycles, terminated_at = None, None
     try:
         state = benchmark.build(dev)
         benchmark.execute(dev, state)
         passed = bool(benchmark.check(dev, state))
+    except EarlyConvergence as exc:
+        # success path, not an abort: the state digest matched a golden
+        # checkpoint, so the rest of the run *is* the golden run
+        passed = True
+        cycles = exc.golden_cycles
+        terminated_at = exc.cycle
     except SimTimeout as exc:  # includes DeadlockError
         status, error = "timeout", str(exc)
     except (SimulationError, MemoryError, OverflowError) as exc:
@@ -91,9 +103,10 @@ def run_application(benchmark, card, injector=None,
         status=status,
         passed=passed,
         message=message,
-        cycles=dev.cycle,
+        cycles=dev.cycle if cycles is None else cycles,
         error=error,
         injection_log=list(injector.log) if injector is not None else [],
         launch_cycles=[ls.cycles for ls in dev.launches],
         device=dev if keep_device else None,
+        terminated_at=terminated_at,
     )

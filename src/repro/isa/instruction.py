@@ -2,16 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.isa.opcodes import OPCODES, OpClass, OpSpec
 from repro.isa.operands import Operand, PredRef
 
 
-@dataclass
 class Instruction:
     """One decoded instruction of a kernel.
+
+    ``__slots__``-backed (hand-written: ``dataclass(slots=True)``
+    needs Python 3.10): instructions sit on the issue hot path and a
+    kernel's list of them is traversed every simulated cycle.
 
     Attributes:
         opcode: canonical mnemonic (``"IADD"``, ``"LDG"``, ...).
@@ -26,15 +28,42 @@ class Instruction:
         line: 1-based source line, for diagnostics.
     """
 
-    opcode: str
-    modifiers: Tuple[str, ...] = ()
-    dsts: Tuple[Operand, ...] = ()
-    srcs: Tuple[Operand, ...] = ()
-    guard: Optional[PredRef] = None
-    pc: int = -1
-    target_pc: int = -1
-    reconv_pc: int = -1
-    line: int = 0
+    __slots__ = ("opcode", "modifiers", "dsts", "srcs", "guard", "pc",
+                 "target_pc", "reconv_pc", "line", "_sb_cache")
+
+    def __init__(self, opcode: str, modifiers: Tuple[str, ...] = (),
+                 dsts: Tuple[Operand, ...] = (),
+                 srcs: Tuple[Operand, ...] = (),
+                 guard: Optional[PredRef] = None, pc: int = -1,
+                 target_pc: int = -1, reconv_pc: int = -1, line: int = 0):
+        self.opcode = opcode
+        self.modifiers = modifiers
+        self.dsts = dsts
+        self.srcs = srcs
+        self.guard = guard
+        self.pc = pc
+        self.target_pc = target_pc
+        self.reconv_pc = reconv_pc
+        self.line = line
+        self._sb_cache = None
+
+    def __repr__(self) -> str:
+        return ("Instruction(opcode={!r}, modifiers={!r}, dsts={!r}, "
+                "srcs={!r}, guard={!r}, pc={!r}, target_pc={!r}, "
+                "reconv_pc={!r}, line={!r})").format(
+                    self.opcode, self.modifiers, self.dsts, self.srcs,
+                    self.guard, self.pc, self.target_pc, self.reconv_pc,
+                    self.line)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not Instruction:
+            return NotImplemented
+        return (self.opcode, self.modifiers, self.dsts, self.srcs,
+                self.guard, self.pc, self.target_pc, self.reconv_pc,
+                self.line) == (
+                    other.opcode, other.modifiers, other.dsts, other.srcs,
+                    other.guard, other.pc, other.target_pc,
+                    other.reconv_pc, other.line)
 
     @property
     def spec(self) -> OpSpec:
@@ -75,7 +104,7 @@ class Instruction:
         tuples of indices, excluding the hardwired ``RZ``/``PT``.
         Computed once per instruction and cached.
         """
-        cached = getattr(self, "_sb_cache", None)
+        cached = self._sb_cache
         if cached is not None:
             return cached
         from repro.isa.operands import MemRef, PredRef, RegRef, PT_INDEX, RZ_INDEX

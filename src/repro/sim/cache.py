@@ -88,6 +88,10 @@ class Cache:
         self.geometry = geometry
         self.tag_bits = tag_bits
         self.stats = CacheStats()
+        #: Optional golden-run liveness recorder (see
+        #: :mod:`repro.sim.liveness`); receives per-line events keyed
+        #: by this cache's ``name`` and the flat line index.
+        self.liveness = None
         self._tick = 0
         # sets materialise lazily on first touch: an untouched 3 MB L2
         # costs nothing, and fault flips into untouched lines hit
@@ -131,7 +135,7 @@ class Cache:
         self.stats.accesses += 1
         ways = self._sets.get(set_idx)
         if ways is not None:
-            for line in ways:
+            for way, line in enumerate(ways):
                 if line.valid and line.tag == tag:
                     self.stats.hits += 1
                     if touch:
@@ -141,6 +145,11 @@ class Cache:
                         if not for_write:
                             self._apply_bits(line, line.armed)
                         line.armed = None
+                    if self.liveness is not None:
+                        self.liveness.on_cache(
+                            self.name,
+                            set_idx * self.geometry.assoc + way,
+                            "wh" if for_write else "rh")
                     return line
         self.stats.misses += 1
         return None
@@ -154,6 +163,17 @@ class Cache:
         for line in ways:
             if line.valid and line.tag == tag:
                 return line
+        return None
+
+    def resident_index(self, addr: int) -> Optional[int]:
+        """Flat line index of the resident line for ``addr``, if any."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets.get(set_idx)
+        if ways is None:
+            return None
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                return set_idx * self.geometry.assoc + way
         return None
 
     def fill(self, addr: int, data: np.ndarray
@@ -178,6 +198,11 @@ class Cache:
                 self.stats.writebacks += 1
                 writeback = (self._line_addr(set_idx, victim.tag),
                              victim.data.copy())
+        if self.liveness is not None:
+            flat = set_idx * self.geometry.assoc + ways.index(victim)
+            if writeback is not None:
+                self.liveness.on_cache(self.name, flat, "wb")
+            self.liveness.on_cache(self.name, flat, "fill")
         victim.valid = True
         victim.dirty = False
         victim.armed = None
@@ -201,6 +226,13 @@ class Cache:
             set_idx, _ = self._locate(addr)
             self.stats.writebacks += 1
             writeback = (self._line_addr(set_idx, line.tag), line.data.copy())
+        if self.liveness is not None:
+            set_idx, _ = self._locate(addr)
+            flat = (set_idx * self.geometry.assoc
+                    + self._sets[set_idx].index(line))
+            if writeback is not None:
+                self.liveness.on_cache(self.name, flat, "wb")
+            self.liveness.on_cache(self.name, flat, "inv")
         line.invalidate()
         return writeback
 
@@ -208,18 +240,26 @@ class Cache:
         """Write back every dirty line (lines stay valid and clean)."""
         out = []
         for set_idx, ways in self._sets.items():
-            for line in ways:
+            for way, line in enumerate(ways):
                 if line.valid and line.dirty:
                     out.append((self._line_addr(set_idx, line.tag),
                                 line.data.copy()))
                     line.dirty = False
                     self.stats.writebacks += 1
+                    if self.liveness is not None:
+                        self.liveness.on_cache(
+                            self.name,
+                            set_idx * self.geometry.assoc + way, "wb")
         return out
 
     def invalidate_all(self) -> None:
         """Drop every line without writeback (kernel-boundary L1 reset)."""
-        for ways in self._sets.values():
-            for line in ways:
+        for set_idx, ways in self._sets.items():
+            for way, line in enumerate(ways):
+                if line.valid and self.liveness is not None:
+                    self.liveness.on_cache(
+                        self.name,
+                        set_idx * self.geometry.assoc + way, "inv")
                 line.invalidate()
 
     # -- word helpers ------------------------------------------------------

@@ -51,10 +51,15 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional
 
+import numpy as np
+
 #: Bump whenever the snapshot layout or any simulated semantics
 #: change: it participates in the checkpoint key, so old on-disk sets
 #: become unreachable instead of silently wrong.
-SNAPSHOT_FORMAT = 1
+#:
+#: format 2: checkpoint entries carry a ``state_hash`` digest used by
+#: convergence early-exit (see :func:`state_digest`).
+SNAPSHOT_FORMAT = 2
 
 #: Smallest auto-mode capture stride (cycles).
 _MIN_AUTO_STRIDE = 64
@@ -101,6 +106,62 @@ def _load_blob(path_str: str, size: int, mtime_ns: int):
 def _load_file(path: Path):
     st = os.stat(path)
     return _load_blob(str(path), st.st_size, st.st_mtime_ns)
+
+
+def _mix(h, obj) -> None:
+    """Feed one object into a digest, canonically.
+
+    Pickle output is not stable (memoisation depends on object
+    identity), so convergence hashing walks the snapshot structure
+    itself.  Every branch is type-tagged so e.g. ``0``, ``0.0``,
+    ``False`` and ``b""`` cannot collide across types.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, (bool, np.bool_)):  # before int: bool is int
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"F" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        h.update(b"S" + obj.encode("utf-8", "surrogatepass"))
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + obj)
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A" + str(obj.dtype).encode() + repr(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + str(len(obj)).encode())
+        for item in obj:
+            _mix(h, item)
+    elif isinstance(obj, dict):
+        h.update(b"D" + str(len(obj)).encode())
+        for key in sorted(obj, key=repr):
+            _mix(h, key)
+            _mix(h, obj[key])
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"E" + str(len(obj)).encode())
+        for item in sorted(obj, key=repr):
+            _mix(h, item)
+    else:
+        # plain state-holder objects (e.g. LaunchStats): type + fields
+        h.update(b"O" + type(obj).__name__.encode())
+        _mix(h, vars(obj))
+    h.update(b";")
+
+
+def state_digest(snap: dict) -> str:
+    """Canonical digest of one :meth:`GPU.snapshot` dict.
+
+    Two runs whose snapshots digest equally hold identical
+    architectural *and* timing state at that cycle, so their futures
+    are identical -- the basis of convergence early-exit
+    (:class:`repro.faults.early_stop.ConvergenceMonitor`).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    _mix(h, snap)
+    return h.hexdigest()
 
 
 def campaign_fingerprint(benchmark, card, scheduler_policy: str) -> str:
@@ -158,11 +219,12 @@ class CheckpointRecorder:
             return
         self._seen_launches.add(launch_index)
         name = f"ckpt_{launch_index:03d}_{gpu.cycle:012d}.bin"
-        blob = _dumps(gpu.snapshot(launch, queue))
-        (self.directory / name).write_bytes(blob)
+        snap = gpu.snapshot(launch, queue)
+        (self.directory / name).write_bytes(_dumps(snap))
         self.checkpoints.append({"cycle": gpu.cycle,
                                  "launch_index": launch_index,
-                                 "file": name})
+                                 "file": name,
+                                 "state_hash": state_digest(snap)})
         if self.interval is not None:
             self._next_capture = gpu.cycle + self.interval
         else:

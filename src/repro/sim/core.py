@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.isa.encoding import WORD_BYTES, DecodeError, decode_instruction
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
 from repro.isa.operands import ConstRef, MemRef
@@ -194,7 +195,7 @@ class SIMTCore:
                         wake = min(wake, warp.ifetch_ready)
                         continue
                 else:
-                    inst = warp.cta.launch.kernel.instructions[warp.pc]
+                    inst = warp.cta.instructions[warp.pc]
                 if warp.sb_latest > now:
                     ready = warp.operands_ready_at(inst)
                     if ready > now:
@@ -215,9 +216,6 @@ class SIMTCore:
         Decoding happens from the (possibly fault-corrupted) line
         bytes; ill-formed words raise the illegal-instruction error.
         """
-        from repro.isa.encoding import WORD_BYTES, DecodeError, \
-            decode_instruction
-
         if warp.ifetch_ready > now:
             return None
         kernel = warp.cta.launch.kernel
@@ -261,6 +259,10 @@ class SIMTCore:
         else:
             guard = None
             exec_mask = active
+        lv = self.gpu.liveness
+        if lv is not None:
+            # before execution: kill-coverage needs pre-exec lane state
+            lv.on_issue(self.core_id, warp, inst, exec_mask, now)
         klass = inst.spec.klass
         latency = cfg.alu_latency
         top = warp.stack[-1]
@@ -307,6 +309,8 @@ class SIMTCore:
             warp.normalize_stack()
 
         warp.mark_writes(inst, now + latency)
+        if lv is not None and warp.done:
+            lv.on_warp_done(self.core_id, warp, now)
         self.gpu.stats.on_issue(inst)
         if self.gpu.tracer is not None:
             self.gpu.tracer.on_issue(now, self, warp, inst, exec_mask)
@@ -374,6 +378,12 @@ class SIMTCore:
                 else np.zeros(32, dtype=np.uint32)
             for lane in lanes:
                 cta.smem_write(int(addrs[lane]), int(src[lane]))
+        lv = self.gpu.liveness
+        if lv is not None:
+            age_base = cta.warps[0].age
+            for lane in lanes:
+                word = cta._resolve_smem(int(addrs[lane])) >> 2
+                lv.on_smem(self.core_id, age_base, word, is_load)
         # bank-conflict serialisation: worst-case multiplicity over banks
         bank_counts: Dict[int, int] = {}
         for addr in {int(addrs[lane]) for lane in lanes}:
@@ -398,6 +408,11 @@ class SIMTCore:
                 else np.zeros(32, dtype=np.uint32)
             for lane in lanes:
                 warp.local_write(int(lane), int(addrs[lane]), int(src[lane]))
+        lv = self.gpu.liveness
+        if lv is not None:
+            for lane in lanes:
+                lv.on_local(self.core_id, warp.age, int(lane),
+                            int(addrs[lane]) >> 2, is_load)
         return self.config.l1_hit_latency
 
     def _exec_global(self, inst: Instruction, warp: Warp,

@@ -26,6 +26,9 @@ class CTA:
         self.launch = launch
         self.core = core
         kernel = launch.kernel
+        #: Direct reference to the assembled instruction list, saving
+        #: two attribute hops per issued instruction in the cycle loop.
+        self.instructions = kernel.instructions
         self.smem = (np.zeros(kernel.smem_bytes, dtype=np.uint8)
                      if kernel.smem_bytes else np.zeros(0, dtype=np.uint8))
         #: Per-SM shared memory capacity; offsets past the CTA's own

@@ -45,6 +45,12 @@ class RunOptions:
         fast_forward: optional
             :class:`repro.sim.checkpoint.FastForward` replaying the
             run prefix from a recorded checkpoint set.
+        liveness: optional :class:`repro.sim.liveness.LivenessTrace`
+            recording structure liveness during a golden run.
+        convergence: optional
+            :class:`repro.faults.early_stop.ConvergenceMonitor`
+            terminating an injected run once its state re-converges
+            with the golden run.
     """
 
     scheduler_policy: str = "gto"
@@ -52,6 +58,8 @@ class RunOptions:
     injector: Optional[object] = None
     checkpointer: Optional[object] = None
     fast_forward: Optional[object] = None
+    liveness: Optional[object] = None
+    convergence: Optional[object] = None
 
     def __post_init__(self):
         if self.scheduler_policy not in _SCHEDULER_POLICIES:
@@ -88,6 +96,10 @@ class Device:
         if options.checkpointer is not None:
             self.gpu.checkpointer = options.checkpointer
         self._fast_forward = options.fast_forward
+        if options.liveness is not None:
+            self.gpu.set_liveness(options.liveness)
+        if options.convergence is not None:
+            self.gpu.convergence = options.convergence
         if options.scheduler_policy != "gto":
             for core in self.gpu.cores:
                 core.scheduler_policy = options.scheduler_policy
@@ -123,11 +135,19 @@ class Device:
         """
         tag = len(self.gpu.stats.launches)
         ff = self._fast_forward
+        monitor = self.gpu.convergence
         if ff is not None and not ff.done:
-            return ff.on_host_read(ptr, nbytes, tag).view(dtype)
+            raw = ff.on_host_read(ptr, nbytes, tag)
+            if monitor is not None:
+                # served bytes ARE the recorded bytes; fed to the
+                # monitor so its sequential position stays aligned
+                monitor.on_host_read(tag, ptr, nbytes, raw)
+            return raw.view(dtype)
         raw = self.gpu.host_read(ptr, nbytes)
         if self.gpu.checkpointer is not None:
             self.gpu.checkpointer.record_host_read(tag, ptr, nbytes, raw)
+        if monitor is not None:
+            monitor.on_host_read(tag, ptr, nbytes, raw)
         return raw.view(dtype)
 
     def read_array(self, ptr: int, shape, dtype) -> np.ndarray:

@@ -46,6 +46,13 @@ class GPU:
         #: repro.sim.checkpoint): its ``on_cycle(gpu, launch, queue)``
         #: runs at the top of every cycle-loop iteration.
         self.checkpointer = None
+        #: Optional liveness recorder for the golden run (duck-typed;
+        #: see repro.sim.liveness) -- attach via :meth:`set_liveness`.
+        self.liveness = None
+        #: Optional convergence monitor for injected runs (duck-typed;
+        #: see repro.faults.early_stop): checked after the checkpointer,
+        #: before the injector, at matching checkpoint cycles.
+        self.convergence = None
         #: Per-bank busy-until cycles for L2 contention modelling.
         self._l2_bank_busy = [0] * config.l2_banks
         #: Per-channel busy-until cycles for DRAM contention modelling.
@@ -55,6 +62,16 @@ class GPU:
         #: Code-segment bases per kernel (icache extension): each
         #: kernel's binary image gets a disjoint 1 MB code window.
         self._code_bases: dict = {}
+
+    def set_liveness(self, recorder) -> None:
+        """Attach a liveness recorder to the GPU and every cache."""
+        recorder.gpu = self
+        self.liveness = recorder
+        self.l2.liveness = recorder
+        for core in self.cores:
+            for cache in (core.l1d, core.l1t, core.l1c, core.l1i):
+                if cache is not None:
+                    cache.liveness = recorder
 
     # -- CTA scheduling (GigaThread) -------------------------------------
 
@@ -84,7 +101,13 @@ class GPU:
         return limit
 
     def _assign_ctas(self, launch: KernelLaunch, queue: List[Tuple[int, int]],
-                     limit: int) -> None:
+                     limit: int, visible_from: Optional[int] = None) -> None:
+        # visible_from = first cycle the injector can observe the CTA:
+        # the current cycle for launch-entry assignment, the next cycle
+        # for mid-loop assignment (the injector for this cycle already
+        # fired before retirement freed the slot)
+        if visible_from is None:
+            visible_from = self.cycle
         while queue:
             candidates = [c for c in self.cores if len(c.ctas) < limit]
             if not candidates:
@@ -92,8 +115,11 @@ class GPU:
             core = min(candidates, key=lambda c: (len(c.ctas), c.core_id))
             cta_id = queue.pop(0)
             age_base = core.next_warp_age(launch.warps_per_cta)
-            core.add_cta(CTA(cta_id, launch, core, age_base,
-                             self.config.shared_mem_per_sm))
+            cta = CTA(cta_id, launch, core, age_base,
+                      self.config.shared_mem_per_sm)
+            core.add_cta(cta)
+            if self.liveness is not None:
+                self.liveness.on_cta_assigned(core.core_id, cta, visible_from)
 
     # -- the cycle loop -----------------------------------------------------
 
@@ -132,41 +158,65 @@ class GPU:
     def _cycle_loop(self, launch: KernelLaunch, queue: List[Tuple[int, int]],
                     limit: int) -> "LaunchStats":
         busy = [core for core in self.cores if core.ctas]
-        while queue or busy:
-            if self.checkpointer is not None:
-                self.checkpointer.on_cycle(self, launch, queue)
-            if self.injector is not None:
-                self.injector.apply_due(self, self.cycle)
-            issued = False
-            wake = NEVER
-            for core in busy:
-                core_issued, core_wake = core.cycle(self.cycle)
-                issued = issued or core_issued
-                wake = min(wake, core_wake)
-
-            retired = 0
-            for core in busy:
-                retired += core.retire_finished_ctas()
-            if retired and queue:
-                self._assign_ctas(launch, queue, limit)
-
-            if issued or retired:
-                delta = 1
-            else:
-                if wake == NEVER:
-                    raise DeadlockError(self.cycle, "no warp can make progress")
-                delta = max(1, wake - self.cycle)
+        if self.liveness is not None:
+            self.liveness.in_loop = True
+        try:
+            while queue or busy:
+                if self.checkpointer is not None:
+                    self.checkpointer.on_cycle(self, launch, queue)
+                if self.convergence is not None:
+                    # may raise EarlyConvergence; runs before the
+                    # injector, mirroring the golden checkpointer order
+                    self.convergence.on_cycle(self, launch, queue)
                 if self.injector is not None:
-                    due = self.injector.due_cycle()
-                    if due is not None and self.cycle < due < self.cycle + delta:
-                        delta = due - self.cycle
-            self.stats.sample(busy, delta)
-            self.cycle += delta
-            if self.cycle_budget is not None and self.cycle > self.cycle_budget:
-                raise SimTimeout(self.cycle)
-            busy = [core for core in self.cores if core.ctas]
+                    self.injector.apply_due(self, self.cycle)
+                issued = False
+                wake = NEVER
+                for core in busy:
+                    core_issued, core_wake = core.cycle(self.cycle)
+                    issued = issued or core_issued
+                    wake = min(wake, core_wake)
+
+                retired = 0
+                for core in busy:
+                    retired += core.retire_finished_ctas()
+                if retired and queue:
+                    self._assign_ctas(launch, queue, limit,
+                                      visible_from=self.cycle + 1)
+
+                if issued or retired:
+                    delta = 1
+                else:
+                    if wake == NEVER:
+                        raise DeadlockError(self.cycle,
+                                            "no warp can make progress")
+                    delta = max(1, wake - self.cycle)
+                    delta = self._clamp_idle_skip(delta)
+                self.stats.sample(busy, delta)
+                self.cycle += delta
+                if (self.cycle_budget is not None
+                        and self.cycle > self.cycle_budget):
+                    raise SimTimeout(self.cycle)
+                busy = [core for core in self.cores if core.ctas]
+        finally:
+            if self.liveness is not None:
+                self.liveness.in_loop = False
 
         return self.stats.end_launch(self.cycle)
+
+    def _clamp_idle_skip(self, delta: int) -> int:
+        """Shrink an idle skip so it lands exactly on the next pending
+        injection or convergence-check cycle (splitting a skip leaves
+        the sampled stats integrals unchanged)."""
+        if self.injector is not None:
+            due = self.injector.due_cycle()
+            if due is not None and self.cycle < due < self.cycle + delta:
+                delta = due - self.cycle
+        if self.convergence is not None:
+            due = self.convergence.next_cycle()
+            if due is not None and self.cycle < due < self.cycle + delta:
+                delta = due - self.cycle
+        return delta
 
     def code_base(self, kernel) -> int:
         """Base address of a kernel's code segment (icache extension).
@@ -316,6 +366,8 @@ class GPU:
         stale = self.l2.peek(base)
         if stale is not None:
             stale.data.view("<u4")[offsets] = values
+            if self.liveness is not None:
+                self.liveness.note_peek(self.l2, base)
         return self.config.dram_latency + self._dram_contention(base)
 
     def l2_write_words(self, base: int, offsets: np.ndarray,
@@ -375,6 +427,8 @@ class GPU:
             line = self.l2.peek(base)
             if line is None:
                 continue
+            if self.liveness is not None:
+                self.liveness.note_peek(self.l2, base)
             lo = max(base, addr)
             hi = min(base + line_bytes, addr + nbytes)
             out[lo - addr:hi - addr] = line.data[lo - base:hi - base]
@@ -389,6 +443,8 @@ class GPU:
             line = self.l2.peek(base)
             if line is None:
                 continue
+            if self.liveness is not None:
+                self.liveness.note_peek(self.l2, base)
             lo = max(base, addr)
             hi = min(base + line_bytes, addr + len(data))
             line.data[lo - base:hi - base] = data[lo - addr:hi - addr]

@@ -1,0 +1,226 @@
+"""Golden-run liveness tracing for dead-site fault pre-screening.
+
+The prefix of every injected run is byte-identical to the golden run,
+so the *spatial* target of a fault mask (which warp, register, shared
+word or cache line it hits) can be resolved from the golden run alone
+-- and if the golden run proves the targeted bits are *dead* at the
+injection cycle (overwritten or evicted before any read, or never
+accessed again), the fault is Masked by construction and the run never
+needs to be simulated (ACE-analysis style liveness, cf. Mukherjee et
+al.).
+
+A :class:`LivenessTrace` records, during the golden profiling run:
+
+- CTA residency intervals per core, in assignment order (the order the
+  injector enumerates ``core.ctas`` in);
+- per-warp lane exit events and completion cycles;
+- per-warp register read/kill events (a *kill* is a write covering
+  every live lane, after which the previous value is unreachable);
+- per-CTA shared-memory and per-warp local-memory word accesses;
+- per-cache-line events (``rh`` read hit, ``wh`` write hit, ``fill``,
+  ``inv`` invalidate, ``wb`` writeback, ``peek`` host/stale-line
+  observation).
+
+Event timestamps are ``(cycle, phase)`` pairs: phase 0 marks work done
+*outside* the cycle loop (launch-entry L1 invalidation, host reads
+between launches), phase 1 marks in-loop work.  The injector fires at
+the top of a loop iteration -- after launch-entry work of that cycle,
+before any issue -- so an event is post-injection for a fault at cycle
+``c`` iff its timestamp is ``(> c)`` or ``(== c, phase 1)``.
+
+The query side reconstructs exactly the live-target lists the injector
+builds at run time (:class:`repro.faults.injector.Injector`), so the
+mask's RNG draws can be replayed bit-exactly without a simulator; the
+deadness verdicts themselves live in :mod:`repro.faults.early_stop`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Event kinds recorded for cache lines.
+CACHE_EVENTS = ("rh", "wh", "fill", "inv", "wb", "peek")
+
+
+class LivenessTrace:
+    """Records liveness intervals during one golden run.
+
+    Attach via ``RunOptions(liveness=...)``; the device wires it onto
+    the GPU and every cache.  Recording costs nothing on fault runs
+    (the hooks are behind ``is not None`` checks and the trace is only
+    attached to the golden profiling run).
+    """
+
+    def __init__(self):
+        #: Set by :meth:`repro.sim.device.Device._apply_options`.
+        self.gpu = None
+        #: True while the GPU cycle loop is running (phase flag).
+        self.in_loop = False
+        #: core_id -> CTA records in assignment order.
+        self.cores: Dict[int, List[dict]] = {}
+        #: (core_id, warp age) -> {reg: [(cycle, kind)]}, kind 'r'/'k'.
+        self.reg_events: Dict[Tuple[int, int], Dict[int, List]] = {}
+        #: (core_id, warp age) -> {word: [(cycle, lane, kind)]}.
+        self.local_events: Dict[Tuple[int, int], Dict[int, List]] = {}
+        #: (core_id, CTA age_base) -> {word: [(cycle, kind)]}.
+        self.smem_events: Dict[Tuple[int, int], Dict[int, List]] = {}
+        #: cache name -> {flat line index: [(cycle, phase, kind)]}.
+        self.cache_events: Dict[str, Dict[int, List]] = {}
+        self._warp_recs: Dict[Tuple[int, int], dict] = {}
+
+    # -- recording (called from the simulator) ---------------------------
+
+    def _now(self) -> int:
+        return self.gpu.cycle
+
+    def on_cta_assigned(self, core_id: int, cta, visible_from: int) -> None:
+        """One CTA became resident on ``core_id``.
+
+        ``visible_from`` is the first cycle at which the injector can
+        see it: the current cycle for launch-entry assignment, the next
+        cycle for mid-loop assignment (the injector already ran this
+        cycle when CTAs are assigned after retirement).
+        """
+        age_base = cta.warps[0].age
+        rec = {
+            "age_base": age_base,
+            "cta_id": tuple(cta.cta_id),
+            "visible_from": visible_from,
+            "done_cycle": None,
+            "has_smem": bool(len(cta.smem)),
+            "warps": [],
+        }
+        for warp in cta.warps:
+            wrec = {
+                "age": warp.age,
+                "num_threads": warp.num_threads,
+                "done_cycle": None,
+                "exits": [],  # [(cycle, (lane, ...))]
+                "cta": rec,
+            }
+            rec["warps"].append(wrec)
+            self._warp_recs[(core_id, warp.age)] = wrec
+        self.cores.setdefault(core_id, []).append(rec)
+
+    def on_issue(self, core_id: int, warp, inst, exec_mask, now: int) -> None:
+        """Record register reads/kills and lane exits of one issue."""
+        src_regs, dst_regs, _sp, _dp = inst.scoreboard_sets()
+        if src_regs or dst_regs:
+            events = self.reg_events.setdefault((core_id, warp.age), {})
+            for reg in src_regs:
+                events.setdefault(reg, []).append((now, "r"))
+            if dst_regs:
+                live = warp.live_lanes()
+                # a write covering every live lane kills the old value;
+                # a partial (divergent) write leaves other lanes' bits
+                # reachable -- conservatively a read
+                kind = "k" if len(live) and exec_mask[live].all() else "r"
+                for reg in dst_regs:
+                    events.setdefault(reg, []).append((now, kind))
+        if inst.is_exit:
+            lanes = np.nonzero(exec_mask)[0]
+            if len(lanes):
+                wrec = self._warp_recs[(core_id, warp.age)]
+                wrec["exits"].append((now, tuple(int(l) for l in lanes)))
+
+    def on_warp_done(self, core_id: int, warp, now: int) -> None:
+        """A warp drained during cycle ``now``."""
+        wrec = self._warp_recs[(core_id, warp.age)]
+        wrec["done_cycle"] = now
+        cta = wrec["cta"]
+        if all(w["done_cycle"] is not None for w in cta["warps"]):
+            cta["done_cycle"] = now
+
+    def on_smem(self, core_id: int, age_base: int, word: int,
+                is_read: bool) -> None:
+        """One resolved shared-memory word access."""
+        events = self.smem_events.setdefault((core_id, age_base), {})
+        events.setdefault(word, []).append(
+            (self._now(), "r" if is_read else "k"))
+
+    def on_local(self, core_id: int, warp_age: int, lane: int, word: int,
+                 is_read: bool) -> None:
+        """One local-memory word access of one lane."""
+        events = self.local_events.setdefault((core_id, warp_age), {})
+        events.setdefault(word, []).append(
+            (self._now(), lane, "r" if is_read else "k"))
+
+    def on_cache(self, name: str, line_index: int, kind: str) -> None:
+        """One cache-line event (see :data:`CACHE_EVENTS`)."""
+        events = self.cache_events.setdefault(name, {})
+        events.setdefault(line_index, []).append(
+            (self._now(), 1 if self.in_loop else 0, kind))
+
+    def note_peek(self, cache, addr: int) -> None:
+        """Record a stale-line observation (host read/write paths)."""
+        index = cache.resident_index(addr)
+        if index is not None:
+            self.on_cache(cache.name, index, "peek")
+
+    # -- queries (exact injector-order reconstruction) -------------------
+
+    @staticmethod
+    def _cta_live(rec: dict, cycle: int) -> bool:
+        done = rec["done_cycle"]
+        return (rec["visible_from"] <= cycle
+                and (done is None or cycle <= done))
+
+    def live_warps(self, cycle: int) -> List[Tuple[int, dict]]:
+        """``(core_id, warp record)`` for every live warp at ``cycle``,
+        in exactly the order :meth:`Injector._live_warps` enumerates."""
+        out = []
+        for core_id in sorted(self.cores):
+            for rec in self.cores[core_id]:
+                if not self._cta_live(rec, cycle):
+                    continue
+                for wrec in rec["warps"]:
+                    done = wrec["done_cycle"]
+                    if done is None or cycle <= done:
+                        out.append((core_id, wrec))
+        return out
+
+    @staticmethod
+    def live_lanes(wrec: dict, cycle: int) -> List[int]:
+        """Lane indices alive at ``cycle`` (created, not yet exited),
+        ascending -- the order ``Warp.live_lanes`` returns."""
+        exited = set()
+        for when, lanes in wrec["exits"]:
+            if when < cycle:  # an exit during cycle c is live at c
+                exited.update(lanes)
+        return [lane for lane in range(wrec["num_threads"])
+                if lane not in exited]
+
+    def live_smem_ctas(self, cycle: int) -> List[Tuple[int, dict]]:
+        """Live CTAs with shared memory, in injector enumeration order."""
+        out = []
+        for core_id in sorted(self.cores):
+            for rec in self.cores[core_id]:
+                if rec["has_smem"] and self._cta_live(rec, cycle):
+                    out.append((core_id, rec))
+        return out
+
+    def busy_cores(self, cycle: int) -> List[int]:
+        """Cores with any resident CTA at ``cycle``, ascending."""
+        return [core_id for core_id in sorted(self.cores)
+                if any(self._cta_live(rec, cycle)
+                       for rec in self.cores[core_id])]
+
+    # -- event accessors -------------------------------------------------
+
+    def register_events(self, core_id: int, warp_age: int,
+                        reg: int) -> List[Tuple[int, str]]:
+        return self.reg_events.get((core_id, warp_age), {}).get(reg, [])
+
+    def local_word_events(self, core_id: int, warp_age: int,
+                          word: int) -> List[Tuple[int, int, str]]:
+        return self.local_events.get((core_id, warp_age), {}).get(word, [])
+
+    def smem_word_events(self, core_id: int, age_base: int,
+                         word: int) -> List[Tuple[int, str]]:
+        return self.smem_events.get((core_id, age_base), {}).get(word, [])
+
+    def cache_line_events(self, name: str,
+                          line_index: int) -> List[Tuple[int, int, str]]:
+        return self.cache_events.get(name, {}).get(line_index, [])

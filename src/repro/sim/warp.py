@@ -34,6 +34,12 @@ class StackEntry:
 class Warp:
     """The architectural and micro-architectural state of one warp."""
 
+    __slots__ = ("warp_id", "cta", "age", "num_threads", "num_regs",
+                 "regs", "preds", "exited", "stack", "live_count",
+                 "local_bytes", "local_mem", "reg_ready", "pred_ready",
+                 "sb_latest", "at_barrier", "done", "wake_cycle",
+                 "ifetch_ready", "sregs")
+
     def __init__(self, warp_id_in_cta: int, num_threads: int, num_regs: int,
                  local_bytes: int, cta, age: int):
         self.warp_id = warp_id_in_cta

@@ -23,13 +23,17 @@ from repro.sim.kernel import Kernel, KernelLaunch
 
 def run_campaign(tmp_path, benchmark, runs, checkpoint_dir=None,
                  interval=None, verify=False, seed=7):
+    # early_stop="off": the byte-identical contract under test is
+    # scoped to full simulation (early termination adds provenance
+    # keys by design; its own parity is covered in test_early_stop.py)
     config = CampaignConfig(
         benchmark=benchmark, card="RTX2060",
         structures=(Structure.REGISTER_FILE, Structure.L2_CACHE),
         runs_per_structure=runs, seed=seed,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=interval,
-        verify_restore=verify)
+        verify_restore=verify,
+        early_stop="off")
     return Campaign(config).run()
 
 
