@@ -20,6 +20,8 @@ from repro.analysis.insights import (bit_position_sensitivity,
                                      field_breakdown, phase_histogram,
                                      target_breakdown)
 from repro.analysis.markdown import render_markdown
+from repro.analysis.metrics import (find_metrics_path, load_metrics,
+                                    render_metrics, summarize_metrics)
 from repro.analysis.sizes import structure_sizes_mb, table1_rows
 from repro.analysis.statistics import margin_of_error, required_injections
 
@@ -39,6 +41,10 @@ __all__ = [
     "phase_histogram",
     "target_breakdown",
     "chip_fit",
+    "find_metrics_path",
+    "load_metrics",
+    "render_metrics",
+    "summarize_metrics",
     "structure_sizes_mb",
     "table1_rows",
     "margin_of_error",

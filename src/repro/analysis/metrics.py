@@ -1,0 +1,131 @@
+"""Campaign metrics summaries (the ``gpufi report-metrics`` backend).
+
+Loads the ``<log>.metrics.json`` sidecar a telemetry-enabled campaign
+writes (see :mod:`repro.obs.metrics`) and renders it as aligned text
+tables -- wall-clock and throughput, per-effect counts and latency
+percentiles, checkpoint hit rate, early-stop savings attribution and
+per-worker utilization -- all without re-running any simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.analysis.report import render_table
+from repro.obs import metrics_path_for
+
+
+def find_metrics_path(path: Union[str, Path]) -> Path:
+    """Resolve a campaign log *or* sidecar path to the sidecar path."""
+    path = Path(path)
+    if path.name.endswith(".metrics.json"):
+        return path
+    return metrics_path_for(path)
+
+
+def load_metrics(path: Union[str, Path]) -> dict:
+    """Load one metrics sidecar (accepts the log path or the sidecar).
+
+    Raises ``FileNotFoundError`` with a hint when the sidecar is
+    missing -- the campaign was run without ``--metrics``.
+    """
+    sidecar = find_metrics_path(path)
+    if not sidecar.exists():
+        raise FileNotFoundError(
+            f"{sidecar}: no metrics sidecar -- run the campaign with "
+            "--metrics to produce one")
+    return json.loads(sidecar.read_text(encoding="utf-8"))
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.2f}m"
+    return f"{seconds:.2f}s"
+
+
+def _fmt_pct(fraction) -> str:
+    return "n/a" if fraction is None else f"{fraction * 100:.1f}%"
+
+
+def render_metrics(metrics: dict) -> str:
+    """Render one sidecar document as a human-readable summary."""
+    lines: List[str] = []
+    campaign = metrics.get("campaign", {})
+    status = "complete" if campaign.get("complete") else "INTERRUPTED"
+    lines.append(
+        f"campaign: {campaign.get('total_runs', 0)} runs "
+        f"({campaign.get('executed', 0)} executed, "
+        f"{campaign.get('resumed', 0)} resumed) on "
+        f"{campaign.get('jobs', 1)} worker(s) -- {status}")
+    lines.append(
+        f"wall-clock {_fmt_seconds(campaign.get('wall_s', 0.0))}, "
+        f"{campaign.get('runs_per_s', 0.0):.2f} runs/s")
+
+    effects = metrics.get("effects", {})
+    if effects:
+        total = sum(effects.values()) or 1
+        lines.append("")
+        lines.append(render_table(
+            ("effect", "runs", "share"),
+            [(name, count, f"{count / total * 100:.1f}%")
+             for name, count in effects.items()]))
+
+    checkpoint = metrics.get("checkpoint", {})
+    savings = metrics.get("savings", {})
+    if savings:
+        runs = savings.get("runs", {})
+        lines.append("")
+        lines.append(
+            f"checkpoint fast-forward: {checkpoint.get('hits', 0)} hits, "
+            f"{checkpoint.get('misses', 0)} misses "
+            f"(hit rate {_fmt_pct(checkpoint.get('hit_rate'))}, "
+            f"{checkpoint.get('untracked', 0)} untracked)")
+        lines.append(
+            f"cycles: {savings.get('cycles_simulated', 0)} simulated, "
+            f"{savings.get('cycles_skipped', 0)} skipped "
+            f"({_fmt_pct(savings.get('skipped_fraction', 0.0))} of "
+            f"{savings.get('golden_cycles_total', 0)} golden)")
+        lines.append(render_table(
+            ("savings source", "cycles skipped"),
+            [("fast-forward", savings.get("skipped_fast_forward", 0)),
+             ("convergence", savings.get("skipped_convergence", 0)),
+             ("pre-screen", savings.get("skipped_prescreen", 0)),
+             ("synthesized", savings.get("skipped_synthesized", 0))]))
+        lines.append(
+            f"runs: {runs.get('simulated', 0)} simulated "
+            f"({runs.get('converged', 0)} converged early), "
+            f"{runs.get('prescreened', 0)} pre-screened, "
+            f"{runs.get('synthesized', 0)} synthesized")
+
+    latency = metrics.get("latency", {})
+    if latency:
+        lines.append("")
+        lines.append(render_table(
+            ("effect", "count", "mean", "p50", "p95", "max"),
+            [(name, stats.get("count", 0),
+              _fmt_seconds(stats.get("mean_s", 0.0)),
+              _fmt_seconds(stats.get("p50_s", 0.0)),
+              _fmt_seconds(stats.get("p95_s", 0.0)),
+              _fmt_seconds(stats.get("max_s", 0.0)))
+             for name, stats in latency.items()]))
+
+    workers = metrics.get("workers", {})
+    if workers:
+        lines.append("")
+        lines.append(render_table(
+            ("worker", "runs", "busy", "utilization", "last heartbeat"),
+            [(worker, stats.get("runs", 0),
+              _fmt_seconds(stats.get("busy_s", 0.0)),
+              _fmt_pct(stats.get("utilization", 0.0)),
+              _fmt_seconds(stats.get("last_heartbeat_s", 0.0)))
+             for worker, stats in workers.items()]))
+    return "\n".join(lines)
+
+
+def summarize_metrics(path: Union[str, Path]) -> str:
+    """Load and render one sidecar in a single call."""
+    return render_metrics(load_metrics(path))

@@ -91,6 +91,14 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", action="store_true",
                           help="skip runs already recorded in --log "
                                "(resume an interrupted campaign)")
+    campaign.add_argument("--metrics", action="store_true",
+                          help="campaign observability: per-run timings, "
+                               "a <log>.events.jsonl stream and a "
+                               "<log>.metrics.json sidecar (results "
+                               "are identical either way)")
+    campaign.add_argument("--run-timeout", type=float,
+                          help="abort when no run completes for this "
+                               "many seconds (default: wait forever)")
     campaign.add_argument("--markdown",
                           help="write a full Markdown report here")
 
@@ -99,6 +107,15 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "are merged)")
     report.add_argument("log", nargs="+",
                         help="JSONL file(s) written by 'campaign'")
+
+    report_metrics = sub.add_parser(
+        "report-metrics",
+        help="summarize <log>.metrics.json sidecars (wall-clock, "
+             "throughput, checkpoint hit rate, early-stop savings) "
+             "without re-running any simulation")
+    report_metrics.add_argument(
+        "log", nargs="+",
+        help="campaign log (or sidecar) path(s) from a --metrics run")
     return parser
 
 
@@ -127,7 +144,17 @@ def _cmd_profile(args) -> int:
 
 def _campaign_config(args) -> CampaignConfig:
     if args.config:
-        return load_config(args.config)
+        import dataclasses
+
+        config = load_config(args.config)
+        # observability/robustness flags compose with config files
+        if args.metrics or args.run_timeout is not None:
+            config = dataclasses.replace(
+                config, metrics=args.metrics or config.metrics,
+                run_timeout=(args.run_timeout
+                             if args.run_timeout is not None
+                             else config.run_timeout))
+        return config
     if not args.benchmark:
         raise SystemExit("either --config or --benchmark is required")
     structures = None
@@ -157,6 +184,8 @@ def _campaign_config(args) -> CampaignConfig:
         checkpoint_interval=args.checkpoint_interval,
         verify_restore=args.verify_restore,
         early_stop=args.early_stop,
+        metrics=args.metrics,
+        run_timeout=args.run_timeout,
     )
 
 
@@ -176,6 +205,10 @@ def _cmd_campaign(args) -> int:
     print(f"wAVF = {wavf:.5f}   FIT = {fit_mod.chip_fit(result):.1f}")
     if config.log_path:
         print(f"log written to {config.log_path}")
+        if config.metrics:
+            from repro.obs import metrics_path_for
+
+            print(f"metrics written to {metrics_path_for(config.log_path)}")
     if getattr(args, "markdown", None):
         from pathlib import Path
 
@@ -190,7 +223,9 @@ def _cmd_campaign(args) -> int:
 def _cmd_report(args) -> int:
     records = []
     for path in args.log:
-        records.extend(load_records(path))
+        # accept anything the resume path can restart from: a torn
+        # final line (campaign killed mid-write) is dropped, not fatal
+        records.extend(load_records(path, tolerate_torn_tail=True))
     counts = aggregate_records(records)
     rows = []
     for kernel, per_structure in sorted(counts.items()):
@@ -206,6 +241,23 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_report_metrics(args) -> int:
+    from repro.analysis.metrics import summarize_metrics
+
+    status = 0
+    for i, path in enumerate(args.log):
+        if i:
+            print()
+        if len(args.log) > 1:
+            print(f"== {path}")
+        try:
+            print(summarize_metrics(path))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -217,6 +269,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "report-metrics":
+        return _cmd_report_metrics(args)
     raise AssertionError("unreachable")
 
 

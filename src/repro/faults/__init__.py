@@ -27,7 +27,7 @@ from repro.faults.config_file import dump_config, load_config, \
 from repro.faults.early_stop import (EARLY_STOP_MODES, ConvergenceMonitor,
                                      EarlyConvergence, Prescreener)
 from repro.faults.executor import (CampaignExecutor, RunSpec,
-                                   execute_run)
+                                   WorkerPoolError, execute_run)
 from repro.faults.injector import Injector
 from repro.faults.mask import (FaultMask, MaskGenerator, MultiBitMode,
                                derive_run_seed, rng_for_run)
@@ -42,6 +42,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignExecutor",
+    "WorkerPoolError",
     "RunSpec",
     "RunOptions",
     "execute_run",

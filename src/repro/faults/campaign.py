@@ -203,6 +203,14 @@ class CampaignConfig:
     #: plan time from the golden liveness trace.  Classifications are
     #: identical in every mode; only wall-clock time changes.
     early_stop: str = "full"
+    #: Campaign observability: annotate records with ``timings`` and
+    #: ``worker`` fields, stream ``<log>.events.jsonl`` and write the
+    #: ``<log>.metrics.json`` sidecar.  Strictly observational --
+    #: classification counts are identical either way.
+    metrics: bool = False
+    #: Abort (instead of hanging) when no run completes for this many
+    #: seconds; ``None`` waits forever.
+    run_timeout: Optional[float] = None
 
     def resolved_card(self):
         """The card model with campaign-level extensions applied."""
@@ -304,6 +312,9 @@ class Campaign:
         #: Golden-run liveness trace (captured when ``early_stop`` is
         #: "full"); feeds the plan-time dead-site pre-screener.
         self._liveness = None
+        #: Metrics sidecar document of the last :meth:`execute` call
+        #: (``None`` unless ``config.metrics`` is on).
+        self.last_metrics: Optional[dict] = None
 
     def plan(self) -> List[RunSpec]:
         """Profile the golden run and enumerate every injection run.
@@ -439,8 +450,13 @@ class Campaign:
         """Execute planned specs; returns records in plan order."""
         executor = CampaignExecutor(
             jobs=jobs, progress=self._progress,
-            log_path=self.config.log_path, resume=resume)
-        return executor.execute(specs)
+            log_path=self.config.log_path, resume=resume,
+            telemetry=self.config.metrics,
+            run_timeout=self.config.run_timeout)
+        try:
+            return executor.execute(specs)
+        finally:
+            self.last_metrics = executor.last_metrics
 
     def aggregate(self, records: Sequence[dict]) -> CampaignResult:
         """Fold run records into the campaign result."""

@@ -58,7 +58,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         "benchmark", "card", "components", "runs", "bits_per_fault",
         "multibit_mode", "warp_level", "blocks", "cores", "kernels",
         "invocation", "seed", "scheduler", "cache_hook_mode",
-        "model_icache", "log", "early_stop",
+        "model_icache", "log", "early_stop", "metrics", "run_timeout",
     }
     unknown = set(options) - known
     if unknown:
@@ -88,6 +88,9 @@ def parse_config_text(text: str) -> CampaignConfig:
                                  "0").lower() in _BOOL_TRUE,
         log_path=Path(options["log"]) if "log" in options else None,
         early_stop=options.get("early_stop", "full"),
+        metrics=options.get("metrics", "0").lower() in _BOOL_TRUE,
+        run_timeout=(float(options["run_timeout"])
+                     if "run_timeout" in options else None),
     )
 
 
@@ -112,6 +115,7 @@ def dump_config(config: CampaignConfig) -> str:
         f"-gpufi_cache_hook_mode {int(config.cache_hook_mode)}",
         f"-gpufi_model_icache {int(config.model_icache)}",
         f"-gpufi_early_stop {config.early_stop}",
+        f"-gpufi_metrics {int(config.metrics)}",
     ]
     if config.structures is not None:
         joined = ",".join(s.value for s in config.structures)
@@ -122,4 +126,6 @@ def dump_config(config: CampaignConfig) -> str:
         lines.append(f"-gpufi_invocation {config.invocation}")
     if config.log_path is not None:
         lines.append(f"-gpufi_log {config.log_path}")
+    if config.run_timeout is not None:
+        lines.append(f"-gpufi_run_timeout {config.run_timeout:g}")
     return "\n".join(lines) + "\n"

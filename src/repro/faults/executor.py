@@ -40,6 +40,8 @@ from repro.faults.injector import Injector
 from repro.faults.mask import MaskGenerator, MultiBitMode
 from repro.faults.runner import run_application
 from repro.faults.targets import Structure
+from repro.obs import (EventLog, MetricsCollector, NullEventLog,
+                       events_path_for)
 from repro.sim.cards import get_card
 from repro.sim.device import RunOptions
 
@@ -103,6 +105,11 @@ class RunSpec:
     #: target dead, so the run is Masked without simulation.
     prescreened: bool = False
     prescreen_reason: str = ""
+    #: Observability: annotate the record with a ``timings`` breakdown
+    #: (restore/simulate/classify wall-clock, cycles simulated vs
+    #: skipped and why) and the executing ``worker`` id.  Off by
+    #: default; classification fields are identical either way.
+    telemetry: bool = False
 
     @property
     def key(self) -> RunKey:
@@ -115,6 +122,58 @@ def _resolved_card(spec: RunSpec):
     if spec.model_icache:
         card = dataclasses.replace(card, model_icache=True)
     return card
+
+
+def _worker_id() -> int:
+    """Stable id of the executing worker process (0 = in-process)."""
+    identity = multiprocessing.current_process()._identity
+    return int(identity[0]) if identity else 0
+
+
+def _instant_timings(spec: RunSpec, started: float,
+                     reason: str) -> dict:
+    """Timings of a run that completed without simulating."""
+    timings = {"restore_s": 0.0, "simulate_s": 0.0, "classify_s": 0.0,
+               "total_s": round(time.perf_counter() - started, 6),
+               "cycles_simulated": 0, "skipped_fast_forward": 0,
+               "skipped_convergence": 0, "skipped_prescreen": 0,
+               "skipped_synthesized": 0, "fast_forwarded": False,
+               "loop_iterations": 0, "idle_cycles_skipped": 0}
+    timings[f"skipped_{reason}"] = spec.golden_cycles
+    return timings
+
+
+def _run_timings(spec: RunSpec, result, started: float,
+                 fast_forwarded: bool, restore_s: float,
+                 simulate_s: float, classify_s: float) -> dict:
+    """Timings breakdown of one simulated run.
+
+    The ``cycles_*``/``skipped_*``/``fast_forwarded`` fields are pure
+    functions of the spec (deterministic for any jobs count); only the
+    ``*_s`` wall-clock fields vary between executions.
+    """
+    restored_at = result.restored_at or 0
+    # where simulation actually stopped: the convergence cycle when
+    # early-stopped (result.cycles then reports the inherited golden
+    # total), the final device cycle otherwise
+    sim_end = (result.terminated_at if result.terminated_at is not None
+               else result.cycles)
+    return {
+        "restore_s": round(restore_s, 6),
+        "simulate_s": round(max(simulate_s - restore_s, 0.0), 6),
+        "classify_s": round(classify_s, 6),
+        "total_s": round(time.perf_counter() - started, 6),
+        "cycles_simulated": max(sim_end - restored_at, 0),
+        "skipped_fast_forward": restored_at,
+        "skipped_convergence": (
+            max(spec.golden_cycles - result.terminated_at, 0)
+            if result.terminated_at is not None else 0),
+        "skipped_prescreen": 0,
+        "skipped_synthesized": 0,
+        "fast_forwarded": fast_forwarded,
+        "loop_iterations": result.loop_iterations,
+        "idle_cycles_skipped": result.idle_cycles_skipped,
+    }
 
 
 def _finish_record(base: dict, result, spec: RunSpec, mask) -> dict:
@@ -162,6 +221,7 @@ def execute_run(spec: RunSpec) -> dict:
     :class:`~repro.faults.early_stop.ConvergenceMonitor` built from
     the golden checkpoint digests past the injection cycle.
     """
+    started = time.perf_counter()
     record = {
         "benchmark": spec.benchmark,
         "card": spec.card,
@@ -173,6 +233,10 @@ def execute_run(spec: RunSpec) -> dict:
         "synthesized": spec.synthesized,
     }
     if spec.synthesized:
+        if spec.telemetry:
+            record["timings"] = _instant_timings(spec, started,
+                                                 "synthesized")
+            record["worker"] = _worker_id()
         return record
 
     card = _resolved_card(spec)
@@ -189,6 +253,10 @@ def execute_run(spec: RunSpec) -> dict:
         record["mask"] = mask.to_dict()
         record["prescreened"] = True
         record["prescreen_reason"] = spec.prescreen_reason
+        if spec.telemetry:
+            record["timings"] = _instant_timings(spec, started,
+                                                 "prescreen")
+            record["worker"] = _worker_id()
         return record
 
     from repro.bench import make_benchmark
@@ -238,6 +306,8 @@ def execute_run(spec: RunSpec) -> dict:
                                convergence=monitor_factory()))
 
     result = None
+    restore_s = 0.0
+    sim_started = time.perf_counter()
     if ckpt_set is not None:
         from repro.sim.checkpoint import CheckpointError
 
@@ -245,13 +315,17 @@ def execute_run(spec: RunSpec) -> dict:
         if fast_forward.active:
             try:
                 result = simulate(fast_forward)
+                restore_s = fast_forward.restore_seconds
             except CheckpointError:
                 result = None  # replay diverged -> run from scratch
 
     fast_forwarded = result is not None
     if result is None:
         result = simulate()
+    simulate_s = time.perf_counter() - sim_started
+    classify_started = time.perf_counter()
     final = _finish_record(record, result, spec, mask)
+    classify_s = time.perf_counter() - classify_started
 
     if fast_forwarded and spec.verify_restore:
         from repro.sim.checkpoint import RestoreParityError
@@ -263,6 +337,13 @@ def execute_run(spec: RunSpec) -> dict:
                 f"run {spec.key} diverged after checkpoint restore:\n"
                 f"  fast-forwarded: {json.dumps(final, sort_keys=True)}\n"
                 f"  from scratch:   {json.dumps(baseline, sort_keys=True)}")
+    # attached only after the verify comparison: timings are wall-clock
+    # noise the parity check must not see
+    if spec.telemetry:
+        final["timings"] = _run_timings(spec, result, started,
+                                        fast_forwarded, restore_s,
+                                        simulate_s, classify_s)
+        final["worker"] = _worker_id()
     return final
 
 
@@ -308,12 +389,13 @@ class ProgressReporter:
         self.effects[effect] = self.effects.get(effect, 0) + 1
 
     def rate(self) -> float:
-        """Completed runs per second (live runs only)."""
-        elapsed = self._clock() - self._start
-        return self.live_done / elapsed if elapsed > 0 else 0.0
+        """Simulated runs completed per second.
 
-    def _sim_rate(self) -> float:
-        """Simulated (non-instant) runs per second."""
+        Instant completions (synthesized / pre-screened) are excluded:
+        the rendered rate and the ETA share one throughput model, so
+        a burst of instant records can no longer show a rate spike
+        while the ETA (correctly) barely moves.
+        """
         elapsed = self._clock() - self._start
         sim_done = self.live_done - self.instant_done
         return sim_done / elapsed if elapsed > 0 else 0.0
@@ -322,14 +404,18 @@ class ProgressReporter:
         """Estimated seconds to completion, or ``None`` before data.
 
         Only runs that will actually simulate enter the estimate; the
-        instantly-completed remainder is treated as free.
+        instantly-completed remainder is treated as free.  A campaign
+        with nothing left to do (fully resumed included) is ``0.0``,
+        not unknown.
         """
         remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
         instant_left = max(self.instant_total - self.instant_done, 0)
         sim_remaining = max(remaining - instant_left, 0)
         if sim_remaining == 0:
-            return 0.0 if remaining >= 0 and self.live_done else None
-        rate = self._sim_rate()
+            return 0.0
+        rate = self.rate()
         if rate <= 0:
             return None
         return sim_remaining / rate
@@ -375,6 +461,17 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
+class WorkerPoolError(RuntimeError):
+    """The worker pool can no longer make progress.
+
+    Raised instead of hanging forever when a worker process is killed
+    (its in-flight task is lost and ``imap_unordered`` would block
+    indefinitely) or when no run completes within ``run_timeout``
+    seconds.  The message names the run keys still unaccounted for, so
+    the offending spec can be found and the campaign resumed.
+    """
+
+
 class CampaignExecutor:
     """Executes a plan of :class:`RunSpec` on a worker pool.
 
@@ -387,23 +484,50 @@ class CampaignExecutor:
         resume: reuse records already present in ``log_path`` (from an
             interrupted campaign) instead of re-running them; fresh
             records are appended to the log.
+        telemetry: annotate every record with its ``timings``/``worker``
+            observability fields, stream structured events to
+            ``<log>.events.jsonl`` and write a ``<log>.metrics.json``
+            sidecar at the end (also kept on :attr:`last_metrics`).
+            Classification fields are identical either way.
+        run_timeout: abort with :class:`WorkerPoolError` when no run
+            completes for this many seconds (``None`` waits forever).
+        heartbeat_interval: seconds between worker-health checks (and
+            ``heartbeat`` events) while the pool is silent.
+        run_fn: the per-spec work function (tests substitute failing
+            ones); defaults to :func:`execute_run`.
     """
 
     def __init__(self, jobs: int = 1,
                  progress: Optional[Callable[[str], None]] = None,
                  progress_every: int = 25,
                  log_path: Optional[Union[str, Path]] = None,
-                 resume: bool = False):
+                 resume: bool = False,
+                 telemetry: bool = False,
+                 run_timeout: Optional[float] = None,
+                 heartbeat_interval: float = 5.0,
+                 run_fn: Optional[Callable[[RunSpec], dict]] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run_timeout must be positive")
         self.jobs = jobs
         self._progress = progress or (lambda msg: None)
         self.progress_every = max(progress_every, 1)
         self.log_path = Path(log_path) if log_path is not None else None
         self.resume = resume
+        self.telemetry = telemetry
+        self.run_timeout = run_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self._run_fn = run_fn if run_fn is not None else execute_run
+        #: Metrics document of the last :meth:`execute` call when
+        #: telemetry was on (also written to ``<log>.metrics.json``).
+        self.last_metrics: Optional[dict] = None
 
     def execute(self, specs: Sequence[RunSpec]) -> List[dict]:
         """Run every spec; returns records in plan (spec) order."""
+        if self.telemetry:
+            specs = [dataclasses.replace(spec, telemetry=True)
+                     for spec in specs]
         done: Dict[RunKey, dict] = self._load_completed(specs)
         pending = [spec for spec in specs if spec.key not in done]
         reporter = ProgressReporter(
@@ -414,45 +538,139 @@ class CampaignExecutor:
             self._progress(f"resuming: {len(done)} of {len(specs)} runs "
                            "already recorded")
 
+        metrics = MetricsCollector(jobs=self.jobs) if self.telemetry else None
+        events = NullEventLog()
         log_file = None
         if self.log_path is not None:
             self.log_path.parent.mkdir(parents=True, exist_ok=True)
-            append = self.resume and bool(done)
+            # Never truncate an existing log on resume.  The log may
+            # hold records the *current* plan does not cover (a changed
+            # plan, a different slice of the campaign); opening it "w"
+            # because none of them matched would destroy that history.
+            append = self.resume and self.log_path.exists()
             if append:
                 _trim_partial_tail(self.log_path)
             log_file = open(self.log_path, "a" if append else "w",
                             encoding="utf-8")
+            if self.telemetry:
+                events = EventLog(events_path_for(self.log_path))
+        events.emit("campaign_start", total=len(specs),
+                    pending=len(pending), resumed=len(done),
+                    jobs=self.jobs)
+        complete = False
         try:
-            for record in self._completions(pending):
+            for record in self._completions(pending, events):
                 done[(record["kernel"], record["structure"],
                       record["run"])] = record
                 if log_file is not None:
                     log_file.write(json.dumps(record) + "\n")
                     log_file.flush()
                 reporter.record(record)
+                if metrics is not None:
+                    metrics.record(record)
+                timings = record.get("timings") or {}
+                events.emit("run", kernel=record["kernel"],
+                            structure=record["structure"],
+                            run=record["run"], effect=record["effect"],
+                            worker=record.get("worker", 0),
+                            total_s=timings.get("total_s"))
                 if (reporter.live_done % self.progress_every == 0
                         or reporter.done == reporter.total):
                     self._progress(reporter.render())
+            complete = True
         finally:
             if log_file is not None:
                 log_file.close()
+            if metrics is not None:
+                ordered = [done[spec.key] for spec in specs
+                           if spec.key in done]
+                self.last_metrics = metrics.finalize(
+                    ordered, complete=complete, total=len(specs))
+                if self.log_path is not None:
+                    metrics.write(self.last_metrics, self.log_path)
+            events.emit("campaign_end", complete=complete,
+                        executed=reporter.live_done)
+            events.close()
 
         return [done[spec.key] for spec in specs]
 
     # -- internals -----------------------------------------------------------
 
-    def _completions(self, pending: Sequence[RunSpec]):
+    def _completions(self, pending: Sequence[RunSpec],
+                     events=None):
         """Yield records as runs complete (any order)."""
+        events = events if events is not None else NullEventLog()
         if not pending:
             return
         if self.jobs == 1:
             for spec in pending:
-                yield execute_run(spec)
+                yield self._run_fn(spec)
             return
         ctx = _pool_context()
         with ctx.Pool(processes=self.jobs) as pool:
-            yield from pool.imap_unordered(execute_run, pending,
-                                           chunksize=1)
+            yield from self._pool_completions(pool, pending, events)
+
+    def _pool_completions(self, pool, pending: Sequence[RunSpec],
+                          events):
+        """Drain the pool, guarding against lost workers and stalls.
+
+        A hard-killed worker's in-flight task is simply gone: the pool
+        replaces the process but never re-queues the task, so a bare
+        ``imap_unordered`` loop blocks forever on a completion that
+        cannot arrive.  Poll with a timeout instead and, while the pool
+        is silent, verify the worker set is still the one that started
+        (the replacement itself is the evidence -- pool workers only
+        exit at shutdown) and that the silence has not exceeded
+        ``run_timeout``.
+        """
+        poll = self.heartbeat_interval
+        if self.run_timeout is not None:
+            poll = max(min(poll, self.run_timeout / 2), 0.05)
+        completions = pool.imap_unordered(self._run_fn, pending,
+                                          chunksize=1)
+        initial_pids = {worker.pid for worker in pool._pool}
+        remaining = {spec.key for spec in pending}
+        silent_since = time.monotonic()
+        while remaining:
+            try:
+                record = completions.next(timeout=poll)
+            except StopIteration:
+                return
+            except multiprocessing.TimeoutError:
+                self._check_pool_health(
+                    pool, initial_pids, remaining,
+                    time.monotonic() - silent_since, events)
+                continue
+            silent_since = time.monotonic()
+            yield record
+            remaining.discard((record["kernel"], record["structure"],
+                               record["run"]))
+
+    def _check_pool_health(self, pool, initial_pids, remaining,
+                           waited: float, events) -> None:
+        """Raise :class:`WorkerPoolError` if the pool cannot progress."""
+        workers = list(pool._pool)
+        current_pids = {worker.pid for worker in workers}
+        lost = sorted(initial_pids - current_pids)
+        crashed = sorted(worker.pid for worker in workers
+                         if worker.exitcode not in (None, 0))
+        events.emit("heartbeat", waited_s=round(waited, 3),
+                    pending=len(remaining),
+                    workers_alive=sum(1 for w in workers if w.is_alive()),
+                    workers_lost=len(lost) + len(crashed))
+        sample = ", ".join(
+            "/".join(map(str, key)) for key in sorted(remaining)[:5])
+        if lost or crashed:
+            raise WorkerPoolError(
+                f"worker process(es) {lost or crashed} died; their "
+                f"in-flight runs are lost and the pool would wait on "
+                f"them forever. {len(remaining)} run(s) incomplete, "
+                f"first: {sample}. Re-run with resume to finish them.")
+        if self.run_timeout is not None and waited >= self.run_timeout:
+            raise WorkerPoolError(
+                f"no run completed for {waited:.1f}s "
+                f"(run_timeout={self.run_timeout:g}s); "
+                f"{len(remaining)} run(s) incomplete, first: {sample}.")
 
     def _load_completed(self,
                         specs: Sequence[RunSpec]) -> Dict[RunKey, dict]:

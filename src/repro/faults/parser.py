@@ -20,18 +20,31 @@ from repro.faults.classify import FaultEffect
 from repro.faults.targets import Structure
 
 
-def load_records(path: Union[str, Path]) -> List[dict]:
-    """Load every run record from a campaign JSONL log."""
+def load_records(path: Union[str, Path],
+                 tolerate_torn_tail: bool = False) -> List[dict]:
+    """Load every run record from a campaign JSONL log.
+
+    With ``tolerate_torn_tail=True`` a malformed **final** line is
+    dropped instead of raising -- the tail of a log cut mid-write when
+    the campaign was killed, the same contract the resume path's
+    :func:`scan_completed_records` applies.  Post-processing entry
+    points (:func:`merge_logs`, report generation) opt in so any log
+    the resume path accepts can also be analysed; corruption anywhere
+    before the final line still raises.
+    """
     records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerate_torn_tail and lineno == last:
+                break  # partial trailing write from an interrupted run
+            raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
     return records
 
 
@@ -76,12 +89,18 @@ def aggregate_records(records: Sequence[dict]
     return aggregate_counts(records)
 
 
-def merge_logs(paths: Iterable[Union[str, Path]]
+def merge_logs(paths: Iterable[Union[str, Path]],
+               tolerate_torn_tail: bool = True
                ) -> Dict[str, Dict[Structure, Dict[FaultEffect, int]]]:
-    """Aggregate several batch logs together (multi-batch campaigns)."""
+    """Aggregate several batch logs together (multi-batch campaigns).
+
+    Interrupted logs (torn final line) are accepted by default --
+    anything the resume path can restart from can also be merged.
+    """
     records: List[dict] = []
     for path in paths:
-        records.extend(load_records(path))
+        records.extend(load_records(path,
+                                    tolerate_torn_tail=tolerate_torn_tail))
     return aggregate_counts(records)
 
 

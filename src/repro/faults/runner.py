@@ -32,6 +32,14 @@ class RunResult:
     #: Cycle at which a convergence monitor proved the run re-joined
     #: the golden execution (None when the run was simulated in full).
     terminated_at: Optional[int] = None
+    #: Cycle a checkpoint fast-forward restored at (None when the run
+    #: was simulated from cycle 0) -- observability provenance only,
+    #: never part of the logged record.
+    restored_at: Optional[int] = None
+    #: Cycle-loop iterations executed / cycles covered by idle skips
+    #: (sampled from the GPU's observability counters).
+    loop_iterations: int = 0
+    idle_cycles_skipped: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serialisable form for campaign logs."""
@@ -99,6 +107,7 @@ def run_application(benchmark, card, injector=None,
     else:
         message = f"Test ABORTED ({status})"
 
+    ff = options.fast_forward
     return RunResult(
         status=status,
         passed=passed,
@@ -109,4 +118,8 @@ def run_application(benchmark, card, injector=None,
         launch_cycles=[ls.cycles for ls in dev.launches],
         device=dev if keep_device else None,
         terminated_at=terminated_at,
+        restored_at=(ff.restore_cycle
+                     if ff is not None and ff.done else None),
+        loop_iterations=dev.gpu.loop_iterations,
+        idle_cycles_skipped=dev.gpu.idle_cycles_skipped,
     )

@@ -1,0 +1,48 @@
+"""Campaign observability: counters/timers, event streams, metrics.
+
+The paper's methodology is thousands of complete application
+executions per campaign, and after the executor (PR 1), checkpoint
+fast-forward (PR 2) and masked-fault early termination (PR 3) each
+run's cost is dominated by *which* machinery fired.  This package is
+the telemetry substrate that makes that visible -- the analogue of
+SASSIFI's per-site instrumentation logs and NVBitFI's injection-site
+reports: structured, per-run, and produced as a first-class campaign
+output instead of a debugging afterthought.
+
+Three cooperating pieces, all strictly observational (classification
+counts and aggregated campaign results are bit-identical with
+telemetry enabled or disabled):
+
+- :mod:`repro.obs.telemetry` -- near-zero-overhead counters and wall
+  clock timers; the disabled variant (:data:`~repro.obs.telemetry.NULL`)
+  is a no-op on every call so instrumented code paths cost nothing
+  when observability is off.
+- :mod:`repro.obs.events` -- an append-only JSONL event stream
+  (campaign lifecycle, per-run completions, worker heartbeats) written
+  next to the campaign log.
+- :mod:`repro.obs.metrics` -- the campaign metrics collector and the
+  ``<log>.metrics.json`` sidecar: wall-clock, throughput, per-effect
+  latency histograms, checkpoint hit/miss counts, early-stop savings
+  attribution, and per-worker utilization/heartbeats.
+
+See ``docs/observability.md`` for the schemas and the
+``gpufi report-metrics`` front-end.
+"""
+
+from repro.obs.events import EventLog, NullEventLog, events_path_for
+from repro.obs.metrics import (MetricsCollector, derived_cycle_fields,
+                               metrics_path_for)
+from repro.obs.telemetry import NULL, NullTelemetry, Telemetry, telemetry_for
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "telemetry_for",
+    "EventLog",
+    "NullEventLog",
+    "events_path_for",
+    "MetricsCollector",
+    "metrics_path_for",
+    "derived_cycle_fields",
+]

@@ -1,0 +1,82 @@
+"""Structured JSONL event stream for campaign observability.
+
+One JSON object per line, written next to the campaign log
+(``<log>.events.jsonl``).  Events carry a wall-clock ``ts`` (unix
+seconds), an ``event`` type and free-form fields; the stream is
+append-and-flush so a killed campaign leaves a readable prefix --
+the same torn-tail contract as the run log itself.
+
+Event types emitted by the executor:
+
+- ``campaign_start`` -- total/pending/resumed run counts, jobs.
+- ``run`` -- one completed run: its key, effect, worker id and
+  wall-clock timings summary.
+- ``heartbeat`` -- emitted while the executor is *waiting* on the
+  worker pool with nothing completing: how long the pool has been
+  silent and the worker process states.  A campaign whose heartbeats
+  show a dead/replaced worker is about to be aborted by the
+  dead-worker guard rather than hanging forever.
+- ``campaign_end`` -- completion marker with the final wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+
+def events_path_for(log_path: Union[str, Path]) -> Path:
+    """The sidecar event-stream path of one campaign log."""
+    return Path(str(log_path) + ".events.jsonl")
+
+
+class EventLog:
+    """Append-only JSONL event writer (opened lazily, flushed per event)."""
+
+    def __init__(self, path: Union[str, Path],
+                 clock: Callable[[], float] = time.time):
+        self.path = Path(path)
+        self._clock = clock
+        self._handle = None
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event record and flush it to disk."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        record = {"ts": round(self._clock(), 6), "event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullEventLog:
+    """Disabled event stream: :meth:`emit` is a no-op."""
+
+    path: Optional[Path] = None
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False

@@ -1,0 +1,121 @@
+"""Near-zero-overhead counters and timers.
+
+A :class:`Telemetry` instance accumulates named counters and wall
+clock totals; the :class:`NullTelemetry` singleton (:data:`NULL`)
+accepts the same calls as no-ops, so instrumented code takes a single
+attribute call per probe when observability is disabled -- cheap
+enough to leave the probes in hot-ish paths permanently.
+
+The per-cycle simulator loop is deliberately *not* routed through
+this module: the loop keeps plain integer counters
+(``GPU.loop_iterations`` / ``GPU.idle_cycles_skipped``) and the run
+layer samples them once per run, so enabling telemetry adds zero work
+per simulated cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+
+class _Timer:
+    """Context manager adding its elapsed wall time to one total."""
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._telemetry._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._telemetry.add_time(self._name,
+                                 self._telemetry._clock() - self._start)
+        return False
+
+
+class _NullTimer:
+    """A reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class Telemetry:
+    """Accumulates named counters and wall-clock totals.
+
+    Args:
+        clock: monotonic float-second clock (tests inject fakes).
+    """
+
+    __slots__ = ("counters", "seconds", "_clock")
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.counters: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+        self._clock = clock
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to wall-clock total ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def timer(self, name: str) -> _Timer:
+        """Context manager timing one block into total ``name``."""
+        return _Timer(self, name)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot (seconds rounded to the us)."""
+        out: Dict[str, object] = dict(self.counters)
+        out.update({name: round(value, 6)
+                    for name, value in self.seconds.items()})
+        return out
+
+
+class NullTelemetry:
+    """Disabled telemetry: every probe is a no-op.
+
+    A shared singleton (:data:`NULL`) so instrumented code never
+    branches on "is telemetry on" -- it just calls the probe.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def add_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+NULL = NullTelemetry()
+
+
+def telemetry_for(enabled: bool) -> "Telemetry":
+    """A fresh live :class:`Telemetry`, or the shared no-op."""
+    return Telemetry() if enabled else NULL

@@ -47,6 +47,7 @@ import json
 import os
 import pickle
 import shutil
+import time
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -299,6 +300,9 @@ class FastForward:
         self.entry = (max(candidates, key=lambda e: e["cycle"])
                       if candidates else None)
         self.done = False
+        #: Wall-clock seconds spent loading + applying the snapshot
+        #: (observability: the "restore" share of a run's timings).
+        self.restore_seconds = 0.0
         if self.entry is None:
             return
         self.launch_index = self.entry["launch_index"]
@@ -342,6 +346,7 @@ class FastForward:
             raise CheckpointMismatch(
                 f"replay reached launch #{index} without restoring "
                 f"checkpoint at launch #{self.launch_index}")
+        restore_started = time.perf_counter()
         snap = self._set.load_snapshot(self.entry["file"])
         desc = snap["launch"]
         if (desc["kernel"] != request.kernel.name
@@ -357,6 +362,7 @@ class FastForward:
                 "were never consumed before the restore point")
         queue = gpu.restore(snap, request)
         self.done = True
+        self.restore_seconds = time.perf_counter() - restore_started
         return gpu.resume_launch(request, queue)
 
     def on_host_read(self, addr: int, nbytes: int, tag: int):

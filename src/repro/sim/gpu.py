@@ -59,6 +59,14 @@ class GPU:
         self._dram_busy = [0] * config.dram_channels
         #: Optional execution tracer (see :mod:`repro.sim.trace`).
         self.tracer = None
+        #: Observability counters (plain ints, sampled once per run by
+        #: the fault runner): cycle-loop iterations actually executed,
+        #: and cycles covered by idle skips instead of iteration.
+        #: Deliberately NOT part of :meth:`snapshot` -- a restored run
+        #: counts only its simulated suffix, and the convergence
+        #: state digest stays independent of observability.
+        self.loop_iterations = 0
+        self.idle_cycles_skipped = 0
         #: Code-segment bases per kernel (icache extension): each
         #: kernel's binary image gets a disjoint 1 MB code window.
         self._code_bases: dict = {}
@@ -162,6 +170,7 @@ class GPU:
             self.liveness.in_loop = True
         try:
             while queue or busy:
+                self.loop_iterations += 1
                 if self.checkpointer is not None:
                     self.checkpointer.on_cycle(self, launch, queue)
                 if self.convergence is not None:
@@ -192,6 +201,7 @@ class GPU:
                                             "no warp can make progress")
                     delta = max(1, wake - self.cycle)
                     delta = self._clamp_idle_skip(delta)
+                    self.idle_cycles_skipped += delta - 1
                 self.stats.sample(busy, delta)
                 self.cycle += delta
                 if (self.cycle_budget is not None
