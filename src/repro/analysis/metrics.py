@@ -113,6 +113,38 @@ def render_metrics(metrics: dict) -> str:
               _fmt_seconds(stats.get("max_s", 0.0)))
              for name, stats in latency.items()]))
 
+    propagation = metrics.get("propagation")
+    if propagation:
+        lines.append("")
+        lines.append(
+            f"propagation: {propagation.get('runs', 0)} traced run(s), "
+            f"sources {', '.join(propagation.get('sources', [])) or 'none'}")
+        fates = propagation.get("fates", {})
+        if fates:
+            fate_names = ("consumed", "overwritten", "evicted",
+                          "never_touched")
+            lines.append(render_table(
+                ("structure",) + fate_names,
+                [(structure,) + tuple(by_fate.get(f, 0)
+                                      for f in fate_names)
+                 for structure, by_fate in fates.items()]))
+        for label, key in (("time to first read",
+                            "time_to_first_read_cycles"),
+                           ("time to failure", "time_to_failure_cycles")):
+            stats = propagation.get(key)
+            if stats and stats.get("count"):
+                lines.append(
+                    f"{label} (cycles): n={stats['count']} "
+                    f"mean={stats['mean']:.0f} p50={stats['p50']} "
+                    f"p95={stats['p95']} max={stats['max']}")
+        sdc = propagation.get("sdc")
+        if sdc:
+            lines.append(
+                f"SDC runs: {sdc.get('total', 0)} total, "
+                f"{sdc.get('site_consumed', 0)} with a consumed site "
+                f"({_fmt_pct(sdc.get('consumed_fraction'))}), "
+                f"{sdc.get('site_never_touched', 0)} never touched")
+
     workers = metrics.get("workers", {})
     if workers:
         lines.append("")

@@ -27,7 +27,8 @@ from repro.faults.campaign import (Campaign, CampaignConfig,
 from repro.faults.classify import FaultEffect
 from repro.faults.config_file import load_config
 from repro.faults.mask import MultiBitMode
-from repro.faults.parser import aggregate_records, load_records
+from repro.faults.parser import (aggregate_records, count_unapplied,
+                                 load_records)
 from repro.faults.targets import Structure
 from repro.sim.cards import CARDS
 
@@ -96,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "a <log>.events.jsonl stream and a "
                                "<log>.metrics.json sidecar (results "
                                "are identical either way)")
+    campaign.add_argument("--propagation", action="store_true",
+                          help="fault-propagation tracing: attach a "
+                               "per-run record of site fates, consumer "
+                               "chain and divergence window; explore "
+                               "with 'gpufi explain-run' (results are "
+                               "identical either way)")
     campaign.add_argument("--run-timeout", type=float,
                           help="abort when no run completes for this "
                                "many seconds (default: wait forever)")
@@ -116,6 +123,17 @@ def _build_parser() -> argparse.ArgumentParser:
     report_metrics.add_argument(
         "log", nargs="+",
         help="campaign log (or sidecar) path(s) from a --metrics run")
+
+    explain = sub.add_parser(
+        "explain-run",
+        help="narrate one run's fault propagation (site fates, "
+             "consumer chain, divergence window) from a --propagation "
+             "campaign log, without re-running any simulation")
+    explain.add_argument("log", help="campaign JSONL log")
+    explain.add_argument(
+        "run_key", metavar="run-key",
+        help="run coordinates as kernel/structure/run, e.g. "
+             "vecadd_kernel/register_file/7")
     return parser
 
 
@@ -148,9 +166,10 @@ def _campaign_config(args) -> CampaignConfig:
 
         config = load_config(args.config)
         # observability/robustness flags compose with config files
-        if args.metrics or args.run_timeout is not None:
+        if args.metrics or args.propagation or args.run_timeout is not None:
             config = dataclasses.replace(
                 config, metrics=args.metrics or config.metrics,
+                propagation=args.propagation or config.propagation,
                 run_timeout=(args.run_timeout
                              if args.run_timeout is not None
                              else config.run_timeout))
@@ -185,6 +204,7 @@ def _campaign_config(args) -> CampaignConfig:
         verify_restore=args.verify_restore,
         early_stop=args.early_stop,
         metrics=args.metrics,
+        propagation=args.propagation,
         run_timeout=args.run_timeout,
     )
 
@@ -238,6 +258,10 @@ def _cmd_report(args) -> int:
     headers = ["kernel", "structure", "runs", "FR"]
     headers.extend(e.value for e in FaultEffect)
     print(render_table(headers, rows))
+    unapplied = count_unapplied(records)
+    if unapplied:
+        print(f"unapplied injections: {unapplied} run(s) resolved to no "
+              "live target (counted as Masked above)")
     return 0
 
 
@@ -258,6 +282,27 @@ def _cmd_report_metrics(args) -> int:
     return status
 
 
+def _cmd_explain_run(args) -> int:
+    from repro.obs.propagation import explain_record
+
+    parts = args.run_key.split("/")
+    if len(parts) != 3 or not parts[2].isdigit():
+        print("error: run-key must be kernel/structure/run "
+              "(e.g. vecadd_kernel/register_file/7)", file=sys.stderr)
+        return 2
+    kernel, structure, run = parts[0], parts[1], int(parts[2])
+    records = load_records(args.log, tolerate_torn_tail=True)
+    for record in records:
+        if (record.get("kernel") == kernel
+                and record.get("structure") == structure
+                and record.get("run") == run):
+            print(explain_record(record))
+            return 0
+    print(f"error: no record {args.run_key} in {args.log} "
+          f"({len(records)} records scanned)", file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -271,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "report-metrics":
         return _cmd_report_metrics(args)
+    if args.command == "explain-run":
+        return _cmd_explain_run(args)
     raise AssertionError("unreachable")
 
 

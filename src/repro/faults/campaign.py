@@ -208,6 +208,12 @@ class CampaignConfig:
     #: ``<log>.metrics.json`` sidecar.  Strictly observational --
     #: classification counts are identical either way.
     metrics: bool = False
+    #: Fault-propagation tracing: attach a per-run ``propagation``
+    #: record (site fates, consumer chain, divergence window) to every
+    #: logged run; composes with ``metrics`` (the sidecar gains a
+    #: ``propagation`` section).  Strictly observational --
+    #: classification counts are identical either way.
+    propagation: bool = False
     #: Abort (instead of hanging) when no run completes for this many
     #: seconds; ``None`` waits forever.
     run_timeout: Optional[float] = None
@@ -396,6 +402,7 @@ class Campaign:
                     seed = derive_run_seed(cfg.seed, kernel_name,
                                            structure, run_index)
                     prescreen_reason = ""
+                    prescreen_site = ""
                     if prescreener is not None and not no_target:
                         # regenerate the exact mask execute_run will
                         # draw (same generator construction, same seed)
@@ -412,6 +419,22 @@ class Campaign:
                         prescreen_reason = prescreener.evaluate(
                             mask, kp.regs_per_thread, kp.smem_bytes,
                             kp.local_bytes) or ""
+                        if prescreen_reason and cfg.propagation:
+                            # plan-time fate: the pre-screener already
+                            # resolved the site and proved its fate
+                            # from the golden liveness trace
+                            import json as _json
+
+                            from repro.obs.propagation import \
+                                sites_from_prescreen
+
+                            prescreen_site = _json.dumps(
+                                {"cycle": int(mask.cycle),
+                                 "sites": sites_from_prescreen(
+                                     structure.value,
+                                     prescreener.last_target,
+                                     prescreener.last_fate)},
+                                sort_keys=True, default=int)
                     specs.append(RunSpec(
                         benchmark=cfg.benchmark,
                         card=cfg.card,
@@ -442,6 +465,7 @@ class Campaign:
                         early_stop=cfg.early_stop,
                         prescreened=bool(prescreen_reason),
                         prescreen_reason=prescreen_reason,
+                        prescreen_site=prescreen_site,
                     ))
         return specs
 
@@ -452,6 +476,7 @@ class Campaign:
             jobs=jobs, progress=self._progress,
             log_path=self.config.log_path, resume=resume,
             telemetry=self.config.metrics,
+            propagation=self.config.propagation,
             run_timeout=self.config.run_timeout)
         try:
             return executor.execute(specs)

@@ -58,7 +58,8 @@ def parse_config_text(text: str) -> CampaignConfig:
         "benchmark", "card", "components", "runs", "bits_per_fault",
         "multibit_mode", "warp_level", "blocks", "cores", "kernels",
         "invocation", "seed", "scheduler", "cache_hook_mode",
-        "model_icache", "log", "early_stop", "metrics", "run_timeout",
+        "model_icache", "log", "early_stop", "metrics", "propagation",
+        "run_timeout",
     }
     unknown = set(options) - known
     if unknown:
@@ -89,6 +90,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         log_path=Path(options["log"]) if "log" in options else None,
         early_stop=options.get("early_stop", "full"),
         metrics=options.get("metrics", "0").lower() in _BOOL_TRUE,
+        propagation=options.get("propagation", "0").lower() in _BOOL_TRUE,
         run_timeout=(float(options["run_timeout"])
                      if "run_timeout" in options else None),
     )
@@ -116,6 +118,7 @@ def dump_config(config: CampaignConfig) -> str:
         f"-gpufi_model_icache {int(config.model_icache)}",
         f"-gpufi_early_stop {config.early_stop}",
         f"-gpufi_metrics {int(config.metrics)}",
+        f"-gpufi_propagation {int(config.propagation)}",
     ]
     if config.structures is not None:
         joined = ",".join(s.value for s in config.structures)

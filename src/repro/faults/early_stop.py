@@ -100,6 +100,11 @@ class ConvergenceMonitor:
         self.diverged = False
         #: Digest comparisons performed (introspection/tests).
         self.checks = 0
+        #: Optional propagation observer (duck-typed, see
+        #: :class:`repro.obs.propagation.PropagationTracer`): told
+        #: about every digest-check result and host-read divergence,
+        #: so divergence localization reuses the monitor's digests.
+        self.observer = None
 
     def next_cycle(self) -> Optional[int]:
         """Earliest remaining check cycle (for the idle-skip clamp)."""
@@ -120,6 +125,11 @@ class ConvergenceMonitor:
         entries = self._entries
         while self._pos < len(entries) \
                 and entries[self._pos]["cycle"] < gpu.cycle:
+            if self.observer is not None:
+                # a checkpoint cycle this run never landed on is
+                # timing divergence -- report it as a mismatch
+                self.observer.on_digest_check(
+                    entries[self._pos]["cycle"], False)
             self._pos += 1
         if self._pos >= len(entries):
             return
@@ -128,9 +138,15 @@ class ConvergenceMonitor:
             return
         self._pos += 1
         if entry["launch_index"] != gpu.stats.current.launch_index:
+            if self.observer is not None:
+                self.observer.on_digest_check(entry["cycle"], False)
             return
         self.checks += 1
-        if state_digest(gpu.snapshot(launch, queue)) == entry["state_hash"]:
+        matched = (state_digest(gpu.snapshot(launch, queue))
+                   == entry["state_hash"])
+        if self.observer is not None:
+            self.observer.on_digest_check(entry["cycle"], matched)
+        if matched:
             raise EarlyConvergence(gpu.cycle, self.golden_cycles)
 
     def on_host_read(self, tag: int, addr: int, nbytes: int, data) -> None:
@@ -144,14 +160,19 @@ class ConvergenceMonitor:
         if self.diverged:
             return
         if self._read_pos >= len(self._reads):
-            self.diverged = True
+            self._mark_diverged()
             return
         rec = self._reads[self._read_pos]
         self._read_pos += 1
         if (rec["tag"] != tag or rec["addr"] != addr
                 or rec["nbytes"] != nbytes
                 or not np.array_equal(rec["data"], data)):
-            self.diverged = True
+            self._mark_diverged()
+
+    def _mark_diverged(self) -> None:
+        self.diverged = True
+        if self.observer is not None:
+            self.observer.on_host_divergence()
 
 
 class Prescreener:
@@ -172,11 +193,16 @@ class Prescreener:
         self.card = card
         self.cache_hook_mode = cache_hook_mode
         self.last_target: Dict[str, object] = {}
+        #: Propagation fate label proved for the most recent dead
+        #: verdict ("overwritten" / "evicted" / "never_touched"), used
+        #: to build propagation records for pre-screened runs.
+        self.last_fate: str = "never_touched"
 
     def evaluate(self, mask: FaultMask, regs_per_thread: int,
                  smem_bytes: int, local_bytes: int) -> Optional[str]:
         """Dead-reason string, or ``None`` when liveness is possible."""
         self.last_target = {}
+        self.last_fate = "never_touched"
         s = mask.structure
         if s is Structure.REGISTER_FILE:
             return self._screen_register(mask, regs_per_thread)
@@ -207,18 +233,26 @@ class Prescreener:
         # lane choice (thread-level masks draw one) cannot change the
         # verdict: reads are screened lane-insensitively and kills
         # cover every live lane, so the draw need not be replayed
-        if self._register_dead(core_id, wrec["age"], reg, mask.cycle):
+        fate = self._register_fate(core_id, wrec["age"], reg, mask.cycle)
+        if fate is not None:
+            self.last_fate = fate
             return (f"register R{reg} of warp {wrec['age']} on core "
                     f"{core_id} is dead at cycle {mask.cycle}")
         return None
 
-    def _register_dead(self, core_id: int, warp_age: int, reg: int,
-                       cycle: int) -> bool:
+    def _register_fate(self, core_id: int, warp_age: int, reg: int,
+                       cycle: int) -> Optional[str]:
+        """Dead fate of the register, or ``None`` when it may be read."""
         for when, kind in self.trace.register_events(core_id, warp_age,
                                                      reg):
             if when >= cycle:  # issues at the injection cycle are post
-                return kind == "k"
-        return True  # never accessed again
+                return "overwritten" if kind == "k" else None
+        return "never_touched"  # never accessed again
+
+    def _register_dead(self, core_id: int, warp_age: int, reg: int,
+                       cycle: int) -> bool:
+        return self._register_fate(core_id, warp_age, reg, cycle) \
+            is not None
 
     # -- local memory ----------------------------------------------------
 
@@ -241,11 +275,15 @@ class Prescreener:
                             "word": int(word),
                             "lanes": [int(l) for l in lanes]}
         events = self.trace.local_word_events(core_id, wrec["age"], word)
+        firsts = []
         for lane in lanes:
             first = next((kind for when, elane, kind in events
                           if when >= mask.cycle and elane == lane), None)
             if first == "r":
                 return None
+            firsts.append(first)
+        self.last_fate = ("overwritten" if any(f == "k" for f in firsts)
+                          else "never_touched")
         return (f"local word {word} of warp {wrec['age']} on core "
                 f"{core_id} is dead for every targeted lane")
 
@@ -268,6 +306,7 @@ class Prescreener:
             blocks.append({"core": core_id, "cta": list(crec["cta_id"]),
                            "word": int(word)})
         self.last_target = {"blocks": blocks}
+        firsts = []
         for idx in picks:
             core_id, crec = ctas[int(idx)]
             events = self.trace.smem_word_events(core_id,
@@ -276,6 +315,9 @@ class Prescreener:
                           if when >= mask.cycle), None)
             if first == "r":
                 return None
+            firsts.append(first)
+        self.last_fate = ("overwritten" if any(f == "k" for f in firsts)
+                          else "never_touched")
         return (f"shared word {word} is dead in every targeted CTA at "
                 f"cycle {mask.cycle}")
 
@@ -297,9 +339,13 @@ class Prescreener:
                 for b in mask.bit_offsets]
         names = [f"L1{kind.upper()}.{cores[int(idx)]}" for idx in picks]
         self.last_target = {"caches": names, "line": int(line)}
+        fates = []
         for name in names:
-            if not self._cache_line_dead(name, line, bits, mask.cycle):
+            fate = self._cache_line_fate(name, line, bits, mask.cycle)
+            if fate is None:
                 return None
+            fates.append(fate)
+        self.last_fate = self._join_fates(fates)
         return (f"line {line} is dead/invalid in every targeted "
                 f"L1{kind.upper()} at cycle {mask.cycle}")
 
@@ -309,12 +355,26 @@ class Prescreener:
         bits = [b % (self.card.tag_bits + geom.line_bytes * 8)
                 for b in mask.bit_offsets]
         self.last_target = {"caches": ["L2"], "line": int(line)}
-        if self._cache_line_dead("L2", line, bits, mask.cycle):
+        fate = self._cache_line_fate("L2", line, bits, mask.cycle)
+        if fate is not None:
+            self.last_fate = fate
             return f"L2 line {line} is dead/invalid at cycle {mask.cycle}"
         return None
 
+    @staticmethod
+    def _join_fates(fates: List[str]) -> str:
+        for fate in ("overwritten", "evicted"):
+            if fate in fates:
+                return fate
+        return "never_touched"
+
     def _cache_line_dead(self, name: str, line: int, bits: List[int],
                          cycle: int) -> bool:
+        return self._cache_line_fate(name, line, bits, cycle) is not None
+
+    def _cache_line_fate(self, name: str, line: int, bits: List[int],
+                         cycle: int) -> Optional[str]:
+        """Dead fate of the line, or ``None`` when it may be observed."""
         events = self.trace.cache_line_events(name, line)
 
         def post(event) -> bool:
@@ -338,25 +398,27 @@ class Prescreener:
             # invalid tags are never compared; the next fill rewrites
             # tag and data -- architecturally masked (and in hook mode
             # arm_hook refuses invalid lines outright)
-            return True
+            return "never_touched"
 
         suffix = [event[2] for event in events if post(event)]
         if self.cache_hook_mode:
             for kind in suffix:
                 if kind == "rh":
-                    return False  # hook fires: flips enter the data
-                if kind in ("wh", "fill", "inv"):
-                    return True  # hook dropped before any read hit
+                    return None  # hook fires: flips enter the data
+                if kind == "wh":
+                    return "overwritten"  # hook dropped by write hit
+                if kind in ("fill", "inv"):
+                    return "evicted"  # hook dropped with the line
                 # "wb"/"peek" carry clean data while the hook is armed
-            return True  # never read again: hook never fires
+            return "never_touched"  # never read again: hook never fires
 
         if any(bit < self.card.tag_bits for bit in bits):
-            return False  # tag bits of a valid line steer every probe
+            return None  # tag bits of a valid line steer every probe
         for kind in suffix:
             if kind in ("rh", "wh", "wb", "peek"):
                 # data observed (or partially overwritten: "wh" may not
                 # cover the flipped bits -- conservative)
-                return False
+                return None
             if kind in ("fill", "inv"):
-                return True  # data rewritten/dropped before any read
-        return True  # never accessed again
+                return "evicted"  # data rewritten/dropped before read
+        return "never_touched"  # never accessed again

@@ -105,11 +105,21 @@ class RunSpec:
     #: target dead, so the run is Masked without simulation.
     prescreened: bool = False
     prescreen_reason: str = ""
+    #: Plan-time propagation payload for pre-screened runs: the JSON
+    #: produced by :func:`repro.obs.propagation.sites_from_prescreen`
+    #: (the site the mask resolves to and the liveness-proven fate).
+    #: A string, not a dict -- RunSpec must stay hashable.
+    prescreen_site: str = ""
     #: Observability: annotate the record with a ``timings`` breakdown
     #: (restore/simulate/classify wall-clock, cycles simulated vs
     #: skipped and why) and the executing ``worker`` id.  Off by
     #: default; classification fields are identical either way.
     telemetry: bool = False
+    #: Fault-propagation tracing: ride a
+    #: :class:`~repro.obs.propagation.PropagationTracer` along the run
+    #: and attach its record under the ``propagation`` key.  Strictly
+    #: observational -- classification fields are identical either way.
+    propagation: bool = False
 
     @property
     def key(self) -> RunKey:
@@ -199,6 +209,10 @@ def _finish_record(base: dict, result, spec: RunSpec, mask) -> dict:
     })
     if result.terminated_at is not None:
         record["terminated_at"] = result.terminated_at
+    if result.propagation is not None:
+        # deterministic (pure observation of a deterministic run), so
+        # it participates in the verify-restore parity comparison
+        record["propagation"] = result.propagation
     return record
 
 
@@ -233,6 +247,10 @@ def execute_run(spec: RunSpec) -> dict:
         "synthesized": spec.synthesized,
     }
     if spec.synthesized:
+        if spec.propagation:
+            from repro.obs.propagation import synthesized_propagation
+
+            record["propagation"] = synthesized_propagation()
         if spec.telemetry:
             record["timings"] = _instant_timings(spec, started,
                                                  "synthesized")
@@ -253,6 +271,11 @@ def execute_run(spec: RunSpec) -> dict:
         record["mask"] = mask.to_dict()
         record["prescreened"] = True
         record["prescreen_reason"] = spec.prescreen_reason
+        if spec.propagation:
+            from repro.obs.propagation import prescreen_propagation
+
+            record["propagation"] = prescreen_propagation(
+                spec.prescreen_site)
         if spec.telemetry:
             record["timings"] = _instant_timings(spec, started,
                                                  "prescreen")
@@ -274,36 +297,54 @@ def execute_run(spec: RunSpec) -> dict:
     def monitor_factory():
         return None
 
-    if ckpt_set is not None and spec.early_stop in ("converge", "full"):
+    # checkpoints AT the injection cycle are captured before the
+    # injector fires and carry pre-injection state: only strictly
+    # later digests witness convergence (or localize divergence)
+    digest_entries = []
+    if ckpt_set is not None:
+        digest_entries = [entry for entry in ckpt_set.meta["checkpoints"]
+                          if entry.get("state_hash")
+                          and entry["cycle"] > mask.cycle]
+
+    if (digest_entries and spec.early_stop in ("converge", "full")):
         from repro.faults.early_stop import ConvergenceMonitor
 
-        # checkpoints AT the injection cycle are captured before the
-        # injector fires and carry pre-injection state: only strictly
-        # later digests witness convergence
-        entries = [entry for entry in ckpt_set.meta["checkpoints"]
-                   if entry.get("state_hash")
-                   and entry["cycle"] > mask.cycle]
-        if entries:
-            host_reads = ckpt_set.golden()["host_reads"]
-            golden_cycles = spec.golden_cycles
+        host_reads = ckpt_set.golden()["host_reads"]
+        golden_cycles = spec.golden_cycles
 
-            def monitor_factory():
-                # fresh per attempt: position/divergence state is
-                # consumed by the run
-                return ConvergenceMonitor(entries, host_reads,
-                                          golden_cycles)
+        def monitor_factory():
+            # fresh per attempt: position/divergence state is
+            # consumed by the run
+            return ConvergenceMonitor(digest_entries, host_reads,
+                                      golden_cycles)
 
     def simulate(fast_forward=None):
         # a fresh injector per attempt: its log and armed state are
         # consumed by the run
         injector = Injector([mask], cache_hook_mode=spec.cache_hook_mode)
+        monitor = monitor_factory()
+        tracer = None
+        if spec.propagation:
+            from repro.obs.propagation import PropagationTracer
+
+            tracer = PropagationTracer(mask.cycle)
+            if monitor is not None:
+                # divergence localization piggybacks on the monitor's
+                # digest comparisons -- zero extra digest work
+                monitor.observer = tracer
+            else:
+                # no monitor (early-stop off): the tracer walks the
+                # golden digest stream itself; still no extra golden
+                # simulation, only digests of the injected run
+                tracer.set_checkpoints(digest_entries)
         return run_application(
             make_benchmark(spec.benchmark), card,
             options=RunOptions(scheduler_policy=spec.scheduler_policy,
                                cycle_budget=spec.cycle_budget,
                                injector=injector,
                                fast_forward=fast_forward,
-                               convergence=monitor_factory()))
+                               convergence=monitor,
+                               propagation=tracer))
 
     result = None
     restore_s = 0.0
@@ -489,6 +530,11 @@ class CampaignExecutor:
             ``<log>.events.jsonl`` and write a ``<log>.metrics.json``
             sidecar at the end (also kept on :attr:`last_metrics`).
             Classification fields are identical either way.
+        propagation: attach a fault-propagation record (site fates,
+            consumer chain, divergence window) to every run under the
+            ``propagation`` key.  Composes with ``telemetry`` -- the
+            metrics sidecar then gains a ``propagation`` section.
+            Classification fields are identical either way.
         run_timeout: abort with :class:`WorkerPoolError` when no run
             completes for this many seconds (``None`` waits forever).
         heartbeat_interval: seconds between worker-health checks (and
@@ -503,6 +549,7 @@ class CampaignExecutor:
                  log_path: Optional[Union[str, Path]] = None,
                  resume: bool = False,
                  telemetry: bool = False,
+                 propagation: bool = False,
                  run_timeout: Optional[float] = None,
                  heartbeat_interval: float = 5.0,
                  run_fn: Optional[Callable[[RunSpec], dict]] = None):
@@ -516,6 +563,7 @@ class CampaignExecutor:
         self.log_path = Path(log_path) if log_path is not None else None
         self.resume = resume
         self.telemetry = telemetry
+        self.propagation = propagation
         self.run_timeout = run_timeout
         self.heartbeat_interval = heartbeat_interval
         self._run_fn = run_fn if run_fn is not None else execute_run
@@ -525,9 +573,12 @@ class CampaignExecutor:
 
     def execute(self, specs: Sequence[RunSpec]) -> List[dict]:
         """Run every spec; returns records in plan (spec) order."""
-        if self.telemetry:
-            specs = [dataclasses.replace(spec, telemetry=True)
-                     for spec in specs]
+        if self.telemetry or self.propagation:
+            specs = [dataclasses.replace(
+                spec,
+                telemetry=self.telemetry or spec.telemetry,
+                propagation=self.propagation or spec.propagation)
+                for spec in specs]
         done: Dict[RunKey, dict] = self._load_completed(specs)
         pending = [spec for spec in specs if spec.key not in done]
         reporter = ProgressReporter(

@@ -50,6 +50,9 @@ class Injector:
             record = self._apply(gpu, mask, now)
             record["mask"] = mask.to_dict()
             record["applied_at"] = now
+            # "no live target" resolutions are NOT injections; flag
+            # them so downstream tallies don't fold them into Masked
+            record["applied"] = record.get("target") != "none"
             self.log.append(record)
 
     # -- spatial resolution -------------------------------------------------
@@ -79,15 +82,20 @@ class Injector:
         flip = np.uint32(0)
         for bit in mask.bit_offsets:
             flip |= np.uint32(1 << (bit % 32))
+        prop = gpu.propagation
         if mask.warp_level:
             lanes = warp.live_lanes()
             warp.regs[reg][lanes] ^= flip
+            if prop is not None:
+                prop.on_register_site(core_id, warp.age, reg, lanes)
             return {"target": "warp", "core": core_id,
                     "warp_age": warp.age, "register": int(reg),
                     "lanes": [int(l) for l in lanes]}
         lanes = warp.live_lanes()
         lane = int(lanes[int(rng.integers(0, len(lanes)))])
         warp.regs[reg][lane] ^= flip
+        if prop is not None:
+            prop.on_register_site(core_id, warp.age, reg, [lane])
         return {"target": "thread", "core": core_id, "warp_age": warp.age,
                 "lane": lane, "register": int(reg)}
 
@@ -110,6 +118,8 @@ class Injector:
         for lane in lanes:
             for byte, bit in flips:
                 warp.local_mem[lane, byte] ^= np.uint8(1 << bit)
+        if gpu.propagation is not None:
+            gpu.propagation.on_local_site(core_id, warp.age, word, lanes)
         return {"target": "warp" if mask.warp_level else "thread",
                 "core": core_id, "warp_age": warp.age,
                 "lanes": [int(l) for l in lanes], "word": int(word)}
@@ -132,6 +142,9 @@ class Injector:
                 cta.smem[byte] ^= np.uint8(1 << ((bit % 32) % 8))
             hit.append({"core": cta.core.core_id, "cta": list(cta.cta_id),
                         "word": int(word)})
+            if gpu.propagation is not None:
+                gpu.propagation.on_shared_site(
+                    cta.core.core_id, cta.warps[0].age, cta.cta_id, word)
         return {"target": "cta", "blocks": hit}
 
     def _inject_l1(self, gpu, mask: FaultMask, rng: np.random.Generator,
@@ -150,6 +163,7 @@ class Injector:
                      "i": core.l1i}[kind]
             line = mask.entry_index % cache.geometry.num_lines
             records.extend(self._flip_cache(cache, line, mask.bit_offsets))
+        self._register_cache_sites(gpu, records)
         return {"target": "l1", "flips": records}
 
     def _flip_cache(self, cache, line: int, bit_offsets) -> List[dict]:
@@ -157,6 +171,15 @@ class Injector:
         if self.cache_hook_mode:
             return [cache.arm_hook(line, bits)]
         return [cache.flip_bit(line, bit) for bit in bits]
+
+    @staticmethod
+    def _register_cache_sites(gpu, records: List[dict]) -> None:
+        if gpu.propagation is None:
+            return
+        for rec in records:
+            gpu.propagation.on_cache_site(
+                rec["cache"], rec["line"], rec.get("mode", "flip"),
+                rec["valid"])
 
     def _inject_l1d(self, gpu, mask, rng):
         return self._inject_l1(gpu, mask, rng, kind="d")
@@ -173,8 +196,9 @@ class Injector:
     def _inject_l2(self, gpu, mask: FaultMask,
                    rng: np.random.Generator) -> dict:
         line = mask.entry_index % gpu.l2.geometry.num_lines
-        return {"target": "l2",
-                "flips": self._flip_cache(gpu.l2, line, mask.bit_offsets)}
+        flips = self._flip_cache(gpu.l2, line, mask.bit_offsets)
+        self._register_cache_sites(gpu, flips)
+        return {"target": "l2", "flips": flips}
 
     #: Structure -> unbound handler; built once at class definition
     #: instead of per applied mask.

@@ -104,6 +104,29 @@ def merge_logs(paths: Iterable[Union[str, Path]],
     return aggregate_counts(records)
 
 
+def count_unapplied(records: Sequence[dict]) -> int:
+    """Runs whose injection resolved to no live target.
+
+    The injector logs a ``{"target": "none", ...}`` record (flagged
+    ``applied: false``) when a mask's cycle finds no live warp/CTA to
+    flip; the run is then fault-free by construction and classifies as
+    Masked.  Reports surface this tally separately so "Masked" is not
+    silently inflated by injections that never happened.  Older logs
+    (records predating the ``applied`` flag) are still counted via the
+    ``target`` field.
+    """
+    unapplied = 0
+    for record in records:
+        for injection in record.get("injections") or ():
+            applied = injection.get("applied")
+            if applied is None:
+                applied = injection.get("target") != "none"
+            if not applied:
+                unapplied += 1
+                break
+    return unapplied
+
+
 def failure_ratio(counts: Dict[FaultEffect, int]) -> float:
     """FR of eq. (1) from one effect-count dictionary."""
     total = sum(counts.values())

@@ -40,6 +40,9 @@ class RunResult:
     #: (sampled from the GPU's observability counters).
     loop_iterations: int = 0
     idle_cycles_skipped: int = 0
+    #: Finalized fault-propagation record (site fates, consumer chain,
+    #: divergence window) when a tracer rode along, else None.
+    propagation: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form for campaign logs."""
@@ -122,4 +125,6 @@ def run_application(benchmark, card, injector=None,
                      if ff is not None and ff.done else None),
         loop_iterations=dev.gpu.loop_iterations,
         idle_cycles_skipped=dev.gpu.idle_cycles_skipped,
+        propagation=(options.propagation.finalize()
+                     if options.propagation is not None else None),
     )

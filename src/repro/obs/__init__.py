@@ -24,14 +24,24 @@ telemetry enabled or disabled):
   ``<log>.metrics.json`` sidecar: wall-clock, throughput, per-effect
   latency histograms, checkpoint hit/miss counts, early-stop savings
   attribution, and per-worker utilization/heartbeats.
+- :mod:`repro.obs.propagation` -- per-run fault-propagation tracing:
+  site-fate tracking (consumed / overwritten / evicted /
+  never_touched), a bounded consumer chain, and divergence
+  localization against the golden checkpoint digest stream; surfaced
+  by ``gpufi explain-run`` and the sidecar's ``propagation`` section.
 
 See ``docs/observability.md`` for the schemas and the
-``gpufi report-metrics`` front-end.
+``gpufi report-metrics`` / ``gpufi explain-run`` front-ends.
 """
 
 from repro.obs.events import EventLog, NullEventLog, events_path_for
 from repro.obs.metrics import (MetricsCollector, derived_cycle_fields,
                                metrics_path_for)
+from repro.obs.propagation import (PropagationTracer, explain_record,
+                                   prescreen_propagation,
+                                   sites_from_prescreen,
+                                   summarize_propagation,
+                                   synthesized_propagation)
 from repro.obs.telemetry import NULL, NullTelemetry, Telemetry, telemetry_for
 
 __all__ = [
@@ -45,4 +55,10 @@ __all__ = [
     "MetricsCollector",
     "metrics_path_for",
     "derived_cycle_fields",
+    "PropagationTracer",
+    "explain_record",
+    "prescreen_propagation",
+    "sites_from_prescreen",
+    "summarize_propagation",
+    "synthesized_propagation",
 ]

@@ -232,7 +232,14 @@ class MetricsCollector:
                 "last_heartbeat_s": stats["last_heartbeat_s"],
             }
 
-        return {
+        # propagation sidecar section: pure function of the records
+        # (order-independent), present only when at least one record
+        # carries a propagation payload
+        from repro.obs.propagation import summarize_propagation
+
+        propagation = summarize_propagation(records)
+
+        doc = {
             "schema": METRICS_SCHEMA,
             "campaign": {
                 "complete": bool(complete),
@@ -250,6 +257,9 @@ class MetricsCollector:
             "latency": latency,
             "workers": workers,
         }
+        if propagation is not None:
+            doc["propagation"] = propagation
+        return doc
 
     def write(self, metrics: dict, log_path: Union[str, Path]) -> Path:
         """Write the sidecar next to ``log_path``; returns its path."""

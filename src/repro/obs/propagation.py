@@ -1,0 +1,738 @@
+"""Per-run fault-propagation tracing.
+
+The campaign log records *what* each injected run ended as (Masked,
+SDC, Crash, ...); this module records *why*.  A
+:class:`PropagationTracer` rides along one injected simulation and
+answers three questions:
+
+1. **Site fate** -- what happened to each corrupted site (register,
+   shared/local word, cache line) after the flip: was it read before
+   anything else (``consumed``), fully rewritten first
+   (``overwritten``), dropped by a refill/invalidation (``evicted``),
+   or never observably touched again (``never_touched``)?
+2. **Consumer chain** -- the first N instructions that read a
+   corrupted value or a value derived from one, tracked at
+   warp/register granularity (an instruction reading a tainted
+   register taints its destination registers).
+3. **Divergence localization** -- the first golden checkpoint window
+   ``[cycle_a, cycle_b]`` in which the run's :func:`state_digest`
+   stopped matching the golden stream, reusing the digests the
+   checkpoint set already carries (no extra golden simulation).
+
+Tracing is strictly observational: it never mutates simulator state,
+so classification is bit-identical with tracing on or off
+(``benchmarks/bench_propagation_overhead.py`` enforces the overhead
+ceiling).  Pre-screened runs never simulate; their propagation record
+is derived from the golden :class:`~repro.sim.liveness.LivenessTrace`
+verdict instead (``source: "prescreen"``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+#: Fate labels, in the order reports render them.
+FATES = ("consumed", "overwritten", "evicted", "never_touched")
+
+#: Effects counted as failures for time-to-failure statistics.
+FAILURE_EFFECTS = ("SDC", "Crash", "Timeout")
+
+#: Schema marker carried by every propagation record.
+PROPAGATION_SCHEMA = 1
+
+
+class PropagationTracer:
+    """Observes one injected run and resolves the fate of every site.
+
+    The injector registers corrupted sites at apply time
+    (:meth:`on_register_site` & friends); the core issue path, the
+    shared/local memory paths and the caches then report reads,
+    overwrites and evictions.  ``armed`` stays ``False`` until the
+    first site registration, so every pre-injection hook check is a
+    single attribute test.
+    """
+
+    def __init__(self, injection_cycle: int, max_consumers: int = 8,
+                 max_events: int = 8):
+        self.gpu = None  # attached by GPU.set_propagation
+        self.injection_cycle = int(injection_cycle)
+        self.max_consumers = max_consumers
+        self.max_events = max_events
+        self.armed = False
+        self.sites: List[dict] = []
+        self.consumers: List[dict] = []
+        self._consumers_dropped = 0
+        # watch indexes: (core, warp_age) -> {register/word -> site}
+        self._reg_sites: Dict[Tuple[int, int], Dict[int, dict]] = {}
+        self._local_sites: Dict[Tuple[int, int], Dict[int, dict]] = {}
+        self._smem_sites: Dict[Tuple[int, int], Dict[int, dict]] = {}
+        self._cache_sites: Dict[str, Dict[int, dict]] = {}
+        # derived-value taint: (core, warp_age) -> set of register indices
+        self._taint: Dict[Tuple[int, int], set] = {}
+        self._pending_load_cycle: Optional[int] = None
+        # divergence localization
+        self.digest_checks = 0
+        self._last_match = int(injection_cycle)
+        self._first_mismatch: Optional[int] = None
+        self._converged_at: Optional[int] = None
+        self.host_read_diverged = False
+        self._entries: List[dict] = []
+        self._pos = 0
+
+    # -- site registration (called by the injector) ----------------------
+
+    def _new_site(self, kind: str, **fields) -> dict:
+        site = {"kind": kind}
+        site.update(fields)
+        site.setdefault("fate", "never_touched")
+        site.setdefault("fate_cycle", None)
+        site.setdefault("pc", None)
+        site.setdefault("kernel", None)
+        site.setdefault("events", [])
+        site["_open"] = True
+        self.sites.append(site)
+        self.armed = True
+        return site
+
+    def on_register_site(self, core: int, warp_age: int, register: int,
+                         lanes) -> None:
+        """A register-file flip landed on ``register`` of one warp."""
+        lanes = sorted(int(lane) for lane in lanes)
+        site = self._new_site("register", core=int(core),
+                              warp_age=int(warp_age),
+                              register=int(register), lanes=lanes)
+        site["_lanes"] = set(lanes)
+        self._reg_sites.setdefault(
+            (int(core), int(warp_age)), {})[int(register)] = site
+
+    def on_local_site(self, core: int, warp_age: int, word: int,
+                      lanes) -> None:
+        """A local-memory flip landed on ``word`` of some lanes."""
+        lanes = sorted(int(lane) for lane in lanes)
+        site = self._new_site("local", core=int(core),
+                              warp_age=int(warp_age), word=int(word),
+                              lanes=lanes)
+        site["_lanes"] = set(lanes)
+        self._local_sites.setdefault(
+            (int(core), int(warp_age)), {})[int(word)] = site
+
+    def on_shared_site(self, core: int, age_base: int, cta, word: int
+                       ) -> None:
+        """A shared-memory flip landed on ``word`` of one CTA."""
+        site = self._new_site("shared", core=int(core),
+                              cta=list(int(c) for c in cta),
+                              word=int(word))
+        site["_age_base"] = int(age_base)
+        self._smem_sites.setdefault(
+            (int(core), int(age_base)), {})[int(word)] = site
+
+    def on_cache_site(self, cache: str, line: int, mode: str,
+                      valid: bool) -> None:
+        """A cache flip (or armed hook) landed on one line.
+
+        Flips into invalid lines are architecturally masked -- the next
+        fill rewrites tag and data -- so they close immediately as
+        ``never_touched`` and are never watched.
+        """
+        watch = self._cache_sites.setdefault(cache, {})
+        if int(line) in watch:  # multi-bit flips share one site
+            return
+        site = self._new_site("cache", cache=cache, line=int(line),
+                              mode=mode, valid=bool(valid))
+        if valid:
+            watch[int(line)] = site
+        else:
+            site["_open"] = False
+
+    # -- event hooks (called from sim layers; armed-gated) ---------------
+
+    def on_issue(self, core_id: int, warp, inst, exec_mask, now: int
+                 ) -> None:
+        """One issued instruction: resolve register reads/overwrites
+        and propagate taint through the consumer chain."""
+        key = (core_id, warp.age)
+        watch = self._reg_sites.get(key)
+        taint = self._taint.get(key)
+        if watch is None and taint is None:
+            return
+        src_regs, dst_regs, _sp, _dp = inst.scoreboard_sets()
+        consumed = False
+        if watch is not None:
+            for reg in src_regs:
+                site = watch.get(reg)
+                if site is None:
+                    continue
+                if any(exec_mask[lane] for lane in site["_lanes"]):
+                    self._consume(site, now, int(inst.pc),
+                                  warp.cta.launch.kernel.name)
+                    self._event(site, "read", now)
+                    consumed = True
+        tainted = taint is not None and any(r in taint for r in src_regs)
+        if consumed or tainted:
+            self._add_consumer(now, core_id, warp, inst)
+            if dst_regs:
+                self._taint.setdefault(key, set()).update(dst_regs)
+        elif taint is not None and dst_regs:
+            # a clean full-coverage write launders the register
+            live = warp.live_lanes()
+            if len(live) and exec_mask[live].all():
+                for dst in dst_regs:
+                    taint.discard(dst)
+        if watch is not None:
+            for dst in dst_regs:
+                site = watch.get(dst)
+                if site is None:
+                    continue
+                self._event(site, "write", now)
+                if site["_open"]:
+                    site["_lanes"] -= {lane for lane in site["_lanes"]
+                                       if exec_mask[lane]}
+                    if not site["_lanes"]:
+                        self._close(site, "overwritten", now)
+
+    def on_shared_access(self, core_id: int, age_base: int, cta, warp,
+                         inst, addrs, lanes, is_load: bool, now: int
+                         ) -> None:
+        """One shared-memory instruction's resolved word accesses."""
+        watch = self._smem_sites.get((core_id, age_base))
+        if not watch:
+            return
+        hit = False
+        for lane in lanes:
+            word = cta._resolve_smem(int(addrs[lane])) >> 2
+            site = watch.get(word)
+            if site is None:
+                continue
+            if is_load:
+                self._consume(site, now, int(inst.pc),
+                              warp.cta.launch.kernel.name)
+                self._event(site, "read", now)
+                hit = True
+            else:
+                self._event(site, "write", now)
+                self._close(site, "overwritten", now)
+        if hit:
+            self._add_consumer(now, core_id, warp, inst)
+            _src, dst_regs, _sp, _dp = inst.scoreboard_sets()
+            if dst_regs:
+                self._taint.setdefault(
+                    (core_id, warp.age), set()).update(dst_regs)
+
+    def on_local_access(self, core_id: int, warp, inst, addrs, lanes,
+                        is_load: bool, now: int) -> None:
+        """One local-memory instruction's resolved per-lane accesses."""
+        watch = self._local_sites.get((core_id, warp.age))
+        if not watch:
+            return
+        hit = False
+        for lane in lanes:
+            lane = int(lane)
+            word = int(addrs[lane]) >> 2
+            site = watch.get(word)
+            if site is None:
+                continue
+            if is_load:
+                if lane in site["_lanes"]:
+                    self._consume(site, now, int(inst.pc),
+                                  warp.cta.launch.kernel.name)
+                    self._event(site, "read", now)
+                    hit = True
+            else:
+                self._event(site, "write", now)
+                if site["_open"]:
+                    site["_lanes"].discard(lane)
+                    if not site["_lanes"]:
+                        self._close(site, "overwritten", now)
+        if hit:
+            self._add_consumer(now, core_id, warp, inst)
+            _src, dst_regs, _sp, _dp = inst.scoreboard_sets()
+            if dst_regs:
+                self._taint.setdefault(
+                    (core_id, warp.age), set()).update(dst_regs)
+
+    def on_cache(self, name: str, line_index: int, kind: str) -> None:
+        """One cache-line event on a (possibly watched) line.
+
+        Flip-mode fates follow the data: a read hit, writeback or host
+        peek consumes the corrupted bits, a write hit overwrites them,
+        a refill or invalidation drops them.  Hook mode follows the
+        paper's state machine: the hook fires on the read hit
+        (``consumed``) and is dropped on write hits (``overwritten``)
+        and refills/invalidations (``evicted``).
+        """
+        watch = self._cache_sites.get(name)
+        if not watch:
+            return
+        site = watch.get(line_index)
+        if site is None:
+            return
+        now = self.gpu.cycle if self.gpu is not None else None
+        self._event(site, kind, now)
+        if not site["_open"]:
+            return
+        hook = site["mode"] == "hook"
+        if kind == "rh":
+            self._consume(site, now, None, self._current_kernel())
+            if not hook:
+                self._pending_load_cycle = now
+        elif kind == "wh":
+            self._close(site, "overwritten", now)
+        elif kind in ("fill", "inv"):
+            self._close(site, "evicted", now)
+        elif kind in ("wb", "peek") and not hook:
+            # the corrupted bits escaped downstream (L2/DRAM) or were
+            # observed by the host -- that is a consumption
+            self._consume(site, now, None, self._current_kernel())
+
+    def note_load(self, core_id: int, warp, inst, now: int) -> None:
+        """Called after a global/atomic access: if a watched cache line
+        was consumed this cycle, the loading instruction is the
+        consumer and its destinations become tainted."""
+        if self._pending_load_cycle != now:
+            return
+        self._pending_load_cycle = None
+        self._add_consumer(now, core_id, warp, inst)
+        _src, dst_regs, _sp, _dp = inst.scoreboard_sets()
+        if dst_regs:
+            self._taint.setdefault(
+                (core_id, warp.age), set()).update(dst_regs)
+
+    def note_peek(self, cache, addr: int) -> None:
+        """Host read/write observed a (possibly stale) resident line."""
+        index = cache.resident_index(addr)
+        if index is not None:
+            self.on_cache(cache.name, index, "peek")
+
+    # -- divergence localization -----------------------------------------
+
+    def set_checkpoints(self, entries: List[dict]) -> None:
+        """Standalone mode (no :class:`ConvergenceMonitor` running):
+        the tracer digests live state at the golden checkpoint cycles
+        itself.  With a monitor present, wire ``monitor.observer``
+        instead -- it performs the digests anyway."""
+        self._entries = sorted(entries, key=lambda e: e["cycle"])
+        self._pos = 0
+
+    def next_cycle(self) -> Optional[int]:
+        """Next cycle a standalone digest check is due (idle-skip clamp)."""
+        if self._pos < len(self._entries):
+            return self._entries[self._pos]["cycle"]
+        return None
+
+    def on_cycle(self, gpu, launch, queue) -> None:
+        """Standalone digest check at golden checkpoint cycles."""
+        entries = self._entries
+        if self._pos >= len(entries):
+            return
+        while self._pos < len(entries) \
+                and entries[self._pos]["cycle"] < gpu.cycle:
+            self.on_digest_check(entries[self._pos]["cycle"], False)
+            self._pos += 1
+        if self._pos >= len(entries):
+            return
+        entry = entries[self._pos]
+        if entry["cycle"] != gpu.cycle:
+            return
+        self._pos += 1
+        if entry["launch_index"] != gpu.stats.current.launch_index:
+            self.on_digest_check(entry["cycle"], False)
+            return
+        from repro.sim.checkpoint import state_digest
+
+        matched = state_digest(gpu.snapshot(launch, queue)) \
+            == entry["state_hash"]
+        self.on_digest_check(entry["cycle"], matched)
+        if matched:
+            # full-state match means the rest of the run is golden;
+            # stop digesting
+            self._pos = len(entries)
+
+    def on_digest_check(self, cycle: int, matched: bool) -> None:
+        """One golden-digest comparison result (observer callback)."""
+        self.digest_checks += 1
+        if matched:
+            if self._first_mismatch is None:
+                self._last_match = int(cycle)
+            if self._converged_at is None:
+                self._converged_at = int(cycle)
+        elif self._first_mismatch is None:
+            self._first_mismatch = int(cycle)
+
+    def on_host_divergence(self) -> None:
+        """The host-read transcript diverged from the golden one."""
+        self.host_read_diverged = True
+
+    # -- internals --------------------------------------------------------
+
+    def _current_kernel(self) -> Optional[str]:
+        if self.gpu is None:
+            return None
+        current = getattr(self.gpu.stats, "current", None)
+        return current.kernel_name if current is not None else None
+
+    def _event(self, site: dict, kind: str, cycle) -> None:
+        events = site["events"]
+        if len(events) < self.max_events:
+            events.append([kind, None if cycle is None else int(cycle)])
+        else:
+            site["events_truncated"] = True
+
+    def _consume(self, site: dict, cycle, pc, kernel) -> None:
+        if not site["_open"]:
+            return
+        site["fate"] = "consumed"
+        site["fate_cycle"] = None if cycle is None else int(cycle)
+        site["pc"] = pc
+        site["kernel"] = kernel
+        site["_open"] = False
+
+    def _close(self, site: dict, fate: str, cycle) -> None:
+        if not site["_open"]:
+            return
+        site["fate"] = fate
+        site["fate_cycle"] = None if cycle is None else int(cycle)
+        site["_open"] = False
+
+    def _add_consumer(self, now: int, core_id: int, warp, inst) -> None:
+        if len(self.consumers) >= self.max_consumers:
+            self._consumers_dropped += 1
+            return
+        self.consumers.append({
+            "cycle": int(now),
+            "core": int(core_id),
+            "warp_age": int(warp.age),
+            "pc": int(inst.pc),
+            "kernel": warp.cta.launch.kernel.name,
+            "inst": str(inst),
+        })
+
+    # -- record building ---------------------------------------------------
+
+    def finalize(self) -> dict:
+        """The JSON-serialisable propagation record of this run."""
+        sites = []
+        for site in self.sites:
+            sites.append({k: v for k, v in site.items()
+                          if not k.startswith("_")})
+        window = None
+        if self._first_mismatch is not None:
+            window = [self._last_match, self._first_mismatch]
+        return {
+            "schema": PROPAGATION_SCHEMA,
+            "source": "trace",
+            "injection_cycle": self.injection_cycle,
+            "sites": sites,
+            "consumers": list(self.consumers),
+            "consumers_dropped": self._consumers_dropped,
+            "diverged_window": window,
+            "converged_at": self._converged_at,
+            "digest_checks": self.digest_checks,
+            "host_read_diverged": self.host_read_diverged,
+        }
+
+
+# -- records for runs that never simulate --------------------------------
+
+def synthesized_propagation() -> dict:
+    """Propagation record for a synthesized (no-target) run."""
+    return {
+        "schema": PROPAGATION_SCHEMA,
+        "source": "synthesized",
+        "injection_cycle": None,
+        "sites": [],
+        "consumers": [],
+        "consumers_dropped": 0,
+        "diverged_window": None,
+        "converged_at": None,
+        "digest_checks": 0,
+        "host_read_diverged": False,
+    }
+
+
+def prescreen_propagation(site_json: str) -> dict:
+    """Propagation record for a pre-screened run.
+
+    ``site_json`` is the plan-time payload produced by
+    :func:`sites_from_prescreen` (the site the mask would have hit and
+    the fate the golden :class:`LivenessTrace` proves for it).
+    """
+    payload = json.loads(site_json) if site_json else {}
+    return {
+        "schema": PROPAGATION_SCHEMA,
+        "source": "prescreen",
+        "injection_cycle": payload.get("cycle"),
+        "sites": payload.get("sites", []),
+        "consumers": [],
+        "consumers_dropped": 0,
+        "diverged_window": None,
+        "converged_at": None,
+        "digest_checks": 0,
+        "host_read_diverged": False,
+    }
+
+
+def sites_from_prescreen(structure: str, target: Optional[dict],
+                         fate: str) -> List[dict]:
+    """Shape a :class:`Prescreener` verdict like traced sites.
+
+    ``target`` is ``Prescreener.last_target`` and ``fate`` its
+    ``last_fate`` -- the liveness-proven reason the run is Masked.
+    """
+    def site(kind, **fields):
+        out = {"kind": kind}
+        out.update(fields)
+        out.update({"fate": fate, "fate_cycle": None, "pc": None,
+                    "kernel": None, "events": []})
+        return out
+
+    if not target:
+        return []
+    sites: List[dict] = []
+    if structure == "register_file":
+        sites.append(site("register", core=int(target["core"]),
+                          warp_age=int(target["warp_age"]),
+                          register=int(target["register"]),
+                          lanes=[int(x) for x in target.get("lanes", [])]))
+    elif structure == "local_mem":
+        sites.append(site("local", core=int(target["core"]),
+                          warp_age=int(target["warp_age"]),
+                          word=int(target["word"]),
+                          lanes=[int(x) for x in target.get("lanes", [])]))
+    elif structure == "shared_mem":
+        for block in target.get("blocks", []):
+            sites.append(site("shared", core=int(block["core"]),
+                              cta=[int(c) for c in block["cta"]],
+                              word=int(block["word"])))
+    else:  # cache structures
+        for name in target.get("caches", []):
+            sites.append(site("cache", cache=name,
+                              line=int(target["line"]),
+                              mode=target.get("mode", "flip"),
+                              valid=bool(target.get("valid", True))))
+    return sites
+
+
+# -- metrics sidecar section ----------------------------------------------
+
+def summarize_propagation(records: List[dict]) -> Optional[dict]:
+    """The deterministic ``propagation`` sidecar section.
+
+    A pure function of the run records -- byte-identical across
+    ``--jobs`` counts -- or ``None`` when no record carries
+    propagation data.
+    """
+    from repro.obs.metrics import _percentile
+
+    traced = [r for r in records if isinstance(r.get("propagation"), dict)]
+    if not traced:
+        return None
+
+    def cycle_stats(values):
+        values = sorted(values)
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "mean": round(sum(values) / len(values), 2),
+            "p50": _percentile(values, 50),
+            "p95": _percentile(values, 95),
+            "max": values[-1],
+        }
+
+    fates: Dict[str, Dict[str, int]] = {}
+    ttr: List[int] = []
+    ttf: List[int] = []
+    sdc_consumed = sdc_untouched = sdc_total = 0
+    sources: Dict[str, int] = {}
+    for rec in traced:
+        prop = rec["propagation"]
+        sources[prop.get("source", "trace")] = \
+            sources.get(prop.get("source", "trace"), 0) + 1
+        structure = rec.get("structure", "?")
+        per = fates.setdefault(structure, {})
+        sites = prop.get("sites") or []
+        if not sites:
+            per["never_touched"] = per.get("never_touched", 0) + 1
+        for s in sites:
+            per[s["fate"]] = per.get(s["fate"], 0) + 1
+        inj = prop.get("injection_cycle")
+        if inj is not None:
+            for s in sites:
+                if s["fate"] == "consumed" and s["fate_cycle"] is not None:
+                    ttr.append(int(s["fate_cycle"]) - int(inj))
+            window = prop.get("diverged_window")
+            if window and rec.get("effect") in FAILURE_EFFECTS:
+                ttf.append(int(window[1]) - int(inj))
+        if rec.get("effect") == "SDC":
+            sdc_total += 1
+            if any(s["fate"] == "consumed" for s in sites):
+                sdc_consumed += 1
+            elif all(s["fate"] == "never_touched" for s in sites) \
+                    or not sites:
+                sdc_untouched += 1
+    ordered_fates = {
+        structure: {fate: per[fate] for fate in FATES if fate in per}
+        for structure, per in sorted(fates.items())}
+    section = {
+        "runs": len(traced),
+        "sources": {k: sources[k] for k in sorted(sources)},
+        "fates": ordered_fates,
+        "time_to_first_read_cycles": cycle_stats(ttr),
+        "time_to_failure_cycles": cycle_stats(ttf),
+    }
+    if sdc_total:
+        section["sdc"] = {
+            "total": sdc_total,
+            "site_consumed": sdc_consumed,
+            "site_never_touched": sdc_untouched,
+            "consumed_fraction": round(sdc_consumed / sdc_total, 4),
+        }
+    return section
+
+
+# -- explain-run -----------------------------------------------------------
+
+def _fmt_site(site: dict) -> List[str]:
+    kind = site.get("kind", "?")
+    if kind == "register":
+        lanes = ",".join(str(x) for x in site.get("lanes", []))
+        head = (f"register R{site['register']} @ core {site['core']} "
+                f"warp {site['warp_age']} (lanes {lanes or '-'})")
+    elif kind == "local":
+        lanes = ",".join(str(x) for x in site.get("lanes", []))
+        head = (f"local word {site['word']} @ core {site['core']} "
+                f"warp {site['warp_age']} (lanes {lanes or '-'})")
+    elif kind == "shared":
+        cta = ",".join(str(x) for x in site.get("cta", []))
+        head = (f"shared word {site['word']} @ core {site['core']} "
+                f"cta ({cta})")
+    elif kind == "cache":
+        head = (f"{site['cache']} line {site['line']} "
+                f"({site.get('mode', 'flip')} mode"
+                + ("" if site.get("valid", True) else ", invalid line")
+                + ")")
+    else:
+        head = kind
+    fate = site.get("fate", "never_touched")
+    tail = fate
+    if fate == "consumed":
+        where = []
+        if site.get("fate_cycle") is not None:
+            where.append(f"cycle {site['fate_cycle']}")
+        if site.get("pc") is not None:
+            where.append(f"pc {site['pc']}")
+        if site.get("kernel"):
+            where.append(f"kernel {site['kernel']}")
+        if where:
+            tail += " at " + ", ".join(where)
+    elif site.get("fate_cycle") is not None:
+        tail += f" at cycle {site['fate_cycle']}"
+    lines = [f"  - {head} -> {tail}"]
+    events = site.get("events") or []
+    if events:
+        rendered = " ".join(
+            f"{kind}@{cycle if cycle is not None else '?'}"
+            for kind, cycle in events)
+        if site.get("events_truncated"):
+            rendered += " ..."
+        lines.append(f"      events: {rendered}")
+    return lines
+
+
+def explain_record(record: dict) -> str:
+    """Human-readable causal narrative of one campaign run record."""
+    key = (f"{record.get('kernel', '?')}/{record.get('structure', '?')}"
+           f"/{record.get('run', '?')}")
+    effect = record.get("effect", "?")
+    lines = [f"run {key}: {effect}"]
+
+    mask = record.get("mask") or {}
+    if mask:
+        bits = mask.get("bit_offsets") or []
+        lines.append(
+            f"injection: cycle {mask.get('cycle')} into "
+            f"{mask.get('structure', record.get('structure'))} "
+            f"({len(bits)} bit(s), seed {mask.get('seed')})")
+    injections = record.get("injections") or []
+    for inj in injections:
+        if inj.get("target") == "none" or inj.get("applied") is False:
+            lines.append(
+                "  not applied: no live target at the injection cycle "
+                f"({inj.get('reason', 'unknown reason')})")
+
+    prop = record.get("propagation")
+    if not isinstance(prop, dict):
+        lines.append("no propagation data recorded -- re-run the "
+                     "campaign with --propagation")
+        lines.append(_outcome_line(record))
+        return "\n".join(lines)
+
+    source = prop.get("source", "trace")
+    if source == "prescreen":
+        lines.append("pre-screened: fate proven by the golden liveness "
+                     "trace, run never simulated "
+                     f"({record.get('prescreen_reason', '')})".rstrip())
+    elif source == "synthesized":
+        lines.append("synthesized: the kernel allocates none of the "
+                     "target structure; the fault lands in unallocated "
+                     "space and is Masked by construction")
+
+    sites = prop.get("sites") or []
+    if sites:
+        lines.append("sites:")
+        for site in sites:
+            lines.extend(_fmt_site(site))
+    elif source == "trace":
+        lines.append("sites: none (injection hit no live target)")
+
+    consumers = prop.get("consumers") or []
+    if consumers:
+        dropped = prop.get("consumers_dropped", 0)
+        lines.append(f"consumer chain (first {len(consumers)}"
+                     + (f", {dropped} more dropped" if dropped else "")
+                     + "):")
+        for c in consumers:
+            lines.append(
+                f"  cycle {c['cycle']} core {c['core']} "
+                f"warp {c['warp_age']} pc {c['pc']}: {c['inst']}")
+    elif source == "trace" and sites:
+        lines.append("consumer chain: empty (no instruction read a "
+                     "corrupted or derived value)")
+
+    window = prop.get("diverged_window")
+    checks = prop.get("digest_checks", 0)
+    if window:
+        lines.append(
+            f"divergence: state digests diverged in window "
+            f"[{window[0]}, {window[1]}] ({checks} checks)")
+    elif prop.get("converged_at") is not None:
+        lines.append(
+            f"divergence: none -- state re-converged with the golden "
+            f"run at cycle {prop['converged_at']} ({checks} checks)")
+    elif checks:
+        lines.append(f"divergence: not localized ({checks} digest "
+                     "checks, none mismatched before the run ended)")
+    if prop.get("host_read_diverged"):
+        lines.append("host-read transcript diverged from the golden run")
+
+    lines.append(_outcome_line(record))
+    return "\n".join(lines)
+
+
+def _outcome_line(record: dict) -> str:
+    effect = record.get("effect", "?")
+    if record.get("synthesized") or record.get("prescreened"):
+        return f"outcome: {effect} (run never simulated)"
+    status = record.get("status", "?")
+    cycles = record.get("cycles")
+    golden = record.get("golden_cycles")
+    bits = [f"outcome: {effect} (status {status}"]
+    if cycles is not None and golden is not None:
+        bits.append(f", {cycles} cycles vs {golden} golden")
+    if record.get("terminated_at") is not None:
+        bits.append(f", terminated early at {record['terminated_at']}")
+    if record.get("message"):
+        bits.append(f") -- {record['message']}")
+        return "".join(bits)
+    return "".join(bits) + ")"

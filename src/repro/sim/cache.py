@@ -92,6 +92,10 @@ class Cache:
         #: :mod:`repro.sim.liveness`); receives per-line events keyed
         #: by this cache's ``name`` and the flat line index.
         self.liveness = None
+        #: Optional per-run fault-propagation tracer (see
+        #: :mod:`repro.obs.propagation`); receives the same per-line
+        #: events as ``liveness``, for injected runs.
+        self.propagation = None
         self._tick = 0
         # sets materialise lazily on first touch: an untouched 3 MB L2
         # costs nothing, and fault flips into untouched lines hit
@@ -150,6 +154,11 @@ class Cache:
                             self.name,
                             set_idx * self.geometry.assoc + way,
                             "wh" if for_write else "rh")
+                    if self.propagation is not None:
+                        self.propagation.on_cache(
+                            self.name,
+                            set_idx * self.geometry.assoc + way,
+                            "wh" if for_write else "rh")
                     return line
         self.stats.misses += 1
         return None
@@ -198,11 +207,14 @@ class Cache:
                 self.stats.writebacks += 1
                 writeback = (self._line_addr(set_idx, victim.tag),
                              victim.data.copy())
-        if self.liveness is not None:
+        if self.liveness is not None or self.propagation is not None:
             flat = set_idx * self.geometry.assoc + ways.index(victim)
-            if writeback is not None:
-                self.liveness.on_cache(self.name, flat, "wb")
-            self.liveness.on_cache(self.name, flat, "fill")
+            for observer in (self.liveness, self.propagation):
+                if observer is None:
+                    continue
+                if writeback is not None:
+                    observer.on_cache(self.name, flat, "wb")
+                observer.on_cache(self.name, flat, "fill")
         victim.valid = True
         victim.dirty = False
         victim.armed = None
@@ -226,13 +238,16 @@ class Cache:
             set_idx, _ = self._locate(addr)
             self.stats.writebacks += 1
             writeback = (self._line_addr(set_idx, line.tag), line.data.copy())
-        if self.liveness is not None:
+        if self.liveness is not None or self.propagation is not None:
             set_idx, _ = self._locate(addr)
             flat = (set_idx * self.geometry.assoc
                     + self._sets[set_idx].index(line))
-            if writeback is not None:
-                self.liveness.on_cache(self.name, flat, "wb")
-            self.liveness.on_cache(self.name, flat, "inv")
+            for observer in (self.liveness, self.propagation):
+                if observer is None:
+                    continue
+                if writeback is not None:
+                    observer.on_cache(self.name, flat, "wb")
+                observer.on_cache(self.name, flat, "inv")
         line.invalidate()
         return writeback
 
@@ -250,16 +265,25 @@ class Cache:
                         self.liveness.on_cache(
                             self.name,
                             set_idx * self.geometry.assoc + way, "wb")
+                    if self.propagation is not None:
+                        self.propagation.on_cache(
+                            self.name,
+                            set_idx * self.geometry.assoc + way, "wb")
         return out
 
     def invalidate_all(self) -> None:
         """Drop every line without writeback (kernel-boundary L1 reset)."""
         for set_idx, ways in self._sets.items():
             for way, line in enumerate(ways):
-                if line.valid and self.liveness is not None:
-                    self.liveness.on_cache(
-                        self.name,
-                        set_idx * self.geometry.assoc + way, "inv")
+                if line.valid:
+                    if self.liveness is not None:
+                        self.liveness.on_cache(
+                            self.name,
+                            set_idx * self.geometry.assoc + way, "inv")
+                    if self.propagation is not None:
+                        self.propagation.on_cache(
+                            self.name,
+                            set_idx * self.geometry.assoc + way, "inv")
                 line.invalidate()
 
     # -- word helpers ------------------------------------------------------

@@ -263,6 +263,10 @@ class SIMTCore:
         if lv is not None:
             # before execution: kill-coverage needs pre-exec lane state
             lv.on_issue(self.core_id, warp, inst, exec_mask, now)
+        prop = self.gpu.propagation
+        if prop is not None and prop.armed:
+            # corrupted-register reads/overwrites + consumer-chain taint
+            prop.on_issue(self.core_id, warp, inst, exec_mask, now)
         klass = inst.spec.klass
         latency = cfg.alu_latency
         top = warp.stack[-1]
@@ -384,6 +388,11 @@ class SIMTCore:
             for lane in lanes:
                 word = cta._resolve_smem(int(addrs[lane])) >> 2
                 lv.on_smem(self.core_id, age_base, word, is_load)
+        prop = self.gpu.propagation
+        if prop is not None and prop.armed:
+            prop.on_shared_access(self.core_id, cta.warps[0].age, cta,
+                                  warp, inst, addrs, lanes, is_load,
+                                  self.gpu.cycle)
         # bank-conflict serialisation: worst-case multiplicity over banks
         bank_counts: Dict[int, int] = {}
         for addr in {int(addrs[lane]) for lane in lanes}:
@@ -413,6 +422,10 @@ class SIMTCore:
             for lane in lanes:
                 lv.on_local(self.core_id, warp.age, int(lane),
                             int(addrs[lane]) >> 2, is_load)
+        prop = self.gpu.propagation
+        if prop is not None and prop.armed:
+            prop.on_local_access(self.core_id, warp, inst, addrs, lanes,
+                                 is_load, self.gpu.cycle)
         return self.config.l1_hit_latency
 
     def _exec_global(self, inst: Instruction, warp: Warp,
@@ -455,6 +468,11 @@ class SIMTCore:
                     seg_lanes = lanes[seg]
                     offs = (lane_addrs[seg] - base) >> 2
                     warp.regs[dst.index][seg_lanes] = words[offs]
+            prop = gpu.propagation
+            if prop is not None and prop.armed:
+                # a watched cache line consumed this cycle makes this
+                # load the consumer (taints its destination)
+                prop.note_load(self.core_id, warp, inst, gpu.cycle)
         else:  # global store: write-evict L1, write-allocate L2
             src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
                 else np.zeros(32, dtype=np.uint32)
@@ -495,4 +513,7 @@ class SIMTCore:
             if self.l1d is not None:
                 self.l1d.invalidate(line_base)
             self.l1t.invalidate(line_base)
+        prop = gpu.propagation
+        if prop is not None and prop.armed:
+            prop.note_load(self.core_id, warp, inst, gpu.cycle)
         return worst

@@ -51,6 +51,9 @@ class RunOptions:
             :class:`repro.faults.early_stop.ConvergenceMonitor`
             terminating an injected run once its state re-converges
             with the golden run.
+        propagation: optional
+            :class:`repro.obs.propagation.PropagationTracer`
+            observing the fate of injected fault sites during the run.
     """
 
     scheduler_policy: str = "gto"
@@ -60,6 +63,7 @@ class RunOptions:
     fast_forward: Optional[object] = None
     liveness: Optional[object] = None
     convergence: Optional[object] = None
+    propagation: Optional[object] = None
 
     def __post_init__(self):
         if self.scheduler_policy not in _SCHEDULER_POLICIES:
@@ -100,6 +104,8 @@ class Device:
             self.gpu.set_liveness(options.liveness)
         if options.convergence is not None:
             self.gpu.convergence = options.convergence
+        if options.propagation is not None:
+            self.gpu.set_propagation(options.propagation)
         if options.scheduler_policy != "gto":
             for core in self.gpu.cores:
                 core.scheduler_policy = options.scheduler_policy

@@ -53,6 +53,10 @@ class GPU:
         #: see repro.faults.early_stop): checked after the checkpointer,
         #: before the injector, at matching checkpoint cycles.
         self.convergence = None
+        #: Optional fault-propagation tracer for injected runs
+        #: (duck-typed; see repro.obs.propagation) -- attach via
+        #: :meth:`set_propagation`.  Strictly observational.
+        self.propagation = None
         #: Per-bank busy-until cycles for L2 contention modelling.
         self._l2_bank_busy = [0] * config.l2_banks
         #: Per-channel busy-until cycles for DRAM contention modelling.
@@ -80,6 +84,16 @@ class GPU:
             for cache in (core.l1d, core.l1t, core.l1c, core.l1i):
                 if cache is not None:
                     cache.liveness = recorder
+
+    def set_propagation(self, tracer) -> None:
+        """Attach a fault-propagation tracer to the GPU and every cache."""
+        tracer.gpu = self
+        self.propagation = tracer
+        self.l2.propagation = tracer
+        for core in self.cores:
+            for cache in (core.l1d, core.l1t, core.l1c, core.l1i):
+                if cache is not None:
+                    cache.propagation = tracer
 
     # -- CTA scheduling (GigaThread) -------------------------------------
 
@@ -177,6 +191,11 @@ class GPU:
                     # may raise EarlyConvergence; runs before the
                     # injector, mirroring the golden checkpointer order
                     self.convergence.on_cycle(self, launch, queue)
+                if self.propagation is not None:
+                    # standalone divergence localization (no monitor):
+                    # digests live state at golden checkpoint cycles;
+                    # observation only, never alters control flow
+                    self.propagation.on_cycle(self, launch, queue)
                 if self.injector is not None:
                     self.injector.apply_due(self, self.cycle)
                 issued = False
@@ -224,6 +243,10 @@ class GPU:
                 delta = due - self.cycle
         if self.convergence is not None:
             due = self.convergence.next_cycle()
+            if due is not None and self.cycle < due < self.cycle + delta:
+                delta = due - self.cycle
+        if self.propagation is not None:
+            due = self.propagation.next_cycle()
             if due is not None and self.cycle < due < self.cycle + delta:
                 delta = due - self.cycle
         return delta
@@ -378,6 +401,8 @@ class GPU:
             stale.data.view("<u4")[offsets] = values
             if self.liveness is not None:
                 self.liveness.note_peek(self.l2, base)
+            if self.propagation is not None:
+                self.propagation.note_peek(self.l2, base)
         return self.config.dram_latency + self._dram_contention(base)
 
     def l2_write_words(self, base: int, offsets: np.ndarray,
@@ -439,6 +464,8 @@ class GPU:
                 continue
             if self.liveness is not None:
                 self.liveness.note_peek(self.l2, base)
+            if self.propagation is not None:
+                self.propagation.note_peek(self.l2, base)
             lo = max(base, addr)
             hi = min(base + line_bytes, addr + nbytes)
             out[lo - addr:hi - addr] = line.data[lo - base:hi - base]
@@ -455,6 +482,8 @@ class GPU:
                 continue
             if self.liveness is not None:
                 self.liveness.note_peek(self.l2, base)
+            if self.propagation is not None:
+                self.propagation.note_peek(self.l2, base)
             lo = max(base, addr)
             hi = min(base + line_bytes, addr + len(data))
             line.data[lo - base:hi - base] = data[lo - addr:hi - addr]

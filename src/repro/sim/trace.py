@@ -17,8 +17,10 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -32,6 +34,11 @@ class TraceRecord:
     pc: int
     text: str
     active_lanes: int
+    #: Exact operand register index sets (from the instruction's
+    #: scoreboard sets, RZ excluded); empty for records built without
+    #: an instruction object.
+    src_regs: Tuple[int, ...] = field(default=())
+    dst_regs: Tuple[int, ...] = field(default=())
 
     def __str__(self) -> str:
         return (f"{self.cycle:>8}  core{self.core:<3} "
@@ -57,7 +64,10 @@ class Tracer:
         self.opcodes = set(opcodes) if opcodes else None
         self.cores = set(cores) if cores else None
         self.max_records = max_records
-        self.records: List[TraceRecord] = []
+        #: Ring buffer (a deque with ``maxlen``): appending beyond
+        #: capacity evicts the oldest record in O(1) instead of the
+        #: old list ``pop(0)``'s O(n) shift.
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
         self.dropped = 0
 
     def attach(self, device) -> "Tracer":
@@ -79,9 +89,10 @@ class Tracer:
         if self.kernels is not None and \
                 warp.cta.launch.kernel.name not in self.kernels:
             return
-        if len(self.records) >= self.max_records:
-            self.records.pop(0)
+        if len(self.records) == self.max_records:
+            # the deque evicts the oldest on append; keep the tally
             self.dropped += 1
+        src_regs, dst_regs, _sp, _dp = inst.scoreboard_sets()
         self.records.append(TraceRecord(
             cycle=now,
             core=core.core_id,
@@ -90,11 +101,15 @@ class Tracer:
             pc=inst.pc,
             text=str(inst),
             active_lanes=int(exec_mask.sum()),
+            src_regs=src_regs,
+            dst_regs=dst_regs,
         ))
 
     def render(self, limit: Optional[int] = None) -> str:
         """The trace as text, newest-last (optionally only the tail)."""
-        records = self.records if limit is None else self.records[-limit:]
+        records = list(self.records)
+        if limit is not None:
+            records = records[-limit:]
         header = (f"{len(self.records)} records"
                   + (f" ({self.dropped} dropped)" if self.dropped else ""))
         return "\n".join([header] + [str(r) for r in records])
@@ -104,12 +119,20 @@ class Tracer:
         return [r for r in self.records if start <= r.cycle < end]
 
     def touching_register(self, index: int) -> List[TraceRecord]:
-        """Records whose rendered text mentions ``R<index>``.
+        """Records that read or write register ``R<index>``.
 
-        A textual filter (fast and good enough for debugging); for
-        exact def-use analysis use the instruction objects directly.
+        Matches against the record's exact operand sets (the
+        instruction's scoreboard sets, so memory-operand base
+        registers count and ``R1`` never matches ``R10``).  Records
+        without operand sets (external producers) fall back to the
+        old ``R<index>`` word match on the rendered text.
         """
-        import re
-
         pattern = re.compile(rf"\bR{index}\b")
-        return [r for r in self.records if pattern.search(r.text)]
+        out = []
+        for r in self.records:
+            if r.src_regs or r.dst_regs:
+                if index in r.src_regs or index in r.dst_regs:
+                    out.append(r)
+            elif pattern.search(r.text):
+                out.append(r)
+        return out

@@ -67,7 +67,7 @@ class TestTracer:
     def test_between(self):
         tracer = run_traced()
         last = tracer.records[-1].cycle
-        assert tracer.between(0, last + 1) == tracer.records
+        assert tracer.between(0, last + 1) == list(tracer.records)
         assert tracer.between(last + 1, last + 2) == []
 
     def test_touching_register(self):
@@ -77,6 +77,38 @@ class TestTracer:
                                               "STG [R9], R10"}
         # R1 must not match R10
         assert not tracer.touching_register(1)
+
+    def test_touching_register_memory_base(self):
+        # the STG's address base register is an operand, not just text
+        tracer = run_traced()
+        touching = tracer.touching_register(9)
+        assert any(r.text.startswith("STG") for r in touching)
+        stg = next(r for r in touching if r.text.startswith("STG"))
+        assert 9 in stg.src_regs
+
+    def test_operand_sets_recorded(self):
+        tracer = run_traced()
+        iadd = next(r for r in tracer.records if r.text.startswith("IADD"))
+        assert set(iadd.src_regs) == {8, 3}
+        assert iadd.dst_regs == (9,)
+
+    def test_touching_register_text_fallback(self):
+        from repro.sim.trace import TraceRecord
+
+        tracer = Tracer()
+        tracer.records.append(TraceRecord(
+            cycle=1, core=0, cta=(0, 0, 0), warp=0, pc=0,
+            text="MOV R10, 5", active_lanes=32))
+        assert tracer.touching_register(10)
+        assert not tracer.touching_register(1)  # R1 vs R10
+
+    def test_ring_buffer_drop_accounting(self):
+        tracer = run_traced(max_records=2)
+        n = len(KERNEL.instructions)
+        assert len(tracer.records) == 2
+        assert tracer.dropped == n - 2
+        # drop tally is visible in the rendered header
+        assert f"({n - 2} dropped)" in tracer.render()
 
     def test_active_lane_counts(self):
         tracer = run_traced()
