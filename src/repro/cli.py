@@ -27,7 +27,7 @@ from repro.faults.campaign import (Campaign, CampaignConfig,
 from repro.faults.classify import FaultEffect
 from repro.faults.config_file import load_config
 from repro.faults.mask import MultiBitMode
-from repro.faults.parser import (aggregate_records, count_unapplied,
+from repro.faults.parser import (aggregate_by_model, count_unapplied,
                                  load_records)
 from repro.faults.targets import Structure
 from repro.sim.cards import CARDS
@@ -53,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--card", default="RTX2060")
     campaign.add_argument("--structures",
                           help="comma list, e.g. register_file,l2_cache")
+    campaign.add_argument("--fault-model", default="transient",
+                          dest="fault_model", metavar="MODEL",
+                          help="named fault model: transient (default, "
+                               "the paper's bit flip), stuck_at_0 / "
+                               "stuck_at_1 (persistent), control "
+                               "(targets the SIMT control units), or "
+                               "any registered custom model")
     campaign.add_argument("--runs", type=int, default=100)
     campaign.add_argument("--bits", type=int, default=1)
     campaign.add_argument("--multibit-mode", default="same_entry",
@@ -173,6 +180,9 @@ def _campaign_config(args) -> CampaignConfig:
                 run_timeout=(args.run_timeout
                              if args.run_timeout is not None
                              else config.run_timeout))
+        if args.fault_model != "transient":
+            config = dataclasses.replace(config,
+                                         fault_model=args.fault_model)
         return config
     if not args.benchmark:
         raise SystemExit("either --config or --benchmark is required")
@@ -194,6 +204,7 @@ def _campaign_config(args) -> CampaignConfig:
                  if args.kernels else None),
         invocation=args.invocation,
         seed=args.seed,
+        fault_model=args.fault_model,
         scheduler_policy=args.scheduler,
         cache_hook_mode=args.cache_hook_mode,
         model_icache=args.model_icache,
@@ -210,7 +221,12 @@ def _campaign_config(args) -> CampaignConfig:
 
 
 def _cmd_campaign(args) -> int:
-    config = _campaign_config(args)
+    try:
+        config = _campaign_config(args)
+    except ValueError as exc:
+        # e.g. an unknown --fault-model / -gpufi_fault_model: surface
+        # the registry listing instead of a traceback
+        raise SystemExit(f"error: {exc}")
     if args.resume and config.log_path is None:
         raise SystemExit("--resume needs --log (the file to resume from)")
     if args.jobs < 1:
@@ -246,18 +262,26 @@ def _cmd_report(args) -> int:
         # accept anything the resume path can restart from: a torn
         # final line (campaign killed mid-write) is dropped, not fatal
         records.extend(load_records(path, tolerate_torn_tail=True))
-    counts = aggregate_records(records)
-    rows = []
-    for kernel, per_structure in sorted(counts.items()):
-        for structure, effects in per_structure.items():
-            total = sum(effects.values())
-            failures = sum(n for e, n in effects.items() if e.is_failure)
-            row = [kernel, structure.value, total, f"{failures / total:.3f}"]
-            row.extend(effects.get(e, 0) for e in FaultEffect)
-            rows.append(row)
+    by_model = aggregate_by_model(records)
     headers = ["kernel", "structure", "runs", "FR"]
     headers.extend(e.value for e in FaultEffect)
-    print(render_table(headers, rows))
+    # a pure-transient log renders exactly as before the fault-model
+    # dimension existed; anything else gets a per-model breakdown
+    label_models = list(by_model) != ["transient"]
+    for i, (model, counts) in enumerate(by_model.items()):
+        if label_models:
+            print(("\n" if i else "") + f"fault model: {model}")
+        rows = []
+        for kernel, per_structure in sorted(counts.items()):
+            for structure, effects in per_structure.items():
+                total = sum(effects.values())
+                failures = sum(n for e, n in effects.items()
+                               if e.is_failure)
+                row = [kernel, structure.value, total,
+                       f"{failures / total:.3f}"]
+                row.extend(effects.get(e, 0) for e in FaultEffect)
+                rows.append(row)
+        print(render_table(headers, rows))
     unapplied = count_unapplied(records)
     if unapplied:
         print(f"unapplied injections: {unapplied} run(s) resolved to no "

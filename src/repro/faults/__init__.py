@@ -31,8 +31,10 @@ from repro.faults.executor import (CampaignExecutor, RunSpec,
 from repro.faults.injector import Injector
 from repro.faults.mask import (FaultMask, MaskGenerator, MultiBitMode,
                                derive_run_seed, rng_for_run)
-from repro.faults.parser import (aggregate_records, load_records,
-                                 scan_completed_records)
+from repro.faults.models import (FaultModel, get_model, model_names,
+                                 register_model)
+from repro.faults.parser import (aggregate_by_model, aggregate_records,
+                                 load_records, scan_completed_records)
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure
 from repro.sim.device import RunOptions
@@ -62,8 +64,13 @@ __all__ = [
     "Prescreener",
     "Injector",
     "FaultMask",
+    "FaultModel",
+    "register_model",
+    "get_model",
+    "model_names",
     "MaskGenerator",
     "MultiBitMode",
+    "aggregate_by_model",
     "aggregate_records",
     "load_records",
     "RunResult",

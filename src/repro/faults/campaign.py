@@ -25,6 +25,7 @@ from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect
 from repro.faults.early_stop import EARLY_STOP_MODES, Prescreener
 from repro.faults.executor import CampaignExecutor, RunSpec
 from repro.faults.mask import MaskGenerator, MultiBitMode, derive_run_seed
+from repro.faults.models import get_model
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure, supported_structures
 from repro.sim.cards import get_card
@@ -166,6 +167,11 @@ class CampaignConfig:
     benchmark: str
     card: str
     structures: Optional[Tuple[Structure, ...]] = None
+    #: Named :class:`~repro.faults.models.FaultModel` applied by every
+    #: run of the campaign: ``transient`` (default, the paper's bit
+    #: flip), ``stuck_at_0``/``stuck_at_1`` (persistent) or ``control``
+    #: (transient flips defaulting to the control-unit structures).
+    fault_model: str = "transient"
     runs_per_structure: int = 100
     bits_per_fault: int = 1
     multibit_mode: MultiBitMode = MultiBitMode.SAME_ENTRY
@@ -218,6 +224,15 @@ class CampaignConfig:
     #: seconds; ``None`` waits forever.
     run_timeout: Optional[float] = None
 
+    def __post_init__(self):
+        # validate eagerly so every surface (CLI flag, config file,
+        # direct construction) rejects unknown models identically
+        get_model(self.fault_model)
+
+    def resolved_model(self):
+        """The registered :class:`FaultModel` this campaign applies."""
+        return get_model(self.fault_model)
+
     def resolved_card(self):
         """The card model with campaign-level extensions applied."""
         import dataclasses
@@ -228,9 +243,19 @@ class CampaignConfig:
         return card
 
     def resolved_structures(self) -> Tuple[Structure, ...]:
-        """The structures to inject, defaulting to all the card supports."""
+        """The structures to inject.
+
+        Explicit ``structures`` win; otherwise the fault model may
+        name its own default target set (the ``control`` model targets
+        the control units), falling back to every structure the card
+        supports.
+        """
         if self.structures is not None:
             return tuple(self.structures)
+        model_default = self.resolved_model().default_structures(
+            get_card(self.card))
+        if model_default is not None:
+            return tuple(model_default)
         return supported_structures(get_card(self.card))
 
 
@@ -335,6 +360,12 @@ class Campaign:
             raise ValueError(
                 f"early_stop must be one of {EARLY_STOP_MODES}, "
                 f"got {cfg.early_stop!r}")
+        model = cfg.resolved_model()
+        if cfg.cache_hook_mode and not model.supports_cache_hooks:
+            raise ValueError(
+                f"fault model {model.name!r} does not support "
+                "cache_hook_mode (hooks encode one-shot flip "
+                "semantics)")
         want_liveness = cfg.early_stop == "full"
         resolved = cfg.resolved_card()
         checkpointer = None
@@ -370,7 +401,10 @@ class Campaign:
             self._liveness = liveness
         budget = TIMEOUT_FACTOR * self.golden_cycles
         prescreener = None
-        if want_liveness and self._liveness is not None:
+        if want_liveness and self._liveness is not None \
+                and model.prescreen_safe:
+            # persistent models never pre-screen: golden-trace deadness
+            # ("overwritten before read") does not survive re-assertion
             prescreener = Prescreener(self._liveness, resolved,
                                       cache_hook_mode=cfg.cache_hook_mode)
 
@@ -400,7 +434,8 @@ class Campaign:
                         and kp.local_bytes == 0))
                 for run_index in range(cfg.runs_per_structure):
                     seed = derive_run_seed(cfg.seed, kernel_name,
-                                           structure, run_index)
+                                           structure, run_index,
+                                           fault_model=cfg.fault_model)
                     prescreen_reason = ""
                     prescreen_site = ""
                     if prescreener is not None and not no_target:
@@ -415,7 +450,8 @@ class Campaign:
                                 mode=cfg.multibit_mode,
                                 warp_level=cfg.warp_level,
                                 n_blocks=cfg.n_blocks,
-                                n_cores=cfg.n_cores)
+                                n_cores=cfg.n_cores,
+                                fault_model=cfg.fault_model)
                         prescreen_reason = prescreener.evaluate(
                             mask, kp.regs_per_thread, kp.smem_bytes,
                             kp.local_bytes) or ""
@@ -466,6 +502,7 @@ class Campaign:
                         prescreened=bool(prescreen_reason),
                         prescreen_reason=prescreen_reason,
                         prescreen_site=prescreen_site,
+                        fault_model=cfg.fault_model,
                     ))
         return specs
 

@@ -55,11 +55,11 @@ def parse_config_text(text: str) -> CampaignConfig:
             "-gpufi_benchmark and -gpufi_card are required options")
 
     known = {
-        "benchmark", "card", "components", "runs", "bits_per_fault",
-        "multibit_mode", "warp_level", "blocks", "cores", "kernels",
-        "invocation", "seed", "scheduler", "cache_hook_mode",
-        "model_icache", "log", "early_stop", "metrics", "propagation",
-        "run_timeout",
+        "benchmark", "card", "components", "fault_model", "runs",
+        "bits_per_fault", "multibit_mode", "warp_level", "blocks",
+        "cores", "kernels", "invocation", "seed", "scheduler",
+        "cache_hook_mode", "model_icache", "log", "early_stop",
+        "metrics", "propagation", "run_timeout",
     }
     unknown = set(options) - known
     if unknown:
@@ -70,6 +70,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         card=options["card"],
         structures=(_parse_structures(options["components"])
                     if "components" in options else None),
+        fault_model=options.get("fault_model", "transient"),
         runs_per_structure=int(options.get("runs", 100)),
         bits_per_fault=int(options.get("bits_per_fault", 1)),
         multibit_mode=MultiBitMode(options.get("multibit_mode",
@@ -106,6 +107,7 @@ def dump_config(config: CampaignConfig) -> str:
     lines = [
         f"-gpufi_benchmark {config.benchmark}",
         f"-gpufi_card {config.card}",
+        f"-gpufi_fault_model {config.fault_model}",
         f"-gpufi_runs {config.runs_per_structure}",
         f"-gpufi_bits_per_fault {config.bits_per_fault}",
         f"-gpufi_multibit_mode {config.multibit_mode.value}",

@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.faults.mask import FaultMask
+from repro.faults.models import get_model
 from repro.faults.targets import Structure
 from repro.sim.checkpoint import state_digest
 
@@ -203,6 +204,11 @@ class Prescreener:
         """Dead-reason string, or ``None`` when liveness is possible."""
         self.last_target = {}
         self.last_fate = "never_touched"
+        if not get_model(mask.fault_model).prescreen_safe:
+            # persistent faults invalidate every deadness rule: an
+            # "overwritten" site is re-corrupted right after the
+            # overwrite, an "evicted" line is re-corrupted on refill
+            return None
         s = mask.structure
         if s is Structure.REGISTER_FILE:
             return self._screen_register(mask, regs_per_thread)

@@ -120,6 +120,10 @@ class RunSpec:
     #: and attach its record under the ``propagation`` key.  Strictly
     #: observational -- classification fields are identical either way.
     propagation: bool = False
+    #: Named :class:`~repro.faults.models.FaultModel` this run applies
+    #: (see :mod:`repro.faults.models`).  ``"transient"`` reproduces
+    #: the pre-strategy records byte-for-byte.
+    fault_model: str = "transient"
 
     @property
     def key(self) -> RunKey:
@@ -246,6 +250,10 @@ def execute_run(spec: RunSpec) -> dict:
         "golden_cycles": spec.golden_cycles,
         "synthesized": spec.synthesized,
     }
+    if spec.fault_model != "transient":
+        # emitted only off the default so transient records stay
+        # byte-identical to the pre-strategy schema
+        record["fault_model"] = spec.fault_model
     if spec.synthesized:
         if spec.propagation:
             from repro.obs.propagation import synthesized_propagation
@@ -265,7 +273,8 @@ def execute_run(spec: RunSpec) -> dict:
     mask = generator.generate(
         spec.structure, n_bits=spec.bits_per_fault,
         mode=spec.multibit_mode, warp_level=spec.warp_level,
-        n_blocks=spec.n_blocks, n_cores=spec.n_cores)
+        n_blocks=spec.n_blocks, n_cores=spec.n_cores,
+        fault_model=spec.fault_model)
 
     if spec.prescreened:
         record["mask"] = mask.to_dict()
@@ -306,7 +315,14 @@ def execute_run(spec: RunSpec) -> dict:
                           if entry.get("state_hash")
                           and entry["cycle"] > mask.cycle]
 
-    if (digest_entries and spec.early_stop in ("converge", "full")):
+    from repro.faults.models import get_model
+
+    persistent = get_model(spec.fault_model).persistent
+    if (digest_entries and not persistent
+            and spec.early_stop in ("converge", "full")):
+        # a persistent fault keeps mutating state after any digest
+        # match, so convergence can never pin the run's future --
+        # the monitor stays off and the run simulates to completion
         from repro.faults.early_stop import ConvergenceMonitor
 
         host_reads = ckpt_set.golden()["host_reads"]

@@ -26,7 +26,8 @@ from repro.sim.config import GPUConfig
 
 
 def derive_run_seed(campaign_seed: int, kernel: str, structure: Structure,
-                    run_index: int) -> int:
+                    run_index: int,
+                    fault_model: str = "transient") -> int:
     """Derive the independent random seed of one injection run.
 
     The seed is keyed on ``(campaign seed, kernel, structure,
@@ -37,23 +38,31 @@ def derive_run_seed(campaign_seed: int, kernel: str, structure: Structure,
     ``hash()``).  Campaigns aggregate byte-identically whether runs
     execute serially or on a process pool.
 
+    A non-default ``fault_model`` extends the spawn key, so campaigns
+    of different models draw independent masks; the default
+    ``"transient"`` key is unchanged and stays byte-compatible with
+    pre-``fault_model`` logs.
+
     Returns a 128-bit integer suitable for
     ``numpy.random.default_rng``.
     """
-    seq = np.random.SeedSequence(
-        campaign_seed,
-        spawn_key=(zlib.crc32(kernel.encode("utf-8")),
-                   zlib.crc32(structure.value.encode("utf-8")),
-                   int(run_index)))
+    spawn_key = (zlib.crc32(kernel.encode("utf-8")),
+                 zlib.crc32(structure.value.encode("utf-8")),
+                 int(run_index))
+    if fault_model != "transient":
+        spawn_key += (zlib.crc32(fault_model.encode("utf-8")),)
+    seq = np.random.SeedSequence(campaign_seed, spawn_key=spawn_key)
     words = seq.generate_state(4, np.uint32)
     return int.from_bytes(np.asarray(words).tobytes(), "little")
 
 
 def rng_for_run(campaign_seed: int, kernel: str, structure: Structure,
-                run_index: int) -> np.random.Generator:
+                run_index: int,
+                fault_model: str = "transient") -> np.random.Generator:
     """A fresh generator seeded with :func:`derive_run_seed`."""
     return np.random.default_rng(
-        derive_run_seed(campaign_seed, kernel, structure, run_index))
+        derive_run_seed(campaign_seed, kernel, structure, run_index,
+                        fault_model))
 
 
 class MultiBitMode(enum.Enum):
@@ -66,7 +75,7 @@ class MultiBitMode(enum.Enum):
 
 
 class FaultMask:
-    """One fully specified transient fault.
+    """One fully specified fault.
 
     A frozen, ``__slots__``-backed value object (hand-written rather
     than a dataclass: ``slots=True`` needs Python 3.10 and campaigns
@@ -76,7 +85,8 @@ class FaultMask:
         structure: target hardware structure.
         cycle: global application cycle at which the fault strikes.
         entry_index: register index (register file), 32-bit word index
-            (shared/local memory) or flat line index (caches).
+            (shared/local memory), flat line index (caches), stack
+            slot (SIMT stack) or scoreboard entry (scoreboard).
         bit_offsets: bit positions within the entry that flip.
         warp_level: register-file/local-memory faults only -- apply the
             same flips to every thread of one warp instead of a single
@@ -86,14 +96,22 @@ class FaultMask:
         n_cores: L1 caches only -- how many SIMT cores receive the
             same flips.
         seed: seed for the run-time spatial draw (thread/warp/CTA/core).
+        fault_model: name of the registered
+            :class:`~repro.faults.models.FaultModel` giving the fault
+            its semantics (default ``"transient"``, the paper's flip).
+        extra: unrecognised keys carried through
+            :meth:`from_dict`/:meth:`to_dict` -- newer-version logs
+            round-trip through ``--resume``/``merge_logs`` unharmed.
     """
 
     __slots__ = ("structure", "cycle", "entry_index", "bit_offsets",
-                 "warp_level", "n_blocks", "n_cores", "seed")
+                 "warp_level", "n_blocks", "n_cores", "seed",
+                 "fault_model", "extra")
 
     def __init__(self, structure: Structure, cycle: int, entry_index: int,
                  bit_offsets: Tuple[int, ...], warp_level: bool = False,
-                 n_blocks: int = 1, n_cores: int = 1, seed: int = 0):
+                 n_blocks: int = 1, n_cores: int = 1, seed: int = 0,
+                 fault_model: str = "transient", extra: Optional[dict] = None):
         object.__setattr__(self, "structure", structure)
         object.__setattr__(self, "cycle", cycle)
         object.__setattr__(self, "entry_index", entry_index)
@@ -102,6 +120,8 @@ class FaultMask:
         object.__setattr__(self, "n_blocks", n_blocks)
         object.__setattr__(self, "n_cores", n_cores)
         object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "fault_model", fault_model)
+        object.__setattr__(self, "extra", dict(extra) if extra else {})
 
     def __setattr__(self, name, value):
         raise AttributeError(f"FaultMask is immutable (tried to set "
@@ -114,24 +134,40 @@ class FaultMask:
     def _astuple(self) -> tuple:
         return (self.structure, self.cycle, self.entry_index,
                 self.bit_offsets, self.warp_level, self.n_blocks,
-                self.n_cores, self.seed)
+                self.n_cores, self.seed, self.fault_model)
 
     def __eq__(self, other) -> bool:
         if other.__class__ is not FaultMask:
             return NotImplemented
-        return self._astuple() == other._astuple()
+        return (self._astuple() == other._astuple()
+                and self.extra == other.extra)
 
     def __hash__(self) -> int:
+        # ``extra`` may hold unhashable JSON values; the identifying
+        # fields alone are a sound hash key
         return hash(self._astuple())
 
     def __repr__(self) -> str:
         return ("FaultMask(structure={!r}, cycle={!r}, entry_index={!r}, "
                 "bit_offsets={!r}, warp_level={!r}, n_blocks={!r}, "
-                "n_cores={!r}, seed={!r})".format(*self._astuple()))
+                "n_cores={!r}, seed={!r}, "
+                "fault_model={!r})".format(*self._astuple()))
+
+    #: Keys :meth:`from_dict` recognises; anything else lands in
+    #: ``extra`` and survives the round trip.
+    _KNOWN_KEYS = frozenset((
+        "structure", "cycle", "entry_index", "bit_offsets", "warp_level",
+        "n_blocks", "n_cores", "seed", "fault_model"))
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form for campaign logs."""
-        return {
+        """JSON-serialisable form for campaign logs.
+
+        The ``fault_model`` key is emitted only for non-default models,
+        keeping transient-campaign records byte-identical to logs
+        written before the fault-model dimension existed.  Unknown keys
+        captured by :meth:`from_dict` are re-emitted unchanged.
+        """
+        out = {
             "structure": self.structure.value,
             "cycle": self.cycle,
             "entry_index": self.entry_index,
@@ -141,10 +177,20 @@ class FaultMask:
             "n_cores": self.n_cores,
             "seed": self.seed,
         }
+        if self.fault_model != "transient":
+            out["fault_model"] = self.fault_model
+        for key, value in self.extra.items():
+            out.setdefault(key, value)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultMask":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Keys this version does not know (from a newer log format) are
+        kept in :attr:`extra` instead of raising, so ``--resume`` and
+        ``merge_logs`` work across versions.
+        """
         return cls(
             structure=Structure(data["structure"]),
             cycle=int(data["cycle"]),
@@ -154,6 +200,9 @@ class FaultMask:
             n_blocks=int(data.get("n_blocks", 1)),
             n_cores=int(data.get("n_cores", 1)),
             seed=int(data.get("seed", 0)),
+            fault_model=str(data.get("fault_model", "transient")),
+            extra={k: v for k, v in data.items()
+                   if k not in cls._KNOWN_KEYS},
         )
 
 
@@ -202,6 +251,10 @@ class MaskGenerator:
         if structure.is_cache:
             cache = self._cache_geometry(structure)
             return cache.line_bytes * 8 + self.config.tag_bits
+        if structure is Structure.SIMT_STACK:
+            from repro.faults.targets import SIMT_STACK_ENTRY_BITS
+
+            return SIMT_STACK_ENTRY_BITS
         return 32
 
     def _cache_geometry(self, structure: Structure):
@@ -225,6 +278,13 @@ class MaskGenerator:
             return max(self.smem_bytes // 4, 1)
         if structure is Structure.LOCAL_MEM:
             return max(self.local_bytes // 4, 1)
+        if structure is Structure.SIMT_STACK:
+            from repro.faults.targets import SIMT_STACK_ENTRIES
+
+            return SIMT_STACK_ENTRIES
+        if structure is Structure.SCOREBOARD:
+            # the scoreboard tracks the kernel's allocated registers
+            return self.regs_per_thread
         return self._cache_geometry(structure).num_lines
 
     def _bit_offsets(self, structure: Structure, n_bits: int,
@@ -240,8 +300,14 @@ class MaskGenerator:
     def generate(self, structure: Structure, n_bits: int = 1,
                  mode: MultiBitMode = MultiBitMode.SAME_ENTRY,
                  warp_level: bool = False, n_blocks: int = 1,
-                 n_cores: int = 1, cycle: Optional[int] = None) -> FaultMask:
-        """Draw one random fault mask."""
+                 n_cores: int = 1, cycle: Optional[int] = None,
+                 fault_model: str = "transient") -> FaultMask:
+        """Draw one random fault mask.
+
+        ``fault_model`` names the registered semantics the mask carries
+        (see :mod:`repro.faults.models`); it consumes no randomness, so
+        the spatial draws of a transient campaign are unchanged.
+        """
         return FaultMask(
             structure=structure,
             cycle=self.random_cycle() if cycle is None else cycle,
@@ -251,6 +317,7 @@ class MaskGenerator:
             n_blocks=n_blocks,
             n_cores=n_cores,
             seed=int(self.rng.integers(0, 2**31 - 1)),
+            fault_model=fault_model,
         )
 
     def generate_simultaneous(self, structures: Sequence[Structure],

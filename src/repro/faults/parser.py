@@ -89,6 +89,26 @@ def aggregate_records(records: Sequence[dict]
     return aggregate_counts(records)
 
 
+def aggregate_by_model(
+        records: Sequence[dict]
+) -> Dict[str, Dict[str, Dict[Structure, Dict[FaultEffect, int]]]]:
+    """Aggregate run records per fault model.
+
+    Returns ``counts[fault_model][kernel][structure][effect]``.
+    Records without a ``fault_model`` key (the pre-strategy schema, or
+    any transient campaign -- the default is elided from the log) count
+    under ``"transient"``.  Models are ordered alphabetically with
+    ``transient`` first, so mixed-model merges render stably.
+    """
+    by_model: Dict[str, List[dict]] = {}
+    for record in records:
+        by_model.setdefault(
+            record.get("fault_model", "transient"), []).append(record)
+    ordered = sorted(by_model, key=lambda m: (m != "transient", m))
+    return {model: aggregate_counts(by_model[model])
+            for model in ordered}
+
+
 def merge_logs(paths: Iterable[Union[str, Path]],
                tolerate_torn_tail: bool = True
                ) -> Dict[str, Dict[Structure, Dict[FaultEffect, int]]]:

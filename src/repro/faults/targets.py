@@ -34,6 +34,12 @@ class Structure(enum.Enum):
     L1C_CACHE = "l1c_cache"
     L1I_CACHE = "l1i_cache"
     L2_CACHE = "l2_cache"
+    #: SIMT reconvergence stack (control unit, extension): per-warp
+    #: IPDOM stack entries of active mask + pc + reconvergence pc.
+    SIMT_STACK = "simt_stack"
+    #: Scoreboard (control unit, extension): per-warp register
+    #: ready-cycle entries steering hazard stalls.
+    SCOREBOARD = "scoreboard"
 
     @property
     def is_cache(self) -> bool:
@@ -43,10 +49,17 @@ class Structure(enum.Enum):
                         Structure.L2_CACHE)
 
     @property
+    def is_control(self) -> bool:
+        """Whether this structure is SIMT control-unit state (not a
+        storage array the paper injects)."""
+        return self in (Structure.SIMT_STACK, Structure.SCOREBOARD)
+
+    @property
     def on_chip(self) -> bool:
         """Whether the structure contributes to chip AVF (eq. 2)."""
         return self not in (Structure.LOCAL_MEM, Structure.L1C_CACHE,
-                            Structure.L1I_CACHE)
+                            Structure.L1I_CACHE, Structure.SIMT_STACK,
+                            Structure.SCOREBOARD)
 
 
 #: The structures that enter the chip-level AVF sum, in a fixed order.
@@ -57,6 +70,26 @@ CHIP_STRUCTURES = (
     Structure.L1T_CACHE,
     Structure.L2_CACHE,
 )
+
+#: The control-unit structures (extension; the ``control`` fault
+#: model's default target set).  Kept out of :data:`CHIP_STRUCTURES`
+#: so the paper's storage-only AVF accounting is unchanged.
+CONTROL_STRUCTURES = (
+    Structure.SIMT_STACK,
+    Structure.SCOREBOARD,
+)
+
+#: Modelled SIMT-stack depth per warp: hardware allocates a fixed
+#: number of IPDOM entry slots bounding branch-nesting depth.
+SIMT_STACK_ENTRIES = 16
+#: Bits per SIMT-stack entry: 32 active-mask bits + 16-bit pc +
+#: 16-bit reconvergence pc.
+SIMT_STACK_ENTRY_BITS = 64
+#: Scoreboard capacity per warp: one entry per trackable destination
+#: register (the ISA's architectural register budget).
+SCOREBOARD_ENTRIES = 64
+#: Bits per scoreboard entry: the 32-bit ready-cycle counter.
+SCOREBOARD_ENTRY_BITS = 32
 
 
 def chip_bits(structure: Structure, config: GPUConfig) -> int:
@@ -83,6 +116,14 @@ def chip_bits(structure: Structure, config: GPUConfig) -> int:
         return config.num_sms * config.l1c.injectable_bits(config.tag_bits)
     if structure is Structure.L1I_CACHE:
         return config.num_sms * config.l1i.injectable_bits(config.tag_bits)
+    if structure is Structure.SIMT_STACK:
+        # control unit (extension): excluded from the AVF weights via
+        # CHIP_STRUCTURES, like the other beyond-the-paper targets
+        return (config.num_sms * config.max_warps_per_sm
+                * SIMT_STACK_ENTRIES * SIMT_STACK_ENTRY_BITS)
+    if structure is Structure.SCOREBOARD:
+        return (config.num_sms * config.max_warps_per_sm
+                * SCOREBOARD_ENTRIES * SCOREBOARD_ENTRY_BITS)
     if structure is Structure.LOCAL_MEM:
         return 0
     raise ValueError(f"unknown structure {structure}")

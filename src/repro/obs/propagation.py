@@ -82,7 +82,8 @@ class PropagationTracer:
 
     # -- site registration (called by the injector) ----------------------
 
-    def _new_site(self, kind: str, **fields) -> dict:
+    def _new_site(self, kind: str, persistent: bool = False,
+                  **fields) -> dict:
         site = {"kind": kind}
         site.update(fields)
         site.setdefault("fate", "never_touched")
@@ -90,16 +91,21 @@ class PropagationTracer:
         site.setdefault("pc", None)
         site.setdefault("kernel", None)
         site.setdefault("events", [])
+        if persistent:
+            # persistent (stuck-at) faults never end: the site stays
+            # open for the whole run and counts every consumption
+            site["persistent"] = True
+            site["reads"] = 0
         site["_open"] = True
         self.sites.append(site)
         self.armed = True
         return site
 
     def on_register_site(self, core: int, warp_age: int, register: int,
-                         lanes) -> None:
-        """A register-file flip landed on ``register`` of one warp."""
+                         lanes, persistent: bool = False) -> None:
+        """A register-file fault landed on ``register`` of one warp."""
         lanes = sorted(int(lane) for lane in lanes)
-        site = self._new_site("register", core=int(core),
+        site = self._new_site("register", persistent, core=int(core),
                               warp_age=int(warp_age),
                               register=int(register), lanes=lanes)
         site["_lanes"] = set(lanes)
@@ -107,20 +113,20 @@ class PropagationTracer:
             (int(core), int(warp_age)), {})[int(register)] = site
 
     def on_local_site(self, core: int, warp_age: int, word: int,
-                      lanes) -> None:
-        """A local-memory flip landed on ``word`` of some lanes."""
+                      lanes, persistent: bool = False) -> None:
+        """A local-memory fault landed on ``word`` of some lanes."""
         lanes = sorted(int(lane) for lane in lanes)
-        site = self._new_site("local", core=int(core),
+        site = self._new_site("local", persistent, core=int(core),
                               warp_age=int(warp_age), word=int(word),
                               lanes=lanes)
         site["_lanes"] = set(lanes)
         self._local_sites.setdefault(
             (int(core), int(warp_age)), {})[int(word)] = site
 
-    def on_shared_site(self, core: int, age_base: int, cta, word: int
-                       ) -> None:
-        """A shared-memory flip landed on ``word`` of one CTA."""
-        site = self._new_site("shared", core=int(core),
+    def on_shared_site(self, core: int, age_base: int, cta, word: int,
+                       persistent: bool = False) -> None:
+        """A shared-memory fault landed on ``word`` of one CTA."""
+        site = self._new_site("shared", persistent, core=int(core),
                               cta=list(int(c) for c in cta),
                               word=int(word))
         site["_age_base"] = int(age_base)
@@ -128,22 +134,38 @@ class PropagationTracer:
             (int(core), int(age_base)), {})[int(word)] = site
 
     def on_cache_site(self, cache: str, line: int, mode: str,
-                      valid: bool) -> None:
-        """A cache flip (or armed hook) landed on one line.
+                      valid: bool, persistent: bool = False) -> None:
+        """A cache fault (or armed hook) landed on one line.
 
-        Flips into invalid lines are architecturally masked -- the next
-        fill rewrites tag and data -- so they close immediately as
-        ``never_touched`` and are never watched.
+        Transient flips into invalid lines are architecturally masked
+        -- the next fill rewrites tag and data -- so they close
+        immediately as ``never_touched`` and are never watched.  A
+        persistent fault on an invalid line is still live: the next
+        fill lands in the stuck cells and is re-corrupted, so it is
+        watched like a valid line.
         """
         watch = self._cache_sites.setdefault(cache, {})
-        if int(line) in watch:  # multi-bit flips share one site
+        if int(line) in watch:  # multi-bit faults share one site
             return
-        site = self._new_site("cache", cache=cache, line=int(line),
-                              mode=mode, valid=bool(valid))
-        if valid:
+        site = self._new_site("cache", persistent, cache=cache,
+                              line=int(line), mode=mode,
+                              valid=bool(valid))
+        if valid or persistent:
             watch[int(line)] = site
         else:
             site["_open"] = False
+
+    def on_control_site(self, unit: str, core: int, warp_age: int,
+                        index: int, persistent: bool = False) -> None:
+        """A control-unit fault landed (SIMT stack slot / scoreboard
+        entry).  Control state steers the issue logic directly, so the
+        site is consumed at the injection itself rather than watched
+        for a later read."""
+        site = self._new_site("control", persistent, unit=str(unit),
+                              core=int(core), warp_age=int(warp_age),
+                              index=int(index))
+        now = self.gpu.cycle if self.gpu is not None else None
+        self._consume(site, now, None, self._current_kernel())
 
     # -- event hooks (called from sim layers; armed-gated) ---------------
 
@@ -185,7 +207,7 @@ class PropagationTracer:
                 if site is None:
                     continue
                 self._event(site, "write", now)
-                if site["_open"]:
+                if site["_open"] and not site.get("persistent"):
                     site["_lanes"] -= {lane for lane in site["_lanes"]
                                        if exec_mask[lane]}
                     if not site["_lanes"]:
@@ -240,7 +262,7 @@ class PropagationTracer:
                     hit = True
             else:
                 self._event(site, "write", now)
-                if site["_open"]:
+                if site["_open"] and not site.get("persistent"):
                     site["_lanes"].discard(lane)
                     if not site["_lanes"]:
                         self._close(site, "overwritten", now)
@@ -381,6 +403,17 @@ class PropagationTracer:
     def _consume(self, site: dict, cycle, pc, kernel) -> None:
         if not site["_open"]:
             return
+        if site.get("persistent"):
+            # a stuck cell is consumed on EVERY read; keep the first
+            # consumption's coordinates, count the rest, stay open
+            site["reads"] += 1
+            if site["fate"] == "consumed":
+                return
+            site["fate"] = "consumed"
+            site["fate_cycle"] = None if cycle is None else int(cycle)
+            site["pc"] = pc
+            site["kernel"] = kernel
+            return
         site["fate"] = "consumed"
         site["fate_cycle"] = None if cycle is None else int(cycle)
         site["pc"] = pc
@@ -389,6 +422,10 @@ class PropagationTracer:
 
     def _close(self, site: dict, fate: str, cycle) -> None:
         if not site["_open"]:
+            return
+        if site.get("persistent"):
+            # overwrites/evictions do not end a persistent fault: the
+            # injector re-asserts the stuck bits next cycle
             return
         site["fate"] = fate
         site["fate_cycle"] = None if cycle is None else int(cycle)
@@ -612,9 +649,36 @@ def _fmt_site(site: dict) -> List[str]:
                 f"({site.get('mode', 'flip')} mode"
                 + ("" if site.get("valid", True) else ", invalid line")
                 + ")")
+    elif kind == "control":
+        unit = site.get("unit", "?")
+        if unit == "simt_stack":
+            head = (f"SIMT stack slot {site['index']} @ core "
+                    f"{site['core']} warp {site['warp_age']}")
+        elif unit == "scoreboard":
+            head = (f"scoreboard entry R{site['index']} @ core "
+                    f"{site['core']} warp {site['warp_age']}")
+        else:
+            head = (f"{unit} entry {site['index']} @ core "
+                    f"{site['core']} warp {site['warp_age']}")
     else:
         head = kind
     fate = site.get("fate", "never_touched")
+    if site.get("persistent"):
+        head = "stuck " + head
+        reads = site.get("reads", 0)
+        if fate == "consumed":
+            tail = (f"consumed on every read ({reads} read(s) over "
+                    "the run; overwrites re-corrupted)")
+            if site.get("fate_cycle") is not None:
+                tail += f"; first at cycle {site['fate_cycle']}"
+            if site.get("pc") is not None:
+                tail += f", pc {site['pc']}"
+            if site.get("kernel"):
+                tail += f", kernel {site['kernel']}"
+        else:
+            tail = ("never read -- stuck bits held to the end of "
+                    "the run")
+        return _site_lines(site, head, tail)
     tail = fate
     if fate == "consumed":
         where = []
@@ -628,6 +692,10 @@ def _fmt_site(site: dict) -> List[str]:
             tail += " at " + ", ".join(where)
     elif site.get("fate_cycle") is not None:
         tail += f" at cycle {site['fate_cycle']}"
+    return _site_lines(site, head, tail)
+
+
+def _site_lines(site: dict, head: str, tail: str) -> List[str]:
     lines = [f"  - {head} -> {tail}"]
     events = site.get("events") or []
     if events:
@@ -654,12 +722,25 @@ def explain_record(record: dict) -> str:
             f"injection: cycle {mask.get('cycle')} into "
             f"{mask.get('structure', record.get('structure'))} "
             f"({len(bits)} bit(s), seed {mask.get('seed')})")
+    model = (record.get("fault_model") or mask.get("fault_model")
+             or "transient")
+    if model != "transient":
+        lines.append(
+            f"fault model: {model} -- the fault persists; the stuck "
+            "bits are re-asserted every cycle, so overwrites and "
+            "refills are re-corrupted"
+            if model.startswith("stuck_at")
+            else f"fault model: {model}")
     injections = record.get("injections") or []
     for inj in injections:
         if inj.get("target") == "none" or inj.get("applied") is False:
             lines.append(
                 "  not applied: no live target at the injection cycle "
                 f"({inj.get('reason', 'unknown reason')})")
+        elif inj.get("reasserted") is not None:
+            lines.append(
+                f"  re-asserted {inj['reasserted']} time(s) after the "
+                "initial application (persistent fault)")
 
     prop = record.get("propagation")
     if not isinstance(prop, dict):

@@ -319,15 +319,47 @@ class Cache:
         set_idx, way = divmod(line_index, self.geometry.assoc)
         return self._ways(set_idx, create=True)[way]
 
-    def _apply_bits(self, line: CacheLine, bit_offsets) -> None:
-        """XOR a set of per-line bit offsets into tag/data."""
+    def _apply_bits(self, line: CacheLine, bit_offsets,
+                    op: str = "xor") -> None:
+        """Corrupt a set of per-line bit offsets in tag/data.
+
+        ``op`` is the fault-model bit operation: ``"xor"`` flips (the
+        transient default), ``"set"``/``"clear"`` force the bits high/
+        low (stuck-at re-assertion).
+        """
         line.meta = None  # derived caches are stale once bits change
         for bit_offset in bit_offsets:
             if bit_offset < self.tag_bits:
-                line.tag ^= 1 << bit_offset
+                bit = 1 << bit_offset
+                if op == "set":
+                    line.tag |= bit
+                elif op == "clear":
+                    line.tag &= ~bit
+                else:
+                    line.tag ^= bit
             else:
                 data_bit = bit_offset - self.tag_bits
-                line.data[data_bit // 8] ^= 1 << (data_bit % 8)
+                byte = data_bit // 8
+                bit = np.uint8(1 << (data_bit % 8))
+                if op == "set":
+                    line.data[byte] |= bit
+                elif op == "clear":
+                    line.data[byte] &= np.uint8(~bit)
+                else:
+                    line.data[byte] ^= bit
+
+    def _peek_bits(self, line: CacheLine, bit_offsets) -> int:
+        """Pack the current values of the given line bit offsets."""
+        out = 0
+        for pos, bit_offset in enumerate(bit_offsets):
+            if bit_offset < self.tag_bits:
+                value = (line.tag >> bit_offset) & 1
+            else:
+                data_bit = bit_offset - self.tag_bits
+                value = (int(line.data[data_bit // 8])
+                         >> (data_bit % 8)) & 1
+            out |= value << pos
+        return out
 
     def arm_hook(self, line_index: int, bit_offsets) -> Dict[str, object]:
         """Arm a deferred injection on a line (paper hook semantics).
@@ -349,14 +381,17 @@ class Cache:
             line.armed = list(bit_offsets)
         return record
 
-    def flip_bit(self, line_index: int, bit_offset: int) -> Dict[str, object]:
-        """Flip one bit of the injection address space of this cache.
+    def flip_bit(self, line_index: int, bit_offset: int,
+                 op: str = "xor") -> Dict[str, object]:
+        """Corrupt one bit of the injection address space of this cache.
 
         ``bit_offset`` is within one line: bits ``[0, tag_bits)`` hit
-        the tag field, the rest hit the data.  Returns a log record
-        describing where the flip landed and whether the line was
-        valid (flips into invalid lines are architecturally masked:
-        the next fill rewrites both tag and data).
+        the tag field, the rest hit the data.  ``op`` is the fault
+        model's bit operation (``"xor"`` flips -- the default --,
+        ``"set"``/``"clear"`` force).  Returns a log record describing
+        where the corruption landed and whether the line was valid
+        (hits into invalid lines are architecturally masked: the next
+        fill rewrites both tag and data).
         """
         if not 0 <= line_index < self.geometry.num_lines:
             raise ValueError(f"line index {line_index} out of range")
@@ -370,8 +405,27 @@ class Cache:
             "valid": line.valid,
             "field": "tag" if bit_offset < self.tag_bits else "data",
         }
-        self._apply_bits(line, (bit_offset,))
+        if op != "xor":
+            record["op"] = op
+        self._apply_bits(line, (bit_offset,), op=op)
         return record
+
+    def assert_bits(self, line_index: int, bit_offsets, op: str) -> bool:
+        """Re-assert stuck-at bits on a line; returns True on change.
+
+        Used by persistent fault models every cycle: checks the
+        current bit values first so an already-stuck line is left
+        untouched (no ``meta`` invalidation, no spurious change
+        report).
+        """
+        bit_offsets = list(bit_offsets)
+        line = self.line_by_index(line_index)
+        current = self._peek_bits(line, bit_offsets)
+        want = (1 << len(bit_offsets)) - 1 if op == "set" else 0
+        if current == want:
+            return False
+        self._apply_bits(line, bit_offsets, op=op)
+        return True
 
     # -- checkpointing -----------------------------------------------------
 

@@ -195,6 +195,14 @@ class SIMTCore:
                         wake = min(wake, warp.ifetch_ready)
                         continue
                 else:
+                    if not 0 <= warp.pc < len(warp.cta.instructions):
+                        # control-unit faults can corrupt the pc right
+                        # out of the kernel; hardware would fetch
+                        # garbage and fault -- classify as a crash
+                        raise InvalidOperation(
+                            f"pc {warp.pc} outside kernel "
+                            f"{warp.cta.launch.kernel.name} "
+                            f"(0..{len(warp.cta.instructions) - 1})")
                     inst = warp.cta.instructions[warp.pc]
                 if warp.sb_latest > now:
                     ready = warp.operands_ready_at(inst)
