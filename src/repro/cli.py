@@ -9,6 +9,13 @@ run an injection campaign, and post-process logged results::
                    --structures register_file --runs 100 --log out.jsonl
     gpufi campaign --config gpufi.config
     gpufi report out.jsonl
+
+and to run a distributed campaign fleet (see docs/distributed.md)::
+
+    gpufi serve --port 8937 --log-dir runs/       # dispatcher
+    gpufi worker --connect http://host:8937       # on each machine
+    gpufi submit --connect http://host:8937 --benchmark vectoradd
+    gpufi status --connect http://host:8937 c1 --wait
 """
 
 from __future__ import annotations
@@ -33,6 +40,59 @@ from repro.faults.targets import Structure
 from repro.sim.cards import CARDS
 
 
+def _add_plan_flags(p: argparse.ArgumentParser) -> None:
+    """Flags that define *what* a campaign runs (shared by
+    ``campaign`` and ``submit``)."""
+    p.add_argument("--config", help="gpgpusim.config-style file")
+    p.add_argument("--benchmark")
+    p.add_argument("--card", default="RTX2060")
+    p.add_argument("--structures",
+                   help="comma list, e.g. register_file,l2_cache")
+    p.add_argument("--fault-model", default="transient",
+                   dest="fault_model", metavar="MODEL",
+                   help="named fault model: transient (default, "
+                        "the paper's bit flip), stuck_at_0 / "
+                        "stuck_at_1 (persistent), control "
+                        "(targets the SIMT control units), or "
+                        "any registered custom model")
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--bits", type=int, default=1)
+    p.add_argument("--multibit-mode", default="same_entry",
+                   choices=[m.value for m in MultiBitMode])
+    p.add_argument("--warp-level", action="store_true")
+    p.add_argument("--kernels",
+                   help="comma list of target static kernels")
+    p.add_argument("--invocation", type=int,
+                   help="restrict to one dynamic invocation")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scheduler", default="gto",
+                   choices=["gto", "lrr"])
+    p.add_argument("--cache-hook-mode", action="store_true")
+    p.add_argument("--model-icache", action="store_true",
+                   help="model + inject the L1 instruction cache")
+    p.add_argument("--early-stop", default="full",
+                   choices=["off", "converge", "full"],
+                   help="masked-fault early termination: 'converge' "
+                        "ends runs whose state re-joins a golden "
+                        "checkpoint, 'full' also pre-screens "
+                        "provably-dead fault targets "
+                        "(classifications identical in all modes)")
+    p.add_argument("--metrics", action="store_true",
+                   help="campaign observability: per-run timings, "
+                        "a <log>.events.jsonl stream and a "
+                        "<log>.metrics.json sidecar (results "
+                        "are identical either way)")
+    p.add_argument("--propagation", action="store_true",
+                   help="fault-propagation tracing: attach a "
+                        "per-run record of site fates, consumer "
+                        "chain and divergence window; explore "
+                        "with 'gpufi explain-run' (results are "
+                        "identical either way)")
+    p.add_argument("--run-timeout", type=float,
+                   help="abort when no run completes for this "
+                        "many seconds (default: wait forever)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpufi",
@@ -48,33 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--card", default="RTX2060")
 
     campaign = sub.add_parser("campaign", help="run an injection campaign")
-    campaign.add_argument("--config", help="gpgpusim.config-style file")
-    campaign.add_argument("--benchmark")
-    campaign.add_argument("--card", default="RTX2060")
-    campaign.add_argument("--structures",
-                          help="comma list, e.g. register_file,l2_cache")
-    campaign.add_argument("--fault-model", default="transient",
-                          dest="fault_model", metavar="MODEL",
-                          help="named fault model: transient (default, "
-                               "the paper's bit flip), stuck_at_0 / "
-                               "stuck_at_1 (persistent), control "
-                               "(targets the SIMT control units), or "
-                               "any registered custom model")
-    campaign.add_argument("--runs", type=int, default=100)
-    campaign.add_argument("--bits", type=int, default=1)
-    campaign.add_argument("--multibit-mode", default="same_entry",
-                          choices=[m.value for m in MultiBitMode])
-    campaign.add_argument("--warp-level", action="store_true")
-    campaign.add_argument("--kernels",
-                          help="comma list of target static kernels")
-    campaign.add_argument("--invocation", type=int,
-                          help="restrict to one dynamic invocation")
-    campaign.add_argument("--seed", type=int, default=0)
-    campaign.add_argument("--scheduler", default="gto",
-                          choices=["gto", "lrr"])
-    campaign.add_argument("--cache-hook-mode", action="store_true")
-    campaign.add_argument("--model-icache", action="store_true",
-                          help="model + inject the L1 instruction cache")
+    _add_plan_flags(campaign)
     campaign.add_argument("--log", help="JSONL output path")
     campaign.add_argument("--checkpoint-dir",
                           help="directory for golden-run checkpoints; "
@@ -86,41 +120,104 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--verify-restore", action="store_true",
                           help="cross-check every fast-forwarded run "
                                "against a from-scratch run")
-    campaign.add_argument("--early-stop", default="full",
-                          choices=["off", "converge", "full"],
-                          help="masked-fault early termination: 'converge' "
-                               "ends runs whose state re-joins a golden "
-                               "checkpoint, 'full' also pre-screens "
-                               "provably-dead fault targets "
-                               "(classifications identical in all modes)")
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the injection runs "
                                "(results are identical for any count)")
     campaign.add_argument("--resume", action="store_true",
                           help="skip runs already recorded in --log "
                                "(resume an interrupted campaign)")
-    campaign.add_argument("--metrics", action="store_true",
-                          help="campaign observability: per-run timings, "
-                               "a <log>.events.jsonl stream and a "
-                               "<log>.metrics.json sidecar (results "
-                               "are identical either way)")
-    campaign.add_argument("--propagation", action="store_true",
-                          help="fault-propagation tracing: attach a "
-                               "per-run record of site fates, consumer "
-                               "chain and divergence window; explore "
-                               "with 'gpufi explain-run' (results are "
-                               "identical either way)")
-    campaign.add_argument("--run-timeout", type=float,
-                          help="abort when no run completes for this "
-                               "many seconds (default: wait forever)")
     campaign.add_argument("--markdown",
                           help="write a full Markdown report here")
+    campaign.add_argument("--backend", choices=["local", "remote"],
+                          help="execution backend: 'local' (default, "
+                               "in-process worker pool) or 'remote' "
+                               "(submit to a gpufi serve dispatcher; "
+                               "records are canonically byte-identical "
+                               "either way)")
+    campaign.add_argument("--connect", metavar="URL",
+                          help="dispatcher URL for --backend remote "
+                               "(implies it), e.g. http://host:8937")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign dispatcher (distributed execution): "
+             "accepts submitted campaigns, shards their plans and "
+             "hands shards to gpufi workers over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use "
+                            "0.0.0.0 for a LAN fleet)")
+    serve.add_argument("--port", type=int, default=8937,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--log-dir", default="dist-campaigns",
+                       help="directory for per-campaign logs, metrics "
+                            "sidecars and persisted submissions "
+                            "(restart resume)")
+    serve.add_argument("--shard-size", type=int, default=None,
+                       help="runs per lease (default 8)")
+    serve.add_argument("--lease-timeout", type=float, default=None,
+                       help="seconds before a silent worker loses its "
+                            "lease and the shard is re-queued "
+                            "(default 60)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a fleet worker: lease campaign shards from a "
+             "dispatcher, execute them and stream records back")
+    worker.add_argument("--connect", required=True, metavar="URL",
+                        help="dispatcher URL, e.g. http://host:8937")
+    worker.add_argument("--name",
+                        help="worker name (default: host-pid)")
+    worker.add_argument("--poll", type=float, default=1.0,
+                        help="seconds between lease attempts when idle")
+    worker.add_argument("--max-idle", type=float,
+                        help="exit after this many idle seconds "
+                             "(default: work forever)")
+    worker.add_argument("--batch-size", type=int, default=None,
+                        help="records per streaming POST (default 4)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a dispatcher and print its id "
+             "(does not wait; see 'gpufi status --wait')")
+    submit.add_argument("--connect", required=True, metavar="URL",
+                        help="dispatcher URL, e.g. http://host:8937")
+    _add_plan_flags(submit)
+    # execution-side flags 'submit' has no business setting; the
+    # dispatcher owns logs and checkpoints
+    submit.set_defaults(log=None, checkpoint_dir=None,
+                        checkpoint_interval=None, verify_restore=False)
+
+    status = sub.add_parser(
+        "status",
+        help="show dispatcher / campaign progress")
+    status.add_argument("--connect", required=True, metavar="URL",
+                        help="dispatcher URL, e.g. http://host:8937")
+    status.add_argument("campaign", nargs="?",
+                        help="campaign id (default: list all)")
+    status.add_argument("--wait", action="store_true",
+                        help="poll until the campaign completes")
+    status.add_argument("--timeout", type=float,
+                        help="give up --wait after this many seconds")
+
+    canonicalize = sub.add_parser(
+        "canonicalize",
+        help="print a campaign log in its canonical byte form (one "
+             "record per run key, volatile keys stripped, sorted) -- "
+             "two logs cover the same plan iff their canonical forms "
+             "are byte-identical")
+    canonicalize.add_argument("log", help="campaign JSONL log")
+    canonicalize.add_argument("-o", "--output",
+                              help="write here instead of stdout")
 
     report = sub.add_parser("report",
                             help="aggregate campaign JSONL logs (batches "
                                  "are merged)")
     report.add_argument("log", nargs="+",
                         help="JSONL file(s) written by 'campaign'")
+    report.add_argument("--force", action="store_true",
+                        help="merge logs even when their campaign "
+                             "fingerprints disagree (default: refuse "
+                             "to mix campaigns)")
 
     report_metrics = sub.add_parser(
         "report-metrics",
@@ -168,6 +265,21 @@ def _cmd_profile(args) -> int:
 
 
 def _campaign_config(args) -> CampaignConfig:
+    config = _plan_config(args)
+    backend = getattr(args, "backend", None)
+    connect = getattr(args, "connect", None)
+    if connect and not backend:
+        backend = "remote"
+    if backend or connect:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, backend=backend or config.backend,
+            backend_url=connect or config.backend_url)
+    return config
+
+
+def _plan_config(args) -> CampaignConfig:
     if args.config:
         import dataclasses
 
@@ -231,6 +343,9 @@ def _cmd_campaign(args) -> int:
         raise SystemExit("--resume needs --log (the file to resume from)")
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if config.backend == "remote" and not config.backend_url:
+        raise SystemExit("--backend remote needs --connect URL "
+                         "(the gpufi serve dispatcher)")
     campaign = Campaign(config, progress=lambda msg: print(f"  .. {msg}"))
     result = campaign.run(jobs=args.jobs, resume=args.resume)
     print(result.summary())
@@ -257,11 +372,17 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    records = []
-    for path in args.log:
+    from repro.faults.parser import combine_records
+
+    try:
         # accept anything the resume path can restart from: a torn
-        # final line (campaign killed mid-write) is dropped, not fatal
-        records.extend(load_records(path, tolerate_torn_tail=True))
+        # final line (campaign killed mid-write) is dropped, not fatal.
+        # Logs carrying a campaign fingerprint must agree (--force
+        # overrides); same-campaign shards are deduplicated by run key.
+        records = combine_records(args.log, tolerate_torn_tail=True,
+                                  force=args.force)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     by_model = aggregate_by_model(records)
     headers = ["kernel", "structure", "runs", "FR"]
     headers.extend(e.value for e in FaultEffect)
@@ -327,6 +448,130 @@ def _cmd_explain_run(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    import logging
+
+    from repro.dist.server import Dispatcher, DispatcherServer
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(message)s")
+    kwargs = {}
+    if args.shard_size is not None:
+        kwargs["shard_size"] = args.shard_size
+    if args.lease_timeout is not None:
+        kwargs["lease_timeout"] = args.lease_timeout
+    from pathlib import Path
+
+    dispatcher = Dispatcher(log_dir=Path(args.log_dir), **kwargs)
+    server = DispatcherServer(dispatcher, host=args.host, port=args.port)
+    print(f"gpufi dispatcher listening on {server.url} "
+          f"(campaign artifacts in {args.log_dir})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.dist.worker import DEFAULT_BATCH_SIZE, FleetWorker
+
+    worker = FleetWorker(
+        args.connect, name=args.name, poll=args.poll,
+        max_idle=args.max_idle,
+        batch_size=(args.batch_size if args.batch_size is not None
+                    else DEFAULT_BATCH_SIZE),
+        progress=lambda msg: print(f"  .. {msg}", flush=True))
+    print(f"worker {worker.name} connecting to {args.connect}",
+          flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(f"worker {worker.name}: {worker.runs_done} runs in "
+          f"{worker.shards_done} shards", flush=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.dist.client import DispatchError, DispatcherClient
+
+    try:
+        config = _plan_config(args)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    client = DispatcherClient(args.connect)
+    try:
+        reply = client.submit(config)
+    except DispatchError as exc:
+        raise SystemExit(f"error: {exc}")
+    # progress to stderr; stdout carries exactly the campaign id so
+    # scripts can do  cid=$(gpufi submit ...)
+    print(f"campaign {reply['campaign']} "
+          + ("already submitted (joined)" if reply.get("reused")
+             else "submitted")
+          + f": {reply['total']} runs", file=sys.stderr)
+    print(reply["campaign"])
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.dist.client import DispatchError, DispatcherClient
+
+    client = DispatcherClient(args.connect)
+    try:
+        if args.campaign is None:
+            if args.wait:
+                raise SystemExit("--wait needs a campaign id")
+            overview = client.status()
+            rows = [(c["id"], c["benchmark"], c["card"], c["state"],
+                     f"{c['done']}/{c['total']}",
+                     c["shards"]["pending"], c["shards"]["leased"])
+                    for c in overview["campaigns"]]
+            print(render_table(("id", "benchmark", "card", "state",
+                                "runs", "pending", "leased"), rows))
+            workers = overview.get("workers", {})
+            print(f"workers: {', '.join(sorted(workers)) or '(none)'}")
+            return 0
+        if args.wait:
+            status = client.wait(
+                args.campaign, timeout=args.timeout,
+                progress=lambda msg: print(f"  .. {msg}",
+                                           file=sys.stderr))
+        else:
+            status = client.status(args.campaign)
+    except DispatchError as exc:
+        raise SystemExit(f"error: {exc}")
+    except TimeoutError as exc:
+        raise SystemExit(f"error: {exc}")
+    effects = ", ".join(f"{k}={v}" for k, v in status["effects"].items())
+    print(f"campaign {status['id']}: {status['state']} "
+          f"({status['done']}/{status['total']} runs)")
+    print(f"  benchmark: {status['benchmark']} on {status['card']}")
+    print(f"  effects:   {effects or '(none yet)'}")
+    print(f"  shards:    {status['shards']['complete']}/"
+          f"{status['shards']['total']} complete, "
+          f"{status['shards']['pending']} pending, "
+          f"{status['shards']['leased']} leased")
+    print(f"  log:       {status['log']}")
+    return 0 if status["state"] == "complete" else 1
+
+
+def _cmd_canonicalize(args) -> int:
+    from repro.dist.protocol import canonical_log_text
+
+    text = canonical_log_text(load_records(args.log,
+                                           tolerate_torn_tail=True))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -342,6 +587,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report_metrics(args)
     if args.command == "explain-run":
         return _cmd_explain_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "canonicalize":
+        return _cmd_canonicalize(args)
     raise AssertionError("unreachable")
 
 

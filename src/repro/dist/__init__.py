@@ -1,0 +1,57 @@
+"""Distributed campaign fabric: shard one campaign across many hosts.
+
+The paper's campaigns need thousands of statistically significant runs
+per (kernel, structure); a single host caps how fast those samples
+accumulate.  Because every run's seed derives from ``(campaign seed,
+kernel, structure, run_index)`` -- never from execution order -- a
+campaign can be split into shards and executed anywhere, and the
+merged result is byte-identical (after canonical sort, minus
+timing/worker keys) to a local run.  This package provides the layer
+that exploits that:
+
+- :mod:`repro.dist.protocol` -- deterministic shard planning, RunSpec
+  wire (de)serialization and record canonicalization;
+- :mod:`repro.dist.server` -- the ``gpufi serve`` dispatcher: accepts
+  submitted campaigns over HTTP, leases shards to workers with
+  heartbeats/timeouts, re-queues shards lost to dead workers, merges
+  records into the same artifacts a local run produces;
+- :mod:`repro.dist.worker` -- the ``gpufi worker`` process: leases
+  shards, executes them with :func:`repro.faults.executor.execute_run`
+  and streams records back;
+- :mod:`repro.dist.client` -- ``gpufi submit`` / ``gpufi status``
+  client helpers (stdlib ``urllib``, no extra dependencies);
+- :mod:`repro.dist.backend` -- the :class:`~repro.dist.backend.Backend`
+  interface: ``LocalPoolBackend`` (today's in-process pool, the
+  default) and ``RemoteFleetBackend`` (submit to a dispatcher), both
+  behind one campaign API.
+
+See ``docs/distributed.md`` for the protocol and guarantees.
+"""
+
+from repro.dist.backend import (Backend, LocalPoolBackend,
+                                RemoteFleetBackend, backend_names,
+                                make_backend)
+from repro.dist.client import DispatcherClient, DispatchError
+from repro.dist.protocol import (canonical_log_text, canonical_records,
+                                 plan_shards, spec_from_wire,
+                                 spec_to_wire)
+from repro.dist.server import Dispatcher, DispatcherServer
+from repro.dist.worker import FleetWorker
+
+__all__ = [
+    "Backend",
+    "Dispatcher",
+    "DispatcherClient",
+    "DispatcherServer",
+    "DispatchError",
+    "FleetWorker",
+    "LocalPoolBackend",
+    "RemoteFleetBackend",
+    "backend_names",
+    "canonical_log_text",
+    "canonical_records",
+    "make_backend",
+    "plan_shards",
+    "spec_from_wire",
+    "spec_to_wire",
+]

@@ -1,0 +1,117 @@
+"""Client side of the dispatch protocol: ``gpufi submit`` / ``status``.
+
+Stdlib ``urllib`` only -- the fabric stays pip-light by design.  The
+:class:`DispatcherClient` is also what :class:`~repro.dist.backend
+.RemoteFleetBackend` and the worker loop build on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, List, Optional, Union
+
+
+class DispatchError(RuntimeError):
+    """A dispatcher request failed (unreachable, rejected, or 5xx)."""
+
+
+def http_json(base_url: str, path: str, payload: Optional[dict] = None,
+              timeout: float = 30.0) -> dict:
+    """One JSON request: GET without payload, POST with.
+
+    Raises :class:`DispatchError` with the server's ``error`` message
+    on HTTP errors, and a "cannot reach" message when the dispatcher
+    is down -- callers never see raw urllib exceptions.
+    """
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        raise DispatchError(
+            f"{path}: HTTP {exc.code}: {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise DispatchError(
+            f"cannot reach dispatcher at {base_url}: "
+            f"{exc.reason}") from exc
+    try:
+        return json.loads(body or "{}")
+    except json.JSONDecodeError as exc:
+        raise DispatchError(
+            f"{path}: dispatcher returned non-JSON: {body[:80]!r}"
+        ) from exc
+
+
+class DispatcherClient:
+    """Talks to one ``gpufi serve`` dispatcher."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def call(self, path: str, payload: Optional[dict] = None) -> dict:
+        return http_json(self.base_url, path, payload,
+                         timeout=self.timeout)
+
+    def ping(self) -> dict:
+        return self.call("/api/ping")
+
+    def submit(self, config: Union[str, "object"]) -> dict:
+        """Submit a campaign (a :class:`CampaignConfig` or its
+        ``-gpufi_*`` option text); returns the submit reply
+        (``campaign`` id, ``reused``, ``total``)."""
+        if not isinstance(config, str):
+            from repro.faults.config_file import dump_config
+
+            config = dump_config(config)
+        return self.call("/api/submit", {"config": config})
+
+    def status(self, campaign_id: Optional[str] = None) -> dict:
+        if campaign_id is None:
+            return self.call("/api/status")
+        return self.call(f"/api/status/{campaign_id}")
+
+    def records(self, campaign_id: str) -> List[dict]:
+        return self.call(f"/api/records/{campaign_id}")["records"]
+
+    def wait(self, campaign_id: str, timeout: Optional[float] = None,
+             poll: float = 0.5,
+             progress: Optional[Callable[[str], None]] = None) -> dict:
+        """Poll until the campaign completes; returns its final status.
+
+        Raises :class:`TimeoutError` after ``timeout`` seconds
+        (``None`` waits forever).
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        last_done = -1
+        while True:
+            status = self.status(campaign_id)
+            if progress is not None and status["done"] != last_done:
+                last_done = status["done"]
+                progress(f"{status['id']}: {status['done']}/"
+                         f"{status['total']} runs "
+                         f"({status['shards']['pending']} shards pending, "
+                         f"{status['shards']['leased']} leased)")
+            if status["state"] == "complete":
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} incomplete after "
+                    f"{timeout:g}s: {status['done']}/{status['total']} "
+                    "runs")
+            time.sleep(poll)

@@ -1,0 +1,597 @@
+"""The campaign dispatcher: ``gpufi serve``.
+
+A small HTTP service (stdlib only) that turns one machine into the
+coordination point of a fault-injection fleet:
+
+- **submit**: clients POST a campaign configuration (the same
+  ``-gpufi_*`` option text as config files); the dispatcher profiles
+  the golden run once, enumerates the plan and splits it into shards.
+- **lease** (work stealing): workers ask for work whenever they are
+  free; the dispatcher hands out the next pending shard, round-robin
+  across concurrently submitted campaigns so no campaign starves.
+- **heartbeat / expiry**: every lease carries a deadline; a worker
+  that stops heartbeating (crashed host, network partition) loses the
+  lease and the shard is silently re-queued for someone else.  Records
+  are pure functions of their specs, so re-execution is always safe,
+  and duplicates are deduplicated by ``(kernel, structure, run)``.
+- **collect**: workers stream records back per shard; the dispatcher
+  verifies the campaign fingerprint on every batch (a worker can never
+  pollute a campaign with records of another plan), appends them to
+  the campaign's JSONL log -- the same artifact a local run produces,
+  header line included -- and, when telemetry is on, writes the
+  ``.metrics.json`` sidecar at completion.
+- **restart resume**: campaign configs are persisted next to the logs;
+  on restart the dispatcher re-plans each unfinished campaign, reloads
+  the records already logged (the standard JSONL resume machinery) and
+  re-queues only the shards with missing runs.
+
+The merged log of an N-worker fleet is byte-identical (after canonical
+sort, minus timing/worker keys; see
+:func:`repro.dist.protocol.canonical_log_text`) to a ``--jobs N``
+local run of the same plan.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.dist.protocol import (plan_fingerprint, plan_shards,
+                                 record_key, spec_to_wire)
+from repro.faults.campaign import Campaign
+from repro.faults.config_file import parse_config_text
+from repro.faults.executor import RunSpec, format_log_header
+
+log = logging.getLogger("gpufi.dist")
+
+#: Default shard size (runs per lease).  Small enough that work
+#: stealing balances uneven run latencies, large enough that HTTP
+#: round-trips stay negligible against simulation time.
+DEFAULT_SHARD_SIZE = 8
+
+#: Default lease lifetime in seconds; workers heartbeat at a third of
+#: this, so two consecutive lost heartbeats still keep a lease alive.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+class _Lease:
+    __slots__ = ("lease_id", "shard_index", "worker", "deadline")
+
+    def __init__(self, lease_id: str, shard_index: int, worker: str,
+                 deadline: float):
+        self.lease_id = lease_id
+        self.shard_index = shard_index
+        self.worker = worker
+        self.deadline = deadline
+
+
+class CampaignJob:
+    """Dispatcher-side state of one submitted campaign."""
+
+    def __init__(self, campaign_id: str, config_text: str,
+                 specs: Sequence[RunSpec], shard_size: int,
+                 log_path: Path):
+        self.campaign_id = campaign_id
+        self.config_text = config_text
+        self.config = parse_config_text(config_text)
+        self.specs = list(specs)
+        self.fingerprint = plan_fingerprint(specs)
+        self.shards = plan_shards(specs, shard_size)
+        self.pending = deque(range(len(self.shards)))
+        self.leases: Dict[str, _Lease] = {}
+        self.completed_shards: set = set()
+        self.records: Dict[tuple, dict] = {}
+        self.log_path = log_path
+        self.submitted_at = time.time()
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.records) >= self.total
+
+    def shard_keys(self, shard_index: int) -> set:
+        return {spec.key for spec in self.shards[shard_index]}
+
+    def effects(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records.values():
+            effect = record.get("effect", "?")
+            counts[effect] = counts.get(effect, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def status(self) -> dict:
+        return {
+            "id": self.campaign_id,
+            "state": "complete" if self.complete else "running",
+            "benchmark": self.config.benchmark,
+            "card": self.config.card,
+            "fingerprint": self.fingerprint,
+            "total": self.total,
+            "done": len(self.records),
+            "effects": self.effects(),
+            "shards": {
+                "total": len(self.shards),
+                "pending": len(self.pending),
+                "leased": len(self.leases),
+                "complete": len(self.completed_shards),
+            },
+            "log": str(self.log_path),
+        }
+
+
+class Dispatcher:
+    """Thread-safe core of the dispatch service (no HTTP).
+
+    The HTTP layer (:class:`DispatcherServer`) is a thin JSON shim
+    over these methods, so every scheduling property -- shard
+    determinism, lease expiry, fairness, dedup -- is testable without
+    opening a socket.
+
+    Args:
+        log_dir: directory holding, per campaign, the merged JSONL log
+            (``<id>.jsonl``), the persisted submission
+            (``<id>.campaign.json``) and any metrics sidecar.
+        shard_size: runs per lease.
+        lease_timeout: seconds before a silent worker loses its lease.
+        clock: monotonic clock (tests inject fakes to force expiry).
+    """
+
+    def __init__(self, log_dir: Union[str, Path],
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 clock: Callable[[], float] = time.monotonic):
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.log_dir = Path(log_dir)
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        self.shard_size = shard_size
+        self.lease_timeout = lease_timeout
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, CampaignJob] = {}
+        self._order: List[str] = []  # submission order, drives fairness
+        self._rr_next = 0
+        self._lease_seq = 0
+        self._id_seq = 0
+        self._workers: Dict[str, dict] = {}
+        self._restore_persisted()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, config_text: str,
+               campaign_id: Optional[str] = None) -> dict:
+        """Plan a submitted campaign and queue its shards.
+
+        Re-submitting a campaign whose fingerprint is already known
+        returns the existing id instead of running it twice -- which
+        is also how a client resumes after a dispatcher restart: same
+        config, same fingerprint, same campaign.
+        """
+        config = parse_config_text(config_text)  # validate early
+        if config.backend != "local":
+            # the dispatcher *is* the remote side; forwarding again
+            # would recurse
+            raise ValueError(
+                "submitted campaigns must use the local backend "
+                f"(got {config.backend!r})")
+        specs = self._plan(config_text)
+        fingerprint = plan_fingerprint(specs)
+        with self._lock:
+            for job in self._jobs.values():
+                if job.fingerprint == fingerprint:
+                    return {"campaign": job.campaign_id, "reused": True,
+                            "total": job.total}
+            cid = campaign_id or self._next_id()
+            job = CampaignJob(cid, config_text, specs, self.shard_size,
+                              self.log_dir / f"{cid}.jsonl")
+            self._restore_log(job)
+            self._persist(job)
+            self._ensure_log(job)
+            self._jobs[cid] = job
+            self._order.append(cid)
+            log.info("campaign %s submitted: %d runs in %d shards",
+                     cid, job.total, len(job.shards))
+            if job.complete:
+                self._finalize(job)
+            return {"campaign": cid, "reused": False, "total": job.total}
+
+    def _plan(self, config_text: str) -> List[RunSpec]:
+        # planning runs the golden profile; deliberately outside the
+        # lock so a slow submit never stalls the lease path
+        config = parse_config_text(config_text)
+        return Campaign(config).plan()
+
+    def _next_id(self) -> str:
+        self._id_seq += 1
+        return f"c{self._id_seq}"
+
+    # -- leasing (work stealing) ---------------------------------------------
+
+    def lease(self, worker: str) -> dict:
+        """Hand the next pending shard to ``worker``.
+
+        Campaigns are served round-robin in submission order: each
+        lease starts scanning one campaign past the previously served
+        one, so concurrently submitted campaigns progress together
+        instead of strictly first-come-first-served.
+        """
+        with self._lock:
+            self._reap_expired()
+            self._touch_worker(worker)
+            if not self._order:
+                return {"idle": True}
+            for offset in range(len(self._order)):
+                index = (self._rr_next + offset) % len(self._order)
+                job = self._jobs[self._order[index]]
+                if not job.pending:
+                    continue
+                self._rr_next = (index + 1) % len(self._order)
+                shard_index = job.pending.popleft()
+                self._lease_seq += 1
+                lease_id = (f"{job.campaign_id}-s{shard_index}"
+                            f"-{self._lease_seq}")
+                job.leases[lease_id] = _Lease(
+                    lease_id, shard_index, worker,
+                    self._clock() + self.lease_timeout)
+                self._workers[worker]["leases"] += 1
+                log.info("lease %s -> %s (%d specs)", lease_id, worker,
+                         len(job.shards[shard_index]))
+                return {
+                    "campaign": job.campaign_id,
+                    "lease": lease_id,
+                    "shard": shard_index,
+                    "fingerprint": job.fingerprint,
+                    "heartbeat_s": self.lease_timeout / 3.0,
+                    "specs": [spec_to_wire(spec)
+                              for spec in job.shards[shard_index]],
+                }
+            return {"idle": True}
+
+    def heartbeat(self, lease_id: str) -> dict:
+        """Extend a live lease; tell the worker if it expired."""
+        with self._lock:
+            self._reap_expired()
+            for job in self._jobs.values():
+                lease = job.leases.get(lease_id)
+                if lease is not None:
+                    lease.deadline = self._clock() + self.lease_timeout
+                    self._touch_worker(lease.worker)
+                    return {"ok": True}
+            return {"ok": False, "expired": True}
+
+    def _reap_expired(self) -> None:
+        now = self._clock()
+        for job in self._jobs.values():
+            expired = [lease for lease in job.leases.values()
+                       if lease.deadline < now]
+            for lease in expired:
+                del job.leases[lease.lease_id]
+                if lease.shard_index not in job.completed_shards:
+                    # front of the queue: a lost shard should not wait
+                    # behind the whole backlog a second time
+                    job.pending.appendleft(lease.shard_index)
+                    log.warning(
+                        "lease %s (worker %s) expired; shard %d of %s "
+                        "re-queued", lease.lease_id, lease.worker,
+                        lease.shard_index, job.campaign_id)
+
+    def _touch_worker(self, worker: str) -> None:
+        entry = self._workers.setdefault(
+            worker, {"leases": 0, "records": 0, "first_seen": time.time()})
+        entry["last_seen"] = time.time()
+
+    # -- collection ----------------------------------------------------------
+
+    def collect(self, campaign_id: str, lease_id: str,
+                fingerprint: str, records: Sequence[dict],
+                done: bool = False, worker: Optional[str] = None) -> dict:
+        """Accept a batch of records from a worker.
+
+        The batch must carry the campaign's fingerprint -- shard
+        results can only ever land in the campaign whose plan produced
+        them (the ``merge_logs`` safety, enforced at collection time).
+        Valid records are accepted even when the lease has meanwhile
+        expired: they are correct by construction (pure functions of
+        their specs) and deduplication keeps exactly one copy per run;
+        the reply's ``expired`` flag tells the worker to abandon the
+        rest of the shard.
+        """
+        with self._lock:
+            self._reap_expired()
+            job = self._jobs.get(campaign_id)
+            if job is None:
+                raise KeyError(f"unknown campaign {campaign_id!r}")
+            if fingerprint != job.fingerprint:
+                raise ValueError(
+                    f"fingerprint mismatch for campaign {campaign_id}: "
+                    f"records carry {str(fingerprint)[:12]}..., campaign "
+                    f"plan is {job.fingerprint[:12]}... -- refusing to "
+                    "mix campaigns")
+            if worker is not None:
+                self._touch_worker(worker)
+            accepted = self._absorb(job, records)
+            lease = job.leases.get(lease_id)
+            expired = lease is None
+            if lease is not None and done:
+                job.completed_shards.add(lease.shard_index)
+                del job.leases[lease_id]
+            if job.complete:
+                self._finalize(job)
+            return {"ok": True, "accepted": accepted, "expired": expired,
+                    "campaign_complete": job.complete}
+
+    def _absorb(self, job: CampaignJob,
+                records: Sequence[dict]) -> int:
+        """Dedup-merge records into the job and its log; count fresh."""
+        fresh: List[dict] = []
+        plan_keys = {spec.key for spec in job.specs}
+        for record in records:
+            key = record_key(record)
+            if key not in plan_keys:
+                raise ValueError(
+                    f"record {key} is not part of campaign "
+                    f"{job.campaign_id}'s plan")
+            if key in job.records:
+                continue  # duplicate from a re-queued shard
+            job.records[key] = record
+            fresh.append(record)
+        if fresh:
+            with open(job.log_path, "a", encoding="utf-8") as handle:
+                for record in fresh:
+                    handle.write(json.dumps(record) + "\n")
+        return len(fresh)
+
+    def _finalize(self, job: CampaignJob) -> None:
+        job.pending.clear()
+        job.leases.clear()
+        job.completed_shards = set(range(len(job.shards)))
+        self._persist(job)
+        self._write_metrics(job)
+        log.info("campaign %s complete: %d records", job.campaign_id,
+                 len(job.records))
+
+    def _write_metrics(self, job: CampaignJob) -> None:
+        """Metrics sidecar of a telemetry campaign, from the merged
+        records -- same artifact the local executor writes."""
+        if not job.config.metrics:
+            return
+        from repro.obs import MetricsCollector
+
+        collector = MetricsCollector(jobs=0)
+        ordered = [job.records[spec.key] for spec in job.specs
+                   if spec.key in job.records]
+        for record in ordered:
+            collector.record(record)
+        collector.write(
+            collector.finalize(ordered, complete=True, total=job.total),
+            job.log_path)
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self, campaign_id: Optional[str] = None) -> dict:
+        with self._lock:
+            self._reap_expired()
+            if campaign_id is not None:
+                job = self._jobs.get(campaign_id)
+                if job is None:
+                    raise KeyError(f"unknown campaign {campaign_id!r}")
+                return job.status()
+            return {
+                "campaigns": [self._jobs[cid].status()
+                              for cid in self._order],
+                "workers": {name: dict(entry) for name, entry
+                            in sorted(self._workers.items())},
+            }
+
+    def records(self, campaign_id: str) -> dict:
+        """Collected records of one campaign, in plan order."""
+        with self._lock:
+            job = self._jobs.get(campaign_id)
+            if job is None:
+                raise KeyError(f"unknown campaign {campaign_id!r}")
+            ordered = [job.records[spec.key] for spec in job.specs
+                       if spec.key in job.records]
+            return {"campaign": campaign_id, "complete": job.complete,
+                    "fingerprint": job.fingerprint, "total": job.total,
+                    "records": ordered}
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist(self, job: CampaignJob) -> None:
+        path = self.log_dir / f"{job.campaign_id}.campaign.json"
+        path.write_text(json.dumps({
+            "id": job.campaign_id,
+            "config": job.config_text,
+            "fingerprint": job.fingerprint,
+            "state": "complete" if job.complete else "running",
+        }, indent=1) + "\n", encoding="utf-8")
+
+    def _ensure_log(self, job: CampaignJob) -> None:
+        if not job.log_path.exists():
+            job.log_path.write_text(format_log_header(job.specs),
+                                    encoding="utf-8")
+
+    def _restore_log(self, job: CampaignJob) -> None:
+        """Reload records logged before a dispatcher restart and
+        re-queue only the shards with missing runs."""
+        if not job.log_path.exists():
+            return
+        from repro.faults.executor import _trim_partial_tail
+        from repro.faults.parser import (read_log_header,
+                                         scan_completed_records)
+
+        _trim_partial_tail(job.log_path)
+        header = read_log_header(job.log_path)
+        if header and header.get("fingerprint") not in (None,
+                                                        job.fingerprint):
+            raise ValueError(
+                f"{job.log_path} belongs to a different campaign "
+                f"(fingerprint {str(header['fingerprint'])[:12]}..., "
+                f"expected {job.fingerprint[:12]}...)")
+        plan_keys = {spec.key for spec in job.specs}
+        for key, record in scan_completed_records(job.log_path).items():
+            if key in plan_keys:
+                job.records[key] = record
+        job.pending = deque(
+            index for index in range(len(job.shards))
+            if not job.shard_keys(index) <= set(job.records))
+        job.completed_shards = {
+            index for index in range(len(job.shards))
+            if job.shard_keys(index) <= set(job.records)}
+        if job.records:
+            log.info("campaign %s: restored %d of %d records from %s",
+                     job.campaign_id, len(job.records), job.total,
+                     job.log_path)
+
+    def _restore_persisted(self) -> None:
+        """Re-plan every persisted campaign on startup (restart resume)."""
+        sidecars = sorted(
+            self.log_dir.glob("*.campaign.json"),
+            key=lambda p: [int(s) if s.isdigit() else s
+                           for s in re.findall(r"\d+|\D+", p.stem)])
+        for path in sidecars:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            cid = doc["id"]
+            result = self.submit(doc["config"], campaign_id=cid)
+            number = re.match(r"c(\d+)$", cid)
+            if number:
+                self._id_seq = max(self._id_seq, int(number.group(1)))
+            if not result["reused"]:
+                log.info("restored campaign %s from %s", cid, path)
+
+
+# -- HTTP layer --------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "gpufi-dispatch/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        return self.server.dispatcher  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # quiet by default
+        log.debug("%s - %s", self.address_string(), fmt % args)
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._reply({"error": message}, status=status)
+
+    def _payload(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/api/ping":
+                return self._reply({"ok": True,
+                                    "service": "gpufi-dispatch"})
+            if self.path == "/api/status":
+                return self._reply(self.dispatcher.status())
+            match = re.match(r"^/api/status/([\w.-]+)$", self.path)
+            if match:
+                return self._reply(self.dispatcher.status(match.group(1)))
+            match = re.match(r"^/api/records/([\w.-]+)$", self.path)
+            if match:
+                return self._reply(self.dispatcher.records(match.group(1)))
+            return self._error(f"no such endpoint: {self.path}", 404)
+        except KeyError as exc:
+            return self._error(str(exc.args[0]), 404)
+        except Exception as exc:  # surface, don't kill the thread
+            log.exception("GET %s failed", self.path)
+            return self._error(f"{type(exc).__name__}: {exc}", 500)
+
+    def do_POST(self):  # noqa: N802 (http.server API)
+        try:
+            payload = self._payload()
+            if self.path == "/api/submit":
+                return self._reply(
+                    self.dispatcher.submit(payload["config"]))
+            if self.path == "/api/lease":
+                return self._reply(
+                    self.dispatcher.lease(payload.get("worker", "?")))
+            if self.path == "/api/heartbeat":
+                return self._reply(
+                    self.dispatcher.heartbeat(payload.get("lease", "")))
+            if self.path == "/api/records":
+                return self._reply(self.dispatcher.collect(
+                    payload.get("campaign", ""),
+                    payload.get("lease", ""),
+                    payload.get("fingerprint", ""),
+                    payload.get("records", []),
+                    done=bool(payload.get("done")),
+                    worker=payload.get("worker")))
+            return self._error(f"no such endpoint: {self.path}", 404)
+        except KeyError as exc:
+            return self._error(f"missing/unknown: {exc.args[0]}", 400)
+        except ValueError as exc:
+            return self._error(str(exc), 409)
+        except Exception as exc:
+            log.exception("POST %s failed", self.path)
+            return self._error(f"{type(exc).__name__}: {exc}", 500)
+
+
+class DispatcherServer:
+    """The HTTP face of a :class:`Dispatcher`.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start` serves
+    on a daemon thread, :meth:`serve_forever` blocks (the CLI).
+    """
+
+    def __init__(self, dispatcher: Dispatcher,
+                 host: str = "127.0.0.1", port: int = 8937):
+        self.dispatcher = dispatcher
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.dispatcher = dispatcher  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "DispatcherServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="gpufi-dispatch")
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)

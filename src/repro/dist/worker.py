@@ -1,0 +1,190 @@
+"""The fleet worker: ``gpufi worker --connect <url>``.
+
+A worker is deliberately dumb: it loops *lease -> execute -> stream
+back*, holding no campaign state beyond its current shard.  All
+scheduling intelligence (fairness, expiry, dedup, merging) lives in
+the dispatcher, so workers can appear, disappear and crash freely --
+the work-stealing shape of DAVOS-style grid dispatchers.
+
+While executing a shard the worker heartbeats on a background thread
+at the cadence the lease prescribes; if the dispatcher reports the
+lease expired (the worker was presumed dead and the shard re-queued),
+the worker abandons the rest of the shard instead of racing its
+replacement.  Records it already streamed are kept -- they are pure
+functions of their specs, and the dispatcher deduplicates by run key.
+
+Runnable as a module for subprocess fleets::
+
+    python -m repro.dist.worker --connect http://host:8937
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.dist.client import DispatcherClient, DispatchError
+from repro.dist.protocol import spec_from_wire
+
+#: Records buffered before a streaming POST back to the dispatcher.
+DEFAULT_BATCH_SIZE = 4
+
+
+class FleetWorker:
+    """Work-stealing execution loop against one dispatcher.
+
+    Args:
+        url: dispatcher base URL (``http://host:port``).
+        name: worker identity shown in dispatcher status; defaults to
+            ``<hostname>-<pid>``.
+        poll: seconds between lease attempts while idle.
+        max_idle: give up after this many seconds of continuous
+            idleness (``None`` works forever); lets benches and CI
+            fleets wind down by themselves.
+        batch_size: records buffered per streaming POST.
+        run_fn: per-spec work function (tests substitute stubs);
+            defaults to :func:`repro.faults.executor.execute_run`.
+        stop: external stop signal checked between runs.
+        progress: optional callback receiving one line per shard.
+    """
+
+    def __init__(self, url: str, name: Optional[str] = None,
+                 poll: float = 1.0, max_idle: Optional[float] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 run_fn: Optional[Callable] = None,
+                 stop: Optional[threading.Event] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.client = DispatcherClient(url)
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll = poll
+        self.max_idle = max_idle
+        self.batch_size = batch_size
+        self.stop = stop if stop is not None else threading.Event()
+        self._progress = progress or (lambda msg: None)
+        self.shards_done = 0
+        self.runs_done = 0
+        if run_fn is None:
+            from repro.faults.executor import execute_run
+
+            run_fn = execute_run
+        self._run_fn = run_fn
+
+    def run(self) -> None:
+        """Steal work until stopped (or idle past ``max_idle``)."""
+        idle_since: Optional[float] = None
+        while not self.stop.is_set():
+            lease = self.client.call("/api/lease",
+                                      {"worker": self.name})
+            if lease.get("lease"):
+                idle_since = None
+                self._execute_lease(lease)
+                continue
+            if idle_since is None:
+                idle_since = time.monotonic()
+            if (self.max_idle is not None
+                    and time.monotonic() - idle_since >= self.max_idle):
+                return
+            self.stop.wait(self.poll)
+
+    # -- one shard -----------------------------------------------------------
+
+    def _execute_lease(self, lease: dict) -> None:
+        specs = [spec_from_wire(wire) for wire in lease["specs"]]
+        expired = threading.Event()
+        hb_stop = threading.Event()
+        heartbeater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease, hb_stop, expired),
+            daemon=True, name=f"heartbeat-{lease['lease']}")
+        heartbeater.start()
+        executed = 0
+        try:
+            batch = []
+            for spec in specs:
+                if self.stop.is_set() or expired.is_set():
+                    return
+                batch.append(self._run_fn(spec))
+                executed += 1
+                if len(batch) >= self.batch_size:
+                    if self._flush(lease, batch, done=False):
+                        return  # lease lost: abandon the shard
+                    batch = []
+            if not self._flush(lease, batch, done=True):
+                self.shards_done += 1
+                self.runs_done += executed
+                self._progress(
+                    f"{self.name}: shard {lease['shard']} of "
+                    f"{lease['campaign']} done ({executed} runs)")
+        finally:
+            hb_stop.set()
+            heartbeater.join(timeout=2.0)
+
+    def _flush(self, lease: dict, batch: list, done: bool) -> bool:
+        """Stream a batch back; ``True`` means the lease expired."""
+        reply = self.client.call("/api/records", {
+            "campaign": lease["campaign"],
+            "lease": lease["lease"],
+            "fingerprint": lease["fingerprint"],
+            "worker": self.name,
+            "records": batch,
+            "done": done,
+        })
+        return bool(reply.get("expired")) and not done
+
+    def _heartbeat_loop(self, lease: dict, hb_stop: threading.Event,
+                        expired: threading.Event) -> None:
+        interval = float(lease.get("heartbeat_s") or 5.0)
+        while not hb_stop.wait(interval):
+            try:
+                reply = self.client.call("/api/heartbeat",
+                                          {"lease": lease["lease"]})
+            except DispatchError:
+                continue  # transient network blip: the lease survives
+            if reply.get("expired"):
+                expired.set()
+                return
+
+
+def main(argv=None) -> int:
+    """``python -m repro.dist.worker`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="gpufi-worker",
+        description="gpuFI-4 fleet worker: lease campaign shards from "
+                    "a gpufi dispatcher and execute them")
+    parser.add_argument("--connect", required=True,
+                        help="dispatcher URL, e.g. http://host:8937")
+    parser.add_argument("--name", help="worker name (default host-pid)")
+    parser.add_argument("--poll", type=float, default=1.0,
+                        help="seconds between lease attempts when idle")
+    parser.add_argument("--max-idle", type=float,
+                        help="exit after this many idle seconds "
+                             "(default: work forever)")
+    parser.add_argument("--batch-size", type=int,
+                        default=DEFAULT_BATCH_SIZE,
+                        help="records per streaming POST")
+    args = parser.parse_args(argv)
+    worker = FleetWorker(args.connect, name=args.name, poll=args.poll,
+                         max_idle=args.max_idle,
+                         batch_size=args.batch_size,
+                         progress=lambda msg: print(f"  .. {msg}",
+                                                    flush=True))
+    print(f"worker {worker.name} connecting to {args.connect}",
+          flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(f"worker {worker.name}: {worker.runs_done} runs in "
+          f"{worker.shards_done} shards", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect
 from repro.faults.early_stop import EARLY_STOP_MODES, Prescreener
-from repro.faults.executor import CampaignExecutor, RunSpec
+from repro.faults.executor import RunSpec
 from repro.faults.mask import MaskGenerator, MultiBitMode, derive_run_seed
 from repro.faults.models import get_model
 from repro.faults.runner import RunResult, run_application
@@ -223,11 +223,24 @@ class CampaignConfig:
     #: Abort (instead of hanging) when no run completes for this many
     #: seconds; ``None`` waits forever.
     run_timeout: Optional[float] = None
+    #: Execution backend: ``"local"`` (default -- the in-process
+    #: :class:`~repro.faults.executor.CampaignExecutor` pool, zero
+    #: behavior change) or ``"remote"`` (submit to a ``gpufi serve``
+    #: dispatcher at ``backend_url`` and let a worker fleet execute).
+    #: Records are canonically byte-identical either way.
+    backend: str = "local"
+    #: Dispatcher URL for ``backend="remote"``
+    #: (e.g. ``http://host:8937``).
+    backend_url: Optional[str] = None
 
     def __post_init__(self):
         # validate eagerly so every surface (CLI flag, config file,
         # direct construction) rejects unknown models identically
         get_model(self.fault_model)
+        if self.backend not in ("local", "remote"):
+            raise ValueError(
+                f"backend must be 'local' or 'remote', "
+                f"got {self.backend!r}")
 
     def resolved_model(self):
         """The registered :class:`FaultModel` this campaign applies."""
@@ -508,17 +521,18 @@ class Campaign:
 
     def execute(self, specs: Sequence[RunSpec], jobs: int = 1,
                 resume: bool = False) -> List[dict]:
-        """Execute planned specs; returns records in plan order."""
-        executor = CampaignExecutor(
-            jobs=jobs, progress=self._progress,
-            log_path=self.config.log_path, resume=resume,
-            telemetry=self.config.metrics,
-            propagation=self.config.propagation,
-            run_timeout=self.config.run_timeout)
-        try:
-            return executor.execute(specs)
-        finally:
-            self.last_metrics = executor.last_metrics
+        """Execute planned specs; returns records in plan order.
+
+        Dispatches through the configured
+        :class:`~repro.dist.backend.Backend` (``config.backend``):
+        the default local pool, or a remote ``gpufi serve`` fleet.
+        """
+        # lazy import: repro.dist.backend imports config_file which
+        # imports this module
+        from repro.dist.backend import make_backend
+
+        return make_backend(self.config).execute(
+            self, specs, jobs=jobs, resume=resume)
 
     def aggregate(self, records: Sequence[dict]) -> CampaignResult:
         """Fold run records into the campaign result."""

@@ -20,6 +20,7 @@ be passed directly.
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 from typing import Union
 
@@ -39,7 +40,13 @@ def parse_config_text(text: str) -> CampaignConfig:
     """Parse option text into a :class:`CampaignConfig`."""
     options = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        # a "//" comment must stand alone (start of line or after
+        # whitespace) so URL values like http://host:8937 survive
+        line = raw.split("#", 1)[0]
+        comment = re.search(r"(?:^|\s)//", line)
+        if comment:
+            line = line[:comment.start()]
+        line = line.strip()
         if not line:
             continue
         parts = line.split(None, 1)
@@ -59,7 +66,8 @@ def parse_config_text(text: str) -> CampaignConfig:
         "bits_per_fault", "multibit_mode", "warp_level", "blocks",
         "cores", "kernels", "invocation", "seed", "scheduler",
         "cache_hook_mode", "model_icache", "log", "early_stop",
-        "metrics", "propagation", "run_timeout",
+        "metrics", "propagation", "run_timeout", "backend",
+        "backend_url",
     }
     unknown = set(options) - known
     if unknown:
@@ -94,6 +102,8 @@ def parse_config_text(text: str) -> CampaignConfig:
         propagation=options.get("propagation", "0").lower() in _BOOL_TRUE,
         run_timeout=(float(options["run_timeout"])
                      if "run_timeout" in options else None),
+        backend=options.get("backend", "local"),
+        backend_url=options.get("backend_url"),
     )
 
 
@@ -133,4 +143,8 @@ def dump_config(config: CampaignConfig) -> str:
         lines.append(f"-gpufi_log {config.log_path}")
     if config.run_timeout is not None:
         lines.append(f"-gpufi_run_timeout {config.run_timeout:g}")
+    if config.backend != "local":
+        lines.append(f"-gpufi_backend {config.backend}")
+    if config.backend_url is not None:
+        lines.append(f"-gpufi_backend_url {config.backend_url}")
     return "\n".join(lines) + "\n"

@@ -26,6 +26,7 @@ a straight-through run and a resumed one.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import multiprocessing
 import time
@@ -48,6 +49,59 @@ from repro.sim.device import RunOptions
 #: ``(kernel, structure value, run index)`` -- the coordinates that
 #: uniquely address one injection run within a campaign.
 RunKey = Tuple[str, str, int]
+
+#: Key identifying a campaign-log header line (the first line of logs
+#: written since fingerprints exist).  Headers are metadata, not run
+#: records: every log reader skips them.
+LOG_HEADER_KEY = "gpufi_log"
+
+#: Header schema version; bump on breaking layout changes.
+LOG_HEADER_SCHEMA = 1
+
+
+def plan_fingerprint(specs: Sequence["RunSpec"]) -> str:
+    """Campaign identity hash of a plan: seed + plan, order-independent.
+
+    Hashes the *identity* of every planned run -- coordinates, derived
+    seed (itself a pure function of the campaign seed and the
+    coordinates) and the fault configuration -- sorted so the result
+    is independent of plan enumeration order and of how the plan is
+    later sharded.  Execution-strategy fields (checkpointing, early
+    termination, telemetry) deliberately stay out: they never change
+    what a campaign *is*, only how fast it runs.
+
+    Two logs share a fingerprint exactly when they were produced by
+    the same campaign, which is what :func:`repro.faults.parser
+    .merge_logs` checks before aggregating them together and what the
+    distributed dispatcher checks when collecting shard results.
+    """
+    rows = sorted(
+        json.dumps([spec.benchmark, spec.card, spec.kernel,
+                    spec.structure.value, spec.run_index, spec.seed,
+                    spec.fault_model, spec.bits_per_fault,
+                    spec.multibit_mode.value, spec.warp_level,
+                    spec.n_blocks, spec.n_cores, spec.scheduler_policy,
+                    spec.cache_hook_mode, spec.model_icache])
+        for spec in specs)
+    digest = hashlib.sha256("\n".join(rows).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def log_header(specs: Sequence["RunSpec"]) -> dict:
+    """The header record stamped as the first line of a campaign log."""
+    header = {LOG_HEADER_KEY: LOG_HEADER_SCHEMA,
+              "fingerprint": plan_fingerprint(specs),
+              "runs": len(specs)}
+    if specs:
+        header["benchmark"] = specs[0].benchmark
+        header["card"] = specs[0].card
+    return header
+
+
+def format_log_header(specs: Sequence["RunSpec"]) -> str:
+    """The header's exact log line (shared by every log writer, so
+    locally written and fleet-merged logs stay byte-identical)."""
+    return json.dumps(log_header(specs)) + "\n"
 
 
 @dataclass(frozen=True)
@@ -619,6 +673,12 @@ class CampaignExecutor:
                 _trim_partial_tail(self.log_path)
             log_file = open(self.log_path, "a" if append else "w",
                             encoding="utf-8")
+            if not append:
+                # stamp the campaign identity first, so merge_logs and
+                # the distributed dispatcher can refuse to mix records
+                # of unrelated campaigns
+                log_file.write(format_log_header(specs))
+                log_file.flush()
             if self.telemetry:
                 events = EventLog(events_path_for(self.log_path))
         events.emit("campaign_start", total=len(specs),

@@ -11,18 +11,23 @@ injections".
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import json
 
 from repro.faults.campaign import aggregate_counts
 from repro.faults.classify import FaultEffect
+from repro.faults.executor import LOG_HEADER_KEY
 from repro.faults.targets import Structure
 
 
 def load_records(path: Union[str, Path],
                  tolerate_torn_tail: bool = False) -> List[dict]:
     """Load every run record from a campaign JSONL log.
+
+    Header lines (campaign fingerprint metadata, flagged by the
+    ``gpufi_log`` key; see :func:`read_log_header`) are metadata, not
+    run records, and are skipped.
 
     With ``tolerate_torn_tail=True`` a malformed **final** line is
     dropped instead of raising -- the tail of a log cut mid-write when
@@ -40,12 +45,38 @@ def load_records(path: Union[str, Path],
         if not line:
             continue
         try:
-            records.append(json.loads(line))
+            record = json.loads(line)
         except json.JSONDecodeError as exc:
             if tolerate_torn_tail and lineno == last:
                 break  # partial trailing write from an interrupted run
             raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
+        if isinstance(record, dict) and LOG_HEADER_KEY in record:
+            continue  # campaign-identity header, not a run record
+        records.append(record)
     return records
+
+
+def read_log_header(path: Union[str, Path]) -> Optional[dict]:
+    """The campaign-identity header of a log, or ``None``.
+
+    Logs written since campaign fingerprints exist start with one
+    metadata line ``{"gpufi_log": 1, "fingerprint": ..., ...}``.
+    Logs predating it (or assembled by hand) have none; every reader
+    treats those as merge-compatible with anything.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                first = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            if isinstance(first, dict) and LOG_HEADER_KEY in first:
+                return first
+            return None
+    return None
 
 
 def scan_completed_records(path: Union[str, Path]
@@ -72,6 +103,8 @@ def scan_completed_records(path: Union[str, Path]
             if lineno == last:
                 break  # partial trailing write from an interrupted run
             raise ValueError(f"{path}:{lineno}: bad JSON record") from exc
+        if isinstance(record, dict) and LOG_HEADER_KEY in record:
+            continue  # campaign-identity header, not a run record
         try:
             key = (record["kernel"], record["structure"],
                    int(record["run"]))
@@ -109,19 +142,72 @@ def aggregate_by_model(
             for model in ordered}
 
 
+def combine_records(paths: Iterable[Union[str, Path]],
+                    tolerate_torn_tail: bool = True,
+                    force: bool = False) -> List[dict]:
+    """Load and combine run records from several campaign logs.
+
+    Logs carry a campaign fingerprint in their header line (seed +
+    plan hash; see :func:`repro.faults.executor.plan_fingerprint`), so
+    combining is safe by construction:
+
+    - logs whose fingerprints **differ** are different campaigns;
+      concatenating them silently would produce a plausible-looking
+      corrupt report, so this raises unless ``force=True`` (the
+      deliberate "I know these are different campaigns" override,
+      surfaced as ``gpufi report --force``);
+    - logs sharing one fingerprint are shards/retries of the **same**
+      campaign; their records are deduplicated by ``(kernel,
+      structure, run)`` (first occurrence wins -- records are pure
+      functions of their coordinates, so any copy is the same record);
+    - logs without a header (predating fingerprints) are combined
+      as-is: no identity to check, no dedup key trustworthy across
+      campaigns.
+    """
+    fingerprints: Dict[str, List[str]] = {}
+    seen_keys: Dict[str, set] = {}
+    records: List[dict] = []
+    for path in paths:
+        header = read_log_header(path)
+        fingerprint = (header or {}).get("fingerprint")
+        loaded = load_records(path, tolerate_torn_tail=tolerate_torn_tail)
+        if fingerprint is None:
+            records.extend(loaded)
+            continue
+        fingerprints.setdefault(fingerprint, []).append(str(path))
+        if len(fingerprints) > 1 and not force:
+            first, second = list(fingerprints)[:2]
+            raise ValueError(
+                f"refusing to merge logs of different campaigns: "
+                f"{fingerprints[first][0]} has fingerprint "
+                f"{first[:12]}..., {fingerprints[second][0]} has "
+                f"{second[:12]}... (pass force=True / --force to "
+                f"merge anyway)")
+        keys = seen_keys.setdefault(fingerprint, set())
+        for record in loaded:
+            key = (record.get("kernel"), record.get("structure"),
+                   record.get("run"))
+            if key in keys:
+                continue  # duplicate shard record (e.g. re-queued lease)
+            keys.add(key)
+            records.append(record)
+    return records
+
+
 def merge_logs(paths: Iterable[Union[str, Path]],
-               tolerate_torn_tail: bool = True
+               tolerate_torn_tail: bool = True,
+               force: bool = False
                ) -> Dict[str, Dict[Structure, Dict[FaultEffect, int]]]:
     """Aggregate several batch logs together (multi-batch campaigns).
 
     Interrupted logs (torn final line) are accepted by default --
     anything the resume path can restart from can also be merged.
+    Logs of *different* campaigns (mismatched header fingerprints) are
+    rejected unless ``force=True``; same-campaign logs are
+    deduplicated by run key first (see :func:`combine_records`).
     """
-    records: List[dict] = []
-    for path in paths:
-        records.extend(load_records(path,
-                                    tolerate_torn_tail=tolerate_torn_tail))
-    return aggregate_counts(records)
+    return aggregate_counts(combine_records(
+        paths, tolerate_torn_tail=tolerate_torn_tail, force=force))
 
 
 def count_unapplied(records: Sequence[dict]) -> int:

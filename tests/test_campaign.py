@@ -107,17 +107,33 @@ class TestCampaignExecution:
 
 
 class TestParserMerge:
-    def test_merge_logs(self, tmp_path):
+    def test_merge_logs_rejects_mismatched_campaigns(self, tmp_path):
+        # different seeds -> different fingerprints -> different
+        # campaigns; silently concatenating them would fabricate a
+        # 6-run campaign that never existed
         for i, seed in enumerate((1, 2)):
             Campaign(CampaignConfig(
                 benchmark="vectoradd", card="RTX2060",
                 structures=(Structure.REGISTER_FILE,),
                 runs_per_structure=3, seed=seed,
                 log_path=tmp_path / f"batch{i}.jsonl")).run()
-        counts = merge_logs([tmp_path / "batch0.jsonl",
-                             tmp_path / "batch1.jsonl"])
+        paths = [tmp_path / "batch0.jsonl", tmp_path / "batch1.jsonl"]
+        with pytest.raises(ValueError, match="different campaigns"):
+            merge_logs(paths)
+        counts = merge_logs(paths, force=True)
         total = sum(counts["vectorAdd"][Structure.REGISTER_FILE].values())
         assert total == 6
+
+    def test_merge_logs_dedups_same_campaign_shards(self, tmp_path):
+        log = tmp_path / "batch.jsonl"
+        Campaign(CampaignConfig(
+            benchmark="vectoradd", card="RTX2060",
+            structures=(Structure.REGISTER_FILE,),
+            runs_per_structure=3, seed=1, log_path=log)).run()
+        # the same log twice = two shards with fully overlapping runs
+        counts = merge_logs([log, log])
+        total = sum(counts["vectorAdd"][Structure.REGISTER_FILE].values())
+        assert total == 3
 
     def test_bad_json_raises(self, tmp_path):
         bad = tmp_path / "bad.jsonl"

@@ -1,0 +1,152 @@
+"""Backend selection, config surfaces and the campaign log header."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dist.backend import (Backend, LocalPoolBackend,
+                                RemoteFleetBackend, backend_names,
+                                make_backend)
+from repro.dist.protocol import canonical_log_text
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.config_file import dump_config, parse_config_text
+from repro.faults.executor import (CampaignExecutor, log_header,
+                                   plan_fingerprint)
+from repro.faults.parser import (load_records, read_log_header,
+                                 scan_completed_records)
+from repro.faults.targets import Structure
+
+SMALL = dict(benchmark="vectoradd", card="RTX2060",
+             structures=(Structure.REGISTER_FILE,),
+             runs_per_structure=3, seed=7)
+
+
+class TestBackendSelection:
+    def test_registry(self):
+        assert backend_names() == ["local", "remote"]
+        local = make_backend(CampaignConfig(**SMALL))
+        assert isinstance(local, LocalPoolBackend)
+        remote = make_backend(dataclasses.replace(
+            CampaignConfig(**SMALL), backend="remote",
+            backend_url="http://x:1"))
+        assert isinstance(remote, RemoteFleetBackend)
+        assert isinstance(local, Backend)
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            CampaignConfig(**SMALL, backend="cloud")
+
+    def test_local_is_the_default_and_changes_nothing(self, tmp_path):
+        """The Backend seam must be invisible on the default path."""
+        config = CampaignConfig(**SMALL,
+                                log_path=tmp_path / "via_campaign.jsonl")
+        assert config.backend == "local"
+        result = Campaign(config).run(jobs=1)
+        # bypass the backend seam entirely: raw executor on the plan
+        campaign = Campaign(CampaignConfig(**SMALL))
+        specs = campaign.plan()
+        direct = CampaignExecutor(
+            jobs=1, log_path=tmp_path / "direct.jsonl").execute(specs)
+        assert result.records == direct
+        # serial execution logs in plan order: strictly byte-identical
+        assert (tmp_path / "via_campaign.jsonl").read_text() == \
+               (tmp_path / "direct.jsonl").read_text()
+        # a parallel pool returns the same records through the seam
+        assert Campaign(CampaignConfig(**SMALL)).run(jobs=2).records \
+               == direct
+
+
+class TestConfigFileSurface:
+    def test_backend_options_round_trip(self):
+        config = dataclasses.replace(
+            CampaignConfig(**{**SMALL, "structures": None}),
+            backend="remote", backend_url="http://host:8937")
+        text = dump_config(config)
+        assert "-gpufi_backend remote" in text
+        assert "-gpufi_backend_url http://host:8937" in text
+        parsed = parse_config_text(text)
+        assert parsed.backend == "remote"
+        assert parsed.backend_url == "http://host:8937"
+
+    def test_local_backend_elided_from_dump(self):
+        text = dump_config(CampaignConfig(**{**SMALL,
+                                             "structures": None}))
+        assert "-gpufi_backend" not in text
+        assert parse_config_text(text).backend == "local"
+
+    def test_url_survives_comment_stripping(self):
+        # "//" only starts a comment at start-of-line or after
+        # whitespace; http:// URLs must not be truncated
+        config = parse_config_text(
+            "-gpufi_benchmark vectoradd // trailing comment\n"
+            "// a full-line comment\n"
+            "-gpufi_card RTX2060\n"
+            "-gpufi_backend_url http://host:8937\n"
+            "-gpufi_backend remote\n")
+        assert config.benchmark == "vectoradd"
+        assert config.backend_url == "http://host:8937"
+
+
+class TestLogHeader:
+    def test_executor_stamps_header(self, tmp_path):
+        campaign = Campaign(CampaignConfig(**SMALL,
+                                           log_path=tmp_path / "a.jsonl"))
+        specs = campaign.plan()
+        campaign.execute(specs)
+        header = read_log_header(tmp_path / "a.jsonl")
+        assert header["gpufi_log"] == 1
+        assert header["fingerprint"] == plan_fingerprint(specs)
+        assert header["runs"] == len(specs)
+        assert header["benchmark"] == "vectoradd"
+
+    def test_header_is_shard_and_order_independent(self, tmp_path):
+        campaign = Campaign(CampaignConfig(**SMALL))
+        specs = campaign.plan()
+        assert log_header(specs)["fingerprint"] == \
+               log_header(list(reversed(specs)))["fingerprint"]
+
+    def test_parsers_skip_header(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        campaign = Campaign(CampaignConfig(**SMALL, log_path=log))
+        specs = campaign.plan()
+        records = campaign.execute(specs)
+        loaded = load_records(log)
+        assert loaded == records  # header filtered, records intact
+        scanned = scan_completed_records(log)
+        assert len(scanned) == len(specs)
+        assert all("gpufi_log" not in r for r in scanned.values())
+
+    def test_headerless_logs_still_parse(self, tmp_path):
+        log = tmp_path / "old.jsonl"
+        log.write_text(json.dumps(
+            {"kernel": "k", "structure": "register_file", "run": 0,
+             "effect": "Masked"}) + "\n")
+        assert read_log_header(log) is None
+        assert len(load_records(log)) == 1
+
+    def test_resume_appends_without_second_header(self, tmp_path):
+        log = tmp_path / "resume.jsonl"
+        campaign = Campaign(CampaignConfig(**SMALL, log_path=log))
+        specs = campaign.plan()
+        campaign.execute(specs)
+        # cut the log after the header + one record, then resume
+        lines = log.read_text().splitlines(keepends=True)
+        log.write_text("".join(lines[:2]))
+        resumed = Campaign(CampaignConfig(**SMALL, log_path=log))
+        resumed_specs = resumed.plan()
+        records = resumed.execute(resumed_specs, resume=True)
+        text = log.read_text()
+        assert text.count('"gpufi_log"') == 1
+        assert len(records) == len(specs)
+        assert len(load_records(log)) == len(specs)
+
+    def test_canonicalize_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "c.jsonl"
+        campaign = Campaign(CampaignConfig(**SMALL, log_path=log))
+        records = campaign.execute(campaign.plan())
+        assert main(["canonicalize", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert out == canonical_log_text(records)
