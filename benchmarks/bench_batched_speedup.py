@@ -1,0 +1,118 @@
+"""Batched lockstep execution: wall-clock of batch=1 vs batch=N.
+
+Times the same campaign through the full pipeline (plan + execute,
+golden profiling included) on the solo path and with lockstep packs
+(``CampaignConfig.batch``), asserts the records are canonically
+identical, and reports the speedup.  Batching is a pure wall-clock
+optimisation: one decode+issue drives every pack member while their
+control flow agrees, so the win scales with the lockstep fraction the
+metrics sidecar reports.
+
+Run standalone for the acceptance measurement::
+
+    PYTHONPATH=src python benchmarks/bench_batched_speedup.py \
+        --runs 32 --batch 8
+
+or under pytest-benchmark with the other benches.  Scaling knobs:
+``GPUFI_BATCH_RUNS`` (injections), ``GPUFI_BATCH_SIZE`` (pack size)
+and ``GPUFI_BATCH_MIN`` (the speedup floor; relaxed on shared CI
+runners, 2x locally).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from _harness import emit
+from repro.dist.protocol import canonical_log_text
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.targets import Structure
+
+RUNS = int(os.environ.get("GPUFI_BATCH_RUNS", "32"))
+BATCH = int(os.environ.get("GPUFI_BATCH_SIZE", "8"))
+
+#: end-to-end acceptance floor, golden profiling included
+MIN_SPEEDUP = float(os.environ.get("GPUFI_BATCH_MIN", "2.0"))
+
+
+def _config(runs: int, batch: int) -> CampaignConfig:
+    # early_stop="off" isolates the lockstep gain from prescreening
+    # (which would otherwise skip most of these runs outright); the
+    # multi-invocation pathfinder kernel gives packs a long ride
+    return CampaignConfig(
+        benchmark="pathfinder", card="RTX2060",
+        structures=(Structure.REGISTER_FILE,),
+        runs_per_structure=runs, seed=2022,
+        early_stop="off", batch=batch)
+
+
+def measure(runs: int, batch: int):
+    """Time the same campaign solo and batched, full pipeline."""
+    start = time.perf_counter()
+    solo = Campaign(_config(runs, batch=1)).run()
+    t_solo = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = Campaign(_config(runs, batch=batch)).run()
+    t_batched = time.perf_counter() - start
+
+    identical = (canonical_log_text(solo.records)
+                 == canonical_log_text(batched.records))
+    return t_solo, t_batched, identical
+
+
+def report(runs: int, batch: int):
+    t_solo, t_batched, identical = measure(runs, batch)
+    speedup = t_solo / t_batched if t_batched else 0.0
+    lines = [
+        f"campaign: pathfinder/register_file, {runs} runs, "
+        f"early_stop=off",
+        f"batch=1:       {t_solo:8.2f}s  "
+        f"({runs / t_solo:.2f} runs/s)",
+        f"batch={batch}:       {t_batched:8.2f}s  "
+        f"({runs / t_batched:.2f} runs/s)",
+        f"speedup:       {speedup:.2f}x  (floor {MIN_SPEEDUP:g}x)",
+        f"records canonically identical: {identical}",
+    ]
+    return speedup, identical, "\n".join(lines)
+
+
+def test_batched_speedup(benchmark):
+    def once():
+        return report(RUNS, BATCH)
+
+    speedup, identical, text = benchmark.pedantic(
+        once, rounds=1, iterations=1)
+    emit("batched_speedup", text)
+    assert identical, "batched records diverged from solo"
+    assert speedup >= MIN_SPEEDUP, text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=RUNS)
+    parser.add_argument("--batch", type=int, default=BATCH)
+    args = parser.parse_args(argv)
+
+    speedup, identical, text = report(args.runs, args.batch)
+    print(text)
+    from _harness import OUT_DIR
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "batched_speedup.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+    if not identical:
+        print("FAIL: batched records diverged", file=sys.stderr)
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x < {MIN_SPEEDUP:g}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

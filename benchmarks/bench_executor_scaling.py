@@ -65,26 +65,33 @@ def report(runs: int, jobs: int):
                  == json.dumps(results[jobs].records))
     speedup = timings[1] / timings[jobs] if timings[jobs] else 0.0
     cpus = _usable_cpus()
+    throughput = {n: (runs / t if t else 0.0)
+                  for n, t in timings.items()}
     lines = [
         f"campaign: vectoradd/register_file, {runs} runs, "
         f"{cpus} usable CPU(s)",
         f"jobs=1:      {timings[1]:8.2f}s  "
-        f"({runs / timings[1]:.2f} runs/s)",
+        f"({throughput[1]:.2f} runs/s)",
         f"jobs={jobs}:      {timings[jobs]:8.2f}s  "
-        f"({runs / timings[jobs]:.2f} runs/s)",
+        f"({throughput[jobs]:.2f} runs/s)",
         f"speedup:     {speedup:.2f}x",
         f"aggregated records byte-identical: {identical}",
     ]
-    return speedup, identical, cpus, "\n".join(lines)
+    return speedup, identical, cpus, throughput, "\n".join(lines)
 
 
 def test_executor_scaling(benchmark):
     def once():
         return report(RUNS, JOBS)
 
-    speedup, identical, cpus, text = benchmark.pedantic(
+    speedup, identical, cpus, throughput, text = benchmark.pedantic(
         once, rounds=1, iterations=1)
     emit("executor_scaling", text)
+    # absolute throughput as its own artifact so the bench-trajectory
+    # JSON captures runs/sec, not just the ratio
+    emit("executor_scaling_throughput",
+         "\n".join(f"runs_per_s jobs={n}: {rate:.4f}"
+                   for n, rate in sorted(throughput.items())))
     assert identical, "jobs=1 and jobs=N records diverged"
     if cpus >= 2 * JOBS:
         assert speedup >= 2.0, text
@@ -96,7 +103,7 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=4)
     args = parser.parse_args(argv)
 
-    speedup, identical, cpus, text = report(args.runs, args.jobs)
+    speedup, identical, cpus, _, text = report(args.runs, args.jobs)
     print(text)
     if not identical:
         print("FAIL: parallel records diverged from serial", file=sys.stderr)

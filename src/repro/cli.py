@@ -107,6 +107,22 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--benchmark", required=True)
     profile.add_argument("--card", default="RTX2060")
 
+    run = sub.add_parser(
+        "run",
+        help="one fault-free application run (quick check / profiling "
+             "anchor; campaigns use 'campaign')")
+    run.add_argument("--benchmark", required=True)
+    run.add_argument("--card", default="RTX2060")
+    run.add_argument("--scheduler", default="gto",
+                     choices=["gto", "lrr"])
+    run.add_argument("--log",
+                     help="anchor path for sidecars (default: "
+                          "<benchmark>.run)")
+    run.add_argument("--profile", action="store_true",
+                     help="dump a cProfile sidecar "
+                          "(<log>.profile.0.pstats); inspect with "
+                          "'gpufi report-profile'")
+
     campaign = sub.add_parser("campaign", help="run an injection campaign")
     _add_plan_flags(campaign)
     campaign.add_argument("--log", help="JSONL output path")
@@ -123,6 +139,16 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the injection runs "
                                "(results are identical for any count)")
+    campaign.add_argument("--batch-size", type=int, default=None,
+                          dest="batch_size", metavar="N",
+                          help="lockstep batch size: simulate up to N "
+                               "eligible injected runs per process in "
+                               "one cycle loop (records are "
+                               "byte-identical for any size; default 1)")
+    campaign.add_argument("--profile", action="store_true",
+                          help="dump per-worker cProfile sidecars "
+                               "(<log>.profile.<worker>.pstats); "
+                               "inspect with 'gpufi report-profile'")
     campaign.add_argument("--resume", action="store_true",
                           help="skip runs already recorded in --log "
                                "(resume an interrupted campaign)")
@@ -228,6 +254,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "log", nargs="+",
         help="campaign log (or sidecar) path(s) from a --metrics run")
 
+    report_profile = sub.add_parser(
+        "report-profile",
+        help="print the top cumulative hot spots from --profile "
+             "pstats sidecars (per worker, merged)")
+    report_profile.add_argument(
+        "path", nargs="+",
+        help="a .pstats sidecar, or the campaign log whose "
+             "<log>.profile.*.pstats sidecars to merge")
+    report_profile.add_argument(
+        "--limit", type=int, default=20,
+        help="entries to print (default 20)")
+
     explain = sub.add_parser(
         "explain-run",
         help="narrate one run's fault propagation (site fates, "
@@ -266,13 +304,20 @@ def _cmd_profile(args) -> int:
 
 def _campaign_config(args) -> CampaignConfig:
     config = _plan_config(args)
+    import dataclasses
+
+    batch = getattr(args, "batch_size", None)
+    profile = getattr(args, "profile", False)
+    if batch is not None or profile:
+        config = dataclasses.replace(
+            config,
+            batch=batch if batch is not None else config.batch,
+            profile=profile or config.profile)
     backend = getattr(args, "backend", None)
     connect = getattr(args, "connect", None)
     if connect and not backend:
         backend = "remote"
     if backend or connect:
-        import dataclasses
-
         config = dataclasses.replace(
             config, backend=backend or config.backend,
             backend_url=connect or config.backend_url)
@@ -368,6 +413,59 @@ def _cmd_campaign(args) -> int:
         Path(args.markdown).write_text(render_markdown(result),
                                        encoding="utf-8")
         print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bench import make_benchmark
+    from repro.faults.runner import run_application
+    from repro.sim.device import RunOptions
+
+    anchor = args.log or f"{args.benchmark}.run"
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = run_application(
+            make_benchmark(args.benchmark), args.card,
+            options=RunOptions(scheduler_policy=args.scheduler))
+    finally:
+        if profiler is not None:
+            from repro.faults.executor import profile_path_for
+
+            profiler.disable()
+            out = profile_path_for(anchor, 0)
+            profiler.dump_stats(out)
+            print(f"profile written to {out} "
+                  "(inspect with 'gpufi report-profile')")
+    print(f"{args.benchmark} on {args.card}: {result.message} "
+          f"({result.cycles} cycles, status {result.status})")
+    return 0 if result.status == "completed" and result.passed else 1
+
+
+def _cmd_report_profile(args) -> int:
+    import glob
+    import pstats
+
+    paths: List[str] = []
+    for path in args.path:
+        if path.endswith(".pstats"):
+            paths.append(path)
+        else:
+            paths.extend(sorted(glob.glob(path + ".profile.*.pstats")))
+    if not paths:
+        print("error: no .pstats sidecars found (run with --profile "
+              "first)", file=sys.stderr)
+        return 1
+    stats = pstats.Stats(paths[0], stream=sys.stdout)
+    for extra in paths[1:]:
+        stats.add(extra)
+    print(f"merged {len(paths)} profile(s): "
+          + ", ".join(paths))
+    stats.sort_stats("cumulative").print_stats(args.limit)
     return 0
 
 
@@ -579,12 +677,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "report-metrics":
         return _cmd_report_metrics(args)
+    if args.command == "report-profile":
+        return _cmd_report_profile(args)
     if args.command == "explain-run":
         return _cmd_explain_run(args)
     if args.command == "serve":

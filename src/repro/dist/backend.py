@@ -79,7 +79,9 @@ class LocalPoolBackend(Backend):
             log_path=config.log_path, resume=resume,
             telemetry=config.metrics,
             propagation=config.propagation,
-            run_timeout=config.run_timeout)
+            run_timeout=config.run_timeout,
+            batch=getattr(config, "batch", 1),
+            profile=getattr(config, "profile", False))
         try:
             return executor.execute(specs)
         finally:

@@ -14,17 +14,16 @@ complete application execution on a fresh device.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.faults.classify import TIMEOUT_FACTOR, FaultEffect
 from repro.faults.early_stop import EARLY_STOP_MODES, Prescreener
-from repro.faults.executor import RunSpec
-from repro.faults.mask import MaskGenerator, MultiBitMode, derive_run_seed
+from repro.faults.executor import RunSpec, regenerate_mask
+from repro.faults.mask import MultiBitMode, derive_run_seed
 from repro.faults.models import get_model
 from repro.faults.runner import RunResult, run_application
 from repro.faults.targets import Structure, supported_structures
@@ -223,6 +222,15 @@ class CampaignConfig:
     #: Abort (instead of hanging) when no run completes for this many
     #: seconds; ``None`` waits forever.
     run_timeout: Optional[float] = None
+    #: Lockstep batch size: eligible runs are simulated in packs of at
+    #: most this many per process, sharing one cycle loop (see
+    #: :mod:`repro.faults.batch_executor`).  ``1`` disables batching.
+    #: Records are byte-identical (canonical form) for any value.
+    batch: int = 1
+    #: Dump a per-worker cProfile sidecar
+    #: (``<log>.profile.<worker>.pstats``) next to the campaign log;
+    #: inspect with ``gpufi report-profile``.
+    profile: bool = False
     #: Execution backend: ``"local"`` (default -- the in-process
     #: :class:`~repro.faults.executor.CampaignExecutor` pool, zero
     #: behavior change) or ``"remote"`` (submit to a ``gpufi serve``
@@ -237,6 +245,8 @@ class CampaignConfig:
         # validate eagerly so every surface (CLI flag, config file,
         # direct construction) rejects unknown models identically
         get_model(self.fault_model)
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
         if self.backend not in ("local", "remote"):
             raise ValueError(
                 f"backend must be 'local' or 'remote', "
@@ -379,6 +389,13 @@ class Campaign:
                 f"fault model {model.name!r} does not support "
                 "cache_hook_mode (hooks encode one-shot flip "
                 "semantics)")
+        if cfg.batch > 1 and model.persistent:
+            # same gate as the prescreener: a persistent fault
+            # re-asserts every cycle, so a pack member could never
+            # converge back onto the golden column
+            raise ValueError(
+                f"fault model {model.name!r} is persistent and cannot "
+                "be batched; use batch=1")
         want_liveness = cfg.early_stop == "full"
         resolved = cfg.resolved_card()
         checkpointer = None
@@ -449,42 +466,7 @@ class Campaign:
                     seed = derive_run_seed(cfg.seed, kernel_name,
                                            structure, run_index,
                                            fault_model=cfg.fault_model)
-                    prescreen_reason = ""
-                    prescreen_site = ""
-                    if prescreener is not None and not no_target:
-                        # regenerate the exact mask execute_run will
-                        # draw (same generator construction, same seed)
-                        mask = MaskGenerator(
-                            resolved, [tuple(w) for w in windows],
-                            kp.regs_per_thread, kp.smem_bytes,
-                            kp.local_bytes,
-                            np.random.default_rng(seed)).generate(
-                                structure, n_bits=cfg.bits_per_fault,
-                                mode=cfg.multibit_mode,
-                                warp_level=cfg.warp_level,
-                                n_blocks=cfg.n_blocks,
-                                n_cores=cfg.n_cores,
-                                fault_model=cfg.fault_model)
-                        prescreen_reason = prescreener.evaluate(
-                            mask, kp.regs_per_thread, kp.smem_bytes,
-                            kp.local_bytes) or ""
-                        if prescreen_reason and cfg.propagation:
-                            # plan-time fate: the pre-screener already
-                            # resolved the site and proved its fate
-                            # from the golden liveness trace
-                            import json as _json
-
-                            from repro.obs.propagation import \
-                                sites_from_prescreen
-
-                            prescreen_site = _json.dumps(
-                                {"cycle": int(mask.cycle),
-                                 "sites": sites_from_prescreen(
-                                     structure.value,
-                                     prescreener.last_target,
-                                     prescreener.last_fate)},
-                                sort_keys=True, default=int)
-                    specs.append(RunSpec(
+                    spec = RunSpec(
                         benchmark=cfg.benchmark,
                         card=cfg.card,
                         kernel=kernel_name,
@@ -512,11 +494,38 @@ class Campaign:
                         checkpoint_key=checkpoint_key,
                         verify_restore=cfg.verify_restore,
                         early_stop=cfg.early_stop,
-                        prescreened=bool(prescreen_reason),
-                        prescreen_reason=prescreen_reason,
-                        prescreen_site=prescreen_site,
                         fault_model=cfg.fault_model,
-                    ))
+                    )
+                    if prescreener is not None and not no_target:
+                        # the exact mask execute_run will draw (same
+                        # generator construction, same derived seed)
+                        mask = regenerate_mask(spec)
+                        prescreen_reason = prescreener.evaluate(
+                            mask, kp.regs_per_thread, kp.smem_bytes,
+                            kp.local_bytes) or ""
+                        prescreen_site = ""
+                        if prescreen_reason and cfg.propagation:
+                            # plan-time fate: the pre-screener already
+                            # resolved the site and proved its fate
+                            # from the golden liveness trace
+                            import json as _json
+
+                            from repro.obs.propagation import \
+                                sites_from_prescreen
+
+                            prescreen_site = _json.dumps(
+                                {"cycle": int(mask.cycle),
+                                 "sites": sites_from_prescreen(
+                                     structure.value,
+                                     prescreener.last_target,
+                                     prescreener.last_fate)},
+                                sort_keys=True, default=int)
+                        if prescreen_reason:
+                            spec = dataclasses.replace(
+                                spec, prescreened=True,
+                                prescreen_reason=prescreen_reason,
+                                prescreen_site=prescreen_site)
+                    specs.append(spec)
         return specs
 
     def execute(self, specs: Sequence[RunSpec], jobs: int = 1,

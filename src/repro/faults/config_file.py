@@ -67,7 +67,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         "cores", "kernels", "invocation", "seed", "scheduler",
         "cache_hook_mode", "model_icache", "log", "early_stop",
         "metrics", "propagation", "run_timeout", "backend",
-        "backend_url",
+        "backend_url", "batch",
     }
     unknown = set(options) - known
     if unknown:
@@ -104,6 +104,7 @@ def parse_config_text(text: str) -> CampaignConfig:
                      if "run_timeout" in options else None),
         backend=options.get("backend", "local"),
         backend_url=options.get("backend_url"),
+        batch=int(options.get("batch", 1)),
     )
 
 
@@ -147,4 +148,6 @@ def dump_config(config: CampaignConfig) -> str:
         lines.append(f"-gpufi_backend {config.backend}")
     if config.backend_url is not None:
         lines.append(f"-gpufi_backend_url {config.backend_url}")
+    if config.batch != 1:
+        lines.append(f"-gpufi_batch {config.batch}")
     return "\n".join(lines) + "\n"

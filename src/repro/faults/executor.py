@@ -244,6 +244,26 @@ def _run_timings(spec: RunSpec, result, started: float,
     }
 
 
+def regenerate_mask(spec: RunSpec):
+    """Re-derive the spec's fault mask from its seed.
+
+    The mask is a pure function of the spec (the RNG is seeded from
+    the derived per-run seed), so the planner, the solo path and the
+    batched path all regenerate the *same* mask -- the property that
+    keeps records byte-identical across dispatch strategies.
+    """
+    card = _resolved_card(spec)
+    generator = MaskGenerator(card, list(spec.windows),
+                              spec.regs_per_thread, spec.smem_bytes,
+                              spec.local_bytes,
+                              np.random.default_rng(spec.seed))
+    return generator.generate(
+        spec.structure, n_bits=spec.bits_per_fault,
+        mode=spec.multibit_mode, warp_level=spec.warp_level,
+        n_blocks=spec.n_blocks, n_cores=spec.n_cores,
+        fault_model=spec.fault_model)
+
+
 def _finish_record(base: dict, result, spec: RunSpec, mask) -> dict:
     """Fill one result record from a completed application run.
 
@@ -320,15 +340,7 @@ def execute_run(spec: RunSpec) -> dict:
         return record
 
     card = _resolved_card(spec)
-    generator = MaskGenerator(card, list(spec.windows),
-                              spec.regs_per_thread, spec.smem_bytes,
-                              spec.local_bytes,
-                              np.random.default_rng(spec.seed))
-    mask = generator.generate(
-        spec.structure, n_bits=spec.bits_per_fault,
-        mode=spec.multibit_mode, warp_level=spec.warp_level,
-        n_blocks=spec.n_blocks, n_cores=spec.n_cores,
-        fault_model=spec.fault_model)
+    mask = regenerate_mask(spec)
 
     if spec.prescreened:
         record["mask"] = mask.to_dict()
@@ -572,6 +584,65 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
+def profile_path_for(log_path: Union[str, Path], worker: int) -> str:
+    """Per-worker cProfile sidecar next to a campaign log (the same
+    naming scheme as ``<log>.metrics.json``)."""
+    return str(log_path) + f".profile.{worker}.pstats"
+
+
+class _UnitRunner:
+    """Picklable per-unit work function.
+
+    The pool's unit of work is either ``("solo", spec)`` -- one
+    ``run_fn`` call -- or ``("pack", (spec, ...))`` -- one batched
+    lockstep execution.  Both return ``(records, batch_stats)`` so the
+    drain loop is uniform; solo units carry no batch stats.
+    """
+
+    def __init__(self, run_fn):
+        self.run_fn = run_fn
+
+    def __call__(self, unit) -> Tuple[List[dict], Optional[dict]]:
+        kind, payload = unit
+        if kind == "pack":
+            from repro.faults.batch_executor import execute_pack
+
+            return execute_pack(list(payload))
+        return [self.run_fn(payload)], None
+
+
+#: Per-process profiler for ``--profile`` runs (created lazily in each
+#: worker; fork/spawn children start with None).
+_PROFILER = None
+
+
+class _ProfiledRunner:
+    """Wraps the unit runner with a per-worker cProfile.
+
+    Stats accumulate across every unit the worker executes and are
+    re-dumped after each one (pool workers have no shutdown hook), so
+    the sidecar is always complete up to the last finished unit.
+    """
+
+    def __init__(self, fn, log_path):
+        self.fn = fn
+        self.log_path = str(log_path)
+
+    def __call__(self, unit):
+        global _PROFILER
+        import cProfile
+
+        if _PROFILER is None:
+            _PROFILER = cProfile.Profile()
+        _PROFILER.enable()
+        try:
+            return self.fn(unit)
+        finally:
+            _PROFILER.disable()
+            _PROFILER.dump_stats(
+                profile_path_for(self.log_path, _worker_id()))
+
+
 class WorkerPoolError(RuntimeError):
     """The worker pool can no longer make progress.
 
@@ -607,10 +678,20 @@ class CampaignExecutor:
             Classification fields are identical either way.
         run_timeout: abort with :class:`WorkerPoolError` when no run
             completes for this many seconds (``None`` waits forever).
+            Applies per dispatch unit: a pack of N runs counts as one
+            completion.
         heartbeat_interval: seconds between worker-health checks (and
             ``heartbeat`` events) while the pool is silent.
         run_fn: the per-spec work function (tests substitute failing
             ones); defaults to :func:`execute_run`.
+        batch: lockstep batch size (see
+            :mod:`repro.faults.batch_executor`).  Eligible runs are
+            grouped into packs of at most this many members; ``1``
+            dispatches every run solo.  Records are byte-identical
+            (canonical form) for any value.
+        profile: wrap every worker's work loop in a cProfile and dump
+            a ``<log>.profile.<worker>.pstats`` sidecar (requires
+            ``log_path``); inspect with ``gpufi report-profile``.
     """
 
     def __init__(self, jobs: int = 1,
@@ -622,11 +703,18 @@ class CampaignExecutor:
                  propagation: bool = False,
                  run_timeout: Optional[float] = None,
                  heartbeat_interval: float = 5.0,
-                 run_fn: Optional[Callable[[RunSpec], dict]] = None):
+                 run_fn: Optional[Callable[[RunSpec], dict]] = None,
+                 batch: int = 1,
+                 profile: bool = False):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError("run_timeout must be positive")
+        if profile and log_path is None:
+            raise ValueError("profile requires a log path (the pstats "
+                             "sidecars are named after it)")
         self.jobs = jobs
         self._progress = progress or (lambda msg: None)
         self.progress_every = max(progress_every, 1)
@@ -637,9 +725,15 @@ class CampaignExecutor:
         self.run_timeout = run_timeout
         self.heartbeat_interval = heartbeat_interval
         self._run_fn = run_fn if run_fn is not None else execute_run
+        self.batch = batch
+        self.profile = profile
         #: Metrics document of the last :meth:`execute` call when
         #: telemetry was on (also written to ``<log>.metrics.json``).
         self.last_metrics: Optional[dict] = None
+        #: Aggregated lockstep-batching counters of the last
+        #: :meth:`execute` call (always maintained; also surfaced in
+        #: the metrics sidecar's ``batch`` section under telemetry).
+        self.batch_stats: Dict[str, object] = {}
 
     def execute(self, specs: Sequence[RunSpec]) -> List[dict]:
         """Run every spec; returns records in plan (spec) order."""
@@ -684,26 +778,35 @@ class CampaignExecutor:
         events.emit("campaign_start", total=len(specs),
                     pending=len(pending), resumed=len(done),
                     jobs=self.jobs)
+        self.batch_stats = {
+            "packs": 0, "members": 0, "converged": 0,
+            "completed_in_pack": 0, "peeled": 0, "solo_fallback": 0,
+            "peel_cycles": [], "lockstep_cycles": 0, "member_cycles": 0}
+        units = self._build_units(pending)
         complete = False
         try:
-            for record in self._completions(pending, events):
-                done[(record["kernel"], record["structure"],
-                      record["run"])] = record
-                if log_file is not None:
-                    log_file.write(json.dumps(record) + "\n")
-                    log_file.flush()
-                reporter.record(record)
-                if metrics is not None:
-                    metrics.record(record)
-                timings = record.get("timings") or {}
-                events.emit("run", kernel=record["kernel"],
-                            structure=record["structure"],
-                            run=record["run"], effect=record["effect"],
-                            worker=record.get("worker", 0),
-                            total_s=timings.get("total_s"))
-                if (reporter.live_done % self.progress_every == 0
-                        or reporter.done == reporter.total):
-                    self._progress(reporter.render())
+            for records, pack_stats in self._completions(units, events):
+                if pack_stats is not None:
+                    self._account_batch(pack_stats, metrics)
+                for record in records:
+                    done[(record["kernel"], record["structure"],
+                          record["run"])] = record
+                    if log_file is not None:
+                        log_file.write(json.dumps(record) + "\n")
+                        log_file.flush()
+                    reporter.record(record)
+                    if metrics is not None:
+                        metrics.record(record)
+                    timings = record.get("timings") or {}
+                    events.emit("run", kernel=record["kernel"],
+                                structure=record["structure"],
+                                run=record["run"],
+                                effect=record["effect"],
+                                worker=record.get("worker", 0),
+                                total_s=timings.get("total_s"))
+                    if (reporter.live_done % self.progress_every == 0
+                            or reporter.done == reporter.total):
+                        self._progress(reporter.render())
             complete = True
         finally:
             if log_file is not None:
@@ -723,21 +826,49 @@ class CampaignExecutor:
 
     # -- internals -----------------------------------------------------------
 
-    def _completions(self, pending: Sequence[RunSpec],
-                     events=None):
-        """Yield records as runs complete (any order)."""
+    def _build_units(self, pending: Sequence[RunSpec]) -> List[tuple]:
+        """Partition pending specs into dispatch units.
+
+        Lockstep packs are only formed for the real work function --
+        a substituted ``run_fn`` (tests, dry runs) defines solo-run
+        semantics the pack path would bypass.
+        """
+        if self.batch <= 1 or self._run_fn is not execute_run:
+            return [("solo", spec) for spec in pending]
+        from repro.faults.batch_executor import group_packs
+
+        return group_packs(pending, self.batch)
+
+    def _account_batch(self, stats: dict, metrics) -> None:
+        """Fold one pack's counters into the campaign aggregates."""
+        for key, value in stats.items():
+            if isinstance(value, list):
+                self.batch_stats.setdefault(key, []).extend(value)
+            else:
+                self.batch_stats[key] = (
+                    self.batch_stats.get(key, 0) + value)
+        if metrics is not None:
+            metrics.record_batch(stats)
+
+    def _completions(self, units: Sequence[tuple], events=None):
+        """Yield ``(records, batch_stats)`` as units complete (any
+        order); solo units carry ``None`` stats."""
         events = events if events is not None else NullEventLog()
-        if not pending:
+        if not units:
             return
+        runner = _UnitRunner(self._run_fn)
+        if self.profile:
+            runner = _ProfiledRunner(runner, self.log_path)
         if self.jobs == 1:
-            for spec in pending:
-                yield self._run_fn(spec)
+            for unit in units:
+                yield runner(unit)
             return
         ctx = _pool_context()
         with ctx.Pool(processes=self.jobs) as pool:
-            yield from self._pool_completions(pool, pending, events)
+            yield from self._pool_completions(pool, units, runner,
+                                              events)
 
-    def _pool_completions(self, pool, pending: Sequence[RunSpec],
+    def _pool_completions(self, pool, units: Sequence[tuple], runner,
                           events):
         """Drain the pool, guarding against lost workers and stalls.
 
@@ -753,14 +884,18 @@ class CampaignExecutor:
         poll = self.heartbeat_interval
         if self.run_timeout is not None:
             poll = max(min(poll, self.run_timeout / 2), 0.05)
-        completions = pool.imap_unordered(self._run_fn, pending,
-                                          chunksize=1)
+        completions = pool.imap_unordered(runner, units, chunksize=1)
         initial_pids = {worker.pid for worker in pool._pool}
-        remaining = {spec.key for spec in pending}
+        remaining = set()
+        for kind, payload in units:
+            if kind == "pack":
+                remaining.update(spec.key for spec in payload)
+            else:
+                remaining.add(payload.key)
         silent_since = time.monotonic()
         while remaining:
             try:
-                record = completions.next(timeout=poll)
+                result = completions.next(timeout=poll)
             except StopIteration:
                 return
             except multiprocessing.TimeoutError:
@@ -769,9 +904,11 @@ class CampaignExecutor:
                     time.monotonic() - silent_since, events)
                 continue
             silent_since = time.monotonic()
-            yield record
-            remaining.discard((record["kernel"], record["structure"],
-                               record["run"]))
+            yield result
+            for record in result[0]:
+                remaining.discard((record["kernel"],
+                                   record["structure"],
+                                   record["run"]))
 
     def _check_pool_health(self, pool, initial_pids, remaining,
                            waited: float, events) -> None:

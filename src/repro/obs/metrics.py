@@ -12,9 +12,10 @@ The sidecar deliberately separates two kinds of fields:
   ``savings``) are pure functions of the run records, so they are
   byte-identical across ``--jobs 1`` and ``--jobs N`` and across
   straight-through vs. resumed campaigns with the same history.
-- **Wall-clock** sections (``campaign``, ``latency``, ``workers``)
-  measure this execution: throughput, per-effect latency histograms,
-  and per-worker utilization/heartbeats.
+- **Wall-clock** sections (``campaign``, ``latency``, ``workers``,
+  ``batch``) measure this execution: throughput, per-effect latency
+  histograms, per-worker utilization/heartbeats, and lockstep-pack
+  stats of a batched campaign.
 
 This module works on plain record dicts and imports nothing from
 :mod:`repro.faults`, so it stays importable from anywhere in the
@@ -43,6 +44,10 @@ LATENCY_BUCKETS = (0.01, 0.1, 1.0, 10.0, 60.0)
 CYCLE_KEYS = ("cycles_simulated", "skipped_fast_forward",
               "skipped_convergence", "skipped_prescreen",
               "skipped_synthesized")
+
+#: Upper edges of the peel-off cycle histogram buckets (cycles since
+#: simulation start); a final unbounded bucket catches the rest.
+PEEL_BUCKETS = (100, 1000, 10_000, 100_000)
 
 
 def metrics_path_for(log_path: Union[str, Path]) -> Path:
@@ -123,6 +128,11 @@ class MetricsCollector:
         #: effect -> wall-clock total_s samples of this session's runs
         self._latency: Dict[str, List[float]] = {}
         self._executed = 0
+        #: accumulated lockstep-pack stats (see :meth:`record_batch`)
+        self._batch: Dict[str, object] = {
+            "packs": 0, "members": 0, "converged": 0,
+            "completed_in_pack": 0, "peeled": 0, "solo_fallback": 0,
+            "peel_cycles": [], "lockstep_cycles": 0, "member_cycles": 0}
 
     # -- live side (one call per freshly completed run) -------------------
 
@@ -140,6 +150,19 @@ class MetricsCollector:
         stats["busy_s"] += total_s
         stats["last_heartbeat_s"] = now
         self._latency.setdefault(record["effect"], []).append(total_s)
+
+    def record_batch(self, stats: dict) -> None:
+        """Account one lockstep pack's execution stats.
+
+        ``stats`` is the per-pack dict produced by
+        :func:`repro.faults.batch_executor.execute_pack`; scalars
+        accumulate, ``peel_cycles`` samples append.
+        """
+        for key, value in stats.items():
+            if isinstance(value, list):
+                self._batch.setdefault(key, []).extend(value)
+            else:
+                self._batch[key] = self._batch.get(key, 0) + value
 
     # -- finalization ------------------------------------------------------
 
@@ -232,6 +255,36 @@ class MetricsCollector:
                 "last_heartbeat_s": stats["last_heartbeat_s"],
             }
 
+        # batch section: lockstep-pack execution stats of this session
+        # (wall-clock side), present only when at least one pack ran
+        batch = None
+        if self._batch.get("packs"):
+            peel_cycles = sorted(self._batch.get("peel_cycles") or [])
+            histogram = {}
+            lo = 0
+            for hi in PEEL_BUCKETS:
+                histogram[f"<={hi}"] = sum(
+                    1 for c in peel_cycles
+                    if lo < c <= hi or (lo == 0 and c == 0))
+                lo = hi
+            histogram[f">{PEEL_BUCKETS[-1]}"] = sum(
+                1 for c in peel_cycles if c > PEEL_BUCKETS[-1])
+            member_cycles = int(self._batch.get("member_cycles", 0))
+            lockstep = int(self._batch.get("lockstep_cycles", 0))
+            batch = {
+                "packs": int(self._batch.get("packs", 0)),
+                "members": int(self._batch.get("members", 0)),
+                "completed_in_pack": int(
+                    self._batch.get("completed_in_pack", 0)),
+                "converged": int(self._batch.get("converged", 0)),
+                "peeled": int(self._batch.get("peeled", 0)),
+                "solo_fallback": int(
+                    self._batch.get("solo_fallback", 0)),
+                "lockstep_fraction": (round(lockstep / member_cycles, 6)
+                                      if member_cycles else None),
+                "peel_cycle_histogram": histogram,
+            }
+
         # propagation sidecar section: pure function of the records
         # (order-independent), present only when at least one record
         # carries a propagation payload
@@ -257,6 +310,8 @@ class MetricsCollector:
             "latency": latency,
             "workers": workers,
         }
+        if batch is not None:
+            doc["batch"] = batch
         if propagation is not None:
             doc["propagation"] = propagation
         return doc

@@ -37,6 +37,16 @@ NEVER = 1 << 62
 #: Number of shared-memory banks (4-byte interleaved).
 SMEM_BANKS = 32
 
+#: Read-only fallback lanes, hoisted out of the per-issue hot path:
+#: no-guard branch fall-through, RZ address bases, RZ store sources.
+#: Consumers only read (or ``.copy()``) them, never write in place.
+_NO_LANES = np.zeros(32, dtype=bool)
+_NO_LANES.setflags(write=False)
+_RZ_BASE = np.zeros(32, dtype=np.int64)
+_RZ_BASE.setflags(write=False)
+_RZ_WORDS = np.zeros(32, dtype=np.uint32)
+_RZ_WORDS.setflags(write=False)
+
 
 class SIMTCore:
     """One streaming multiprocessor."""
@@ -62,6 +72,10 @@ class SIMTCore:
             i: None for i in range(config.num_schedulers_per_sm)}
         self._age_counter = 0
         self._sched_cache: Optional[List[List[Warp]]] = None
+        #: Scratch line buffer for L1I miss fills (re-zeroed per use;
+        #: :meth:`Cache.fill` copies, so reuse is safe).
+        self._ifetch_scratch = np.zeros(self.l1i.geometry.line_bytes,
+                                        dtype=np.uint8)
 
     # -- CTA residency ---------------------------------------------------
 
@@ -235,7 +249,8 @@ class SIMTCore:
             code_off = base - self.gpu.code_base(kernel)
             chunk = binary[max(code_off, 0):max(code_off, 0)
                            + self.l1i.geometry.line_bytes]
-            data = np.zeros(self.l1i.geometry.line_bytes, dtype=np.uint8)
+            data = self._ifetch_scratch
+            data[:] = 0
             if code_off >= 0 and chunk:
                 data[:len(chunk)] = np.frombuffer(chunk, dtype=np.uint8)
             self.l1i.fill(base, data)
@@ -293,8 +308,7 @@ class SIMTCore:
                 warp.cta.try_release_barrier()
         elif klass is OpClass.BRANCH:
             taken = exec_mask
-            fall = (active & ~guard) if guard is not None \
-                else np.zeros(32, dtype=bool)
+            fall = (active & ~guard) if guard is not None else _NO_LANES
             if not fall.any():
                 top.pc = inst.target_pc
             elif not taken.any():
@@ -344,7 +358,7 @@ class SIMTCore:
         mem = inst.srcs[0]
         assert isinstance(mem, MemRef)
         if mem.base.is_rz:
-            base = np.zeros(32, dtype=np.int64)
+            base = _RZ_BASE
         else:
             base = warp.regs[mem.base.index].astype(np.int64)
         return base + mem.offset
@@ -387,7 +401,7 @@ class SIMTCore:
                     out[lane] = value
         else:
             src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
-                else np.zeros(32, dtype=np.uint32)
+                else _RZ_WORDS
             for lane in lanes:
                 cta.smem_write(int(addrs[lane]), int(src[lane]))
         lv = self.gpu.liveness
@@ -422,7 +436,7 @@ class SIMTCore:
                     warp.regs[dst.index][lane] = value
         else:
             src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
-                else np.zeros(32, dtype=np.uint32)
+                else _RZ_WORDS
             for lane in lanes:
                 warp.local_write(int(lane), int(addrs[lane]), int(src[lane]))
         lv = self.gpu.liveness
@@ -483,7 +497,7 @@ class SIMTCore:
                 prop.note_load(self.core_id, warp, inst, gpu.cycle)
         else:  # global store: write-evict L1, write-allocate L2
             src = warp.regs[inst.srcs[1].index] if not inst.srcs[1].is_rz \
-                else np.zeros(32, dtype=np.uint32)
+                else _RZ_WORDS
             for base in unique_bases:
                 base = int(base)
                 seg = bases == base
@@ -509,7 +523,7 @@ class SIMTCore:
         dst = inst.dsts[0] if returns else None
         src_reg = inst.srcs[1]
         src = warp.regs[src_reg.index] if not src_reg.is_rz \
-            else np.zeros(32, dtype=np.uint32)
+            else _RZ_WORDS
         worst = 0
         for lane in lanes:
             addr = int(addrs[lane])

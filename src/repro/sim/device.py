@@ -84,12 +84,16 @@ def _deprecated_setter(name: str) -> None:
 class Device:
     """One simulated GPU device with a CUDA-like host API."""
 
+    #: GPU type seam: subclasses substitute the chip model (see
+    #: :class:`repro.sim.batch.BatchedDevice`).
+    gpu_class = GPU
+
     def __init__(self, config: Union[GPUConfig, str],
                  options: Optional[RunOptions] = None):
         if isinstance(config, str):
             config = get_card(config)
         self.config = config
-        self.gpu = GPU(config)
+        self.gpu = self.gpu_class(config)
         self.options = options or RunOptions()
         self._apply_options(self.options)
 

@@ -21,6 +21,11 @@ _U32 = np.uint32
 _I32 = np.int32
 _F32 = np.float32
 
+#: Shared all-zero RZ read (read-only; every consumer copies before
+#: mutating), hoisted out of the per-issue hot path.
+_RZ_U32 = np.zeros(32, dtype=_U32)
+_RZ_U32.setflags(write=False)
+
 
 def read_u32(warp: Warp, op) -> np.ndarray:
     """Read an operand as raw/integer lanes (uint32[32]).
@@ -31,8 +36,7 @@ def read_u32(warp: Warp, op) -> np.ndarray:
     if isinstance(op, Immediate):
         return np.full(32, op.value, dtype=_U32)
     assert isinstance(op, RegRef)
-    values = (np.zeros(32, dtype=_U32) if op.is_rz
-              else warp.regs[op.index].copy())
+    values = _RZ_U32 if op.is_rz else warp.regs[op.index].copy()
     if op.absolute:
         values = np.abs(values.view(_I32)).view(_U32)
     if op.negate:
@@ -45,7 +49,7 @@ def read_f32(warp: Warp, op) -> np.ndarray:
     if isinstance(op, Immediate):
         return np.full(32, op.value, dtype=_U32).view(_F32)
     assert isinstance(op, RegRef)
-    raw = np.zeros(32, dtype=_U32) if op.is_rz else warp.regs[op.index]
+    raw = _RZ_U32 if op.is_rz else warp.regs[op.index]
     values = raw.view(_F32).copy()
     if op.absolute:
         values = np.abs(values)
@@ -62,10 +66,18 @@ def read_pred(warp: Warp, op: PredRef) -> np.ndarray:
 
 def write_u32(warp: Warp, op: RegRef, values: np.ndarray,
               mask: np.ndarray) -> None:
-    """Commit uint32 lanes to a destination register under ``mask``."""
+    """Commit uint32 lanes to a destination register under ``mask``.
+
+    Under batched lockstep execution (:mod:`repro.sim.batch`) the mask
+    carries a leading runs axis; plain ``(32,)`` values (immediates,
+    sregs, RZ) broadcast up to it.
+    """
     if op.is_rz:
         return
-    warp.regs[op.index][mask] = values.astype(_U32, copy=False)[mask]
+    values = values.astype(_U32, copy=False)
+    if values.shape != mask.shape:
+        values = np.broadcast_to(values, mask.shape)
+    warp.regs[op.index][mask] = values[mask]
 
 
 def write_f32(warp: Warp, op: RegRef, values: np.ndarray,
@@ -79,6 +91,8 @@ def write_pred(warp: Warp, op: PredRef, values: np.ndarray,
     """Commit predicate lanes under ``mask`` (writes to ``PT`` discard)."""
     if op.is_pt:
         return
+    if values.shape != mask.shape:
+        values = np.broadcast_to(values, mask.shape)
     warp.preds[op.index][mask] = values[mask]
 
 

@@ -29,12 +29,17 @@ from repro.sim.stats import StatsCollector
 class GPU:
     """One simulated GPU chip."""
 
+    #: Core type seam: subclasses substitute the issue path (see
+    #: :class:`repro.sim.batch.BatchedGPU`).
+    core_class = SIMTCore
+
     def __init__(self, config: GPUConfig):
         self.config = config
         self.memory = GlobalMemory(config.global_mem_bytes)
         self.const_bank = ConstantBank()
         self.l2 = Cache("L2", config.l2, config.tag_bits)
-        self.cores = [SIMTCore(i, config, self) for i in range(config.num_sms)]
+        self.cores = [self.core_class(i, config, self)
+                      for i in range(config.num_sms)]
         self.stats = StatsCollector()
         #: Global application cycle, cumulative across kernel launches.
         self.cycle = 0
