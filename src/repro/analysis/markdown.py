@@ -14,7 +14,7 @@ from typing import List
 from repro.analysis.avf import (derating_factor, kernel_avf, structure_avf,
                                 structure_contributions, weighted_avf)
 from repro.analysis.fit import chip_fit, fit_breakdown
-from repro.analysis.statistics import margin_of_error
+from repro.analysis.statistics import per_structure_margins
 from repro.faults.campaign import CampaignResult
 from repro.faults.classify import FaultEffect
 from repro.faults.targets import Structure
@@ -44,10 +44,12 @@ def render_markdown(result: CampaignResult, title: str = "") -> str:
     out(f"- faults: **{cfg.bits_per_fault}-bit** "
         f"({cfg.multibit_mode.value}), "
         f"{'warp' if cfg.warp_level else 'thread'}-level register faults")
-    out(f"- injections per (kernel, structure): "
-        f"**{cfg.runs_per_structure}** "
-        f"(+/-{margin_of_error(cfg.runs_per_structure) * 100:.1f}% at 99% "
-        f"confidence)")
+    # margins are *achieved*, not planned: completed runs, observed
+    # p-hat, true finite (bits x cycles) population per structure
+    margins = per_structure_margins(result)
+    out(f"- planned injections per (kernel, structure): "
+        f"**{cfg.runs_per_structure}** (achieved margins per "
+        f"structure below, at 99% confidence)")
     out(f"- fault-free execution: **{result.golden_cycles} cycles**, "
         f"app occupancy {profile.app_occupancy():.3f}")
     out("")
@@ -75,15 +77,17 @@ def render_markdown(result: CampaignResult, title: str = "") -> str:
         for structure, effects in result.counts[kernel].items():
             total = sum(effects.values())
             df = derating_factor(profile.kernels[kernel], structure, card)
+            margin = margins[(kernel, structure)]["margin"]
             rows.append((
                 structure.value, total,
                 *(effects.get(e, 0) for e in FaultEffect),
                 f"{result.failure_ratio(kernel, structure):.3f}",
+                f"+/-{margin * 100:.1f}%",
                 f"{df:.3f}",
                 f"{structure_avf(result, kernel, structure):.5f}",
             ))
         headers = ("structure", "runs", *(e.value for e in FaultEffect),
-                   "FR", "derating", "AVF")
+                   "FR", "margin", "derating", "AVF")
         lines.extend(_table(headers, rows))
         out("")
         out(f"AVF_kernel = **{kernel_avf(result, kernel):.5f}**")

@@ -13,6 +13,16 @@ With the usual worst case ``p = 0.5``, 99% confidence (z = 2.576) and
 3,000 injections give e ~ 2.35% -- "error margin less than 2%" holds
 from ~4,100 up; these helpers let campaign reports state the margin
 achieved by whatever n was actually run.
+
+Beyond the paper, :func:`wilson_interval` /
+:func:`wilson_halfwidth` provide the Wilson score interval (with an
+optional finite-population correction) that the adaptive campaign
+planner (:mod:`repro.plan`) uses for its per-stratum stopping rule --
+unlike the plain normal approximation it stays honest at the observed
+failure rates campaigns actually see (p-hat near 0), and
+:func:`observed_margin` states the margin a finished campaign
+*achieved* from the records actually completed instead of the
+worst-case ``p = 0.5`` planning figure.
 """
 
 from __future__ import annotations
@@ -22,23 +32,35 @@ import math
 #: Two-sided z-scores for the usual confidence levels.
 Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
+#: Tolerance of the confidence-level lookup: a confidence computed as
+#: ``1 - 0.05`` differs from the literal ``0.95`` by one ULP and must
+#: still resolve (exact float-key dict lookup used to raise here).
+_CONFIDENCE_TOL = 1e-9
+
 
 def _z(confidence: float) -> float:
-    try:
-        return Z_SCORES[confidence]
-    except KeyError:
-        raise ValueError(
-            f"confidence must be one of {sorted(Z_SCORES)}") from None
+    for level, z in Z_SCORES.items():
+        if abs(level - confidence) <= _CONFIDENCE_TOL:
+            return z
+    raise ValueError(
+        f"confidence must be one of {sorted(Z_SCORES)}")
 
 
 def required_injections(population: float, error: float = 0.02,
                         confidence: float = 0.99, p: float = 0.5) -> int:
-    """Injections needed for a given error margin (Leveugle et al.)."""
+    """Injections needed for a given error margin (Leveugle et al.).
+
+    Clamped to the population: a tiny fault space is exhausted, never
+    oversampled (the unclamped ceil can exceed a fractional or tiny
+    ``population``).
+    """
     if not 0 < error < 1:
         raise ValueError("error margin must be in (0, 1)")
+    if population < 1:
+        raise ValueError("population must be >= 1")
     z = _z(confidence)
     n = population / (1 + error * error * (population - 1) / (z * z * p * (1 - p)))
-    return int(math.ceil(n))
+    return int(min(math.ceil(n), math.floor(population)))
 
 
 def margin_of_error(n: int, population: float = float("inf"),
@@ -54,3 +76,113 @@ def margin_of_error(n: int, population: float = float("inf"),
             return 0.0
         fpc = (population - n) / (population - 1)
     return z * math.sqrt(p * (1 - p) * fpc / n)
+
+
+def observed_margin(n: int, failures: int,
+                    population: float = float("inf"),
+                    confidence: float = 0.99) -> float:
+    """Margin a campaign *achieved*: Leveugle at the observed rate.
+
+    The planning-time formula assumes the worst case ``p = 0.5``; a
+    finished campaign knows better.  This is
+    :func:`margin_of_error` evaluated at the observed failure ratio
+    ``p-hat = failures / n`` with the true finite-population
+    correction.  Degenerate observations (0 or n failures) would
+    collapse the binomial variance to zero and claim a 0% margin from
+    a single run; they substitute the Wilson centre
+    ``(failures + z^2/2) / (n + z^2)`` (the Agresti-Coull point
+    estimate), which shrinks honestly as ``n`` grows.
+    """
+    if n <= 0:
+        return 1.0
+    if not 0 <= failures <= n:
+        raise ValueError(f"failures must be in [0, n], got {failures}/{n}")
+    if failures in (0, n):
+        z = _z(confidence)
+        p = (failures + z * z / 2) / (n + z * z)
+    else:
+        p = failures / n
+    return margin_of_error(n, population=population,
+                           confidence=confidence, p=p)
+
+
+def wilson_interval(successes: int, n: int, confidence: float = 0.99,
+                    population: float = float("inf")) -> tuple:
+    """Wilson score interval ``(lo, hi)`` for a binomial proportion.
+
+    Unlike the normal approximation it never degenerates at observed
+    rates of exactly 0 or 1 (the regime Masked-dominated fault
+    campaigns live in), which is why the adaptive planner's
+    per-stratum stopping rule is built on it.  A finite ``population``
+    applies the standard ``sqrt((N - n) / (N - 1))`` correction to the
+    half-width; sampling the whole stratum collapses the interval to
+    the exact point.
+    """
+    if n <= 0:
+        return (0.0, 1.0)
+    if not 0 <= successes <= n:
+        raise ValueError(
+            f"successes must be in [0, n], got {successes}/{n}")
+    z = _z(confidence)
+    p = successes / n
+    if not math.isinf(population) and n >= population:
+        return (p, p)
+    denom = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = (z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+            / denom) * _fpc(n, population)
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def wilson_halfwidth(successes: int, n: int, confidence: float = 0.99,
+                     population: float = float("inf")) -> float:
+    """Half-width of :func:`wilson_interval` (the stopping statistic)."""
+    lo, hi = wilson_interval(successes, n, confidence=confidence,
+                             population=population)
+    return (hi - lo) / 2
+
+
+def _fpc(n: int, population: float) -> float:
+    """Finite-population correction factor on a standard error."""
+    if math.isinf(population) or population <= 1:
+        return 1.0
+    if n >= population:
+        return 0.0
+    return math.sqrt((population - n) / (population - 1))
+
+
+def per_structure_margins(result, confidence: float = 0.99) -> dict:
+    """Achieved margins of a campaign, from the records it completed.
+
+    For every ``(kernel, structure)`` of a
+    :class:`~repro.faults.campaign.CampaignResult`, computes the
+    completed run count (resume-aware: aggregation counts every
+    record, however it got into the log), the observed failure ratio
+    and the :func:`observed_margin` against the structure's *true*
+    (bits x cycles) fault-space population
+    (:func:`repro.faults.mask.mask_population`).  Returns
+    ``{(kernel, structure): {"runs", "failures", "p_hat",
+    "population", "margin"}}``.
+    """
+    from repro.faults.mask import mask_population
+
+    card = result.config.resolved_card()
+    out = {}
+    for kernel, per_structure in result.counts.items():
+        kp = result.profile.kernels[kernel]
+        for structure in per_structure:
+            n = result.runs(kernel, structure)
+            failures = result.failures(kernel, structure)
+            population = mask_population(
+                card, structure, kp.regs_per_thread, kp.smem_bytes,
+                kp.local_bytes, kp.windows)
+            out[(kernel, structure)] = {
+                "runs": n,
+                "failures": failures,
+                "p_hat": failures / n if n else 0.0,
+                "population": population,
+                "margin": observed_margin(n, failures,
+                                          population=population,
+                                          confidence=confidence),
+            }
+    return out

@@ -27,7 +27,7 @@ from typing import List, Optional
 from repro.analysis import avf as avf_mod
 from repro.analysis import fit as fit_mod
 from repro.analysis.report import render_table
-from repro.analysis.statistics import margin_of_error
+from repro.analysis.statistics import per_structure_margins
 from repro.bench import benchmark_names
 from repro.faults.campaign import (Campaign, CampaignConfig,
                                    profile_application)
@@ -91,6 +91,18 @@ def _add_plan_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--run-timeout", type=float,
                    help="abort when no run completes for this "
                         "many seconds (default: wait forever)")
+    p.add_argument("--adaptive", nargs="?", const="on", default="off",
+                   choices=["on", "off"],
+                   help="adaptive campaign planning: stratified "
+                        "sampling with per-stratum stopping at "
+                        "--error-target; --runs becomes the "
+                        "per-structure run budget (default: off, "
+                        "the fixed uniform plan)")
+    p.add_argument("--error-target", type=float, default=0.02,
+                   dest="error_target", metavar="E",
+                   help="per-stratum margin-of-error target of "
+                        "--adaptive campaigns (half-width of the "
+                        "99%% Wilson interval; default 0.02)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -340,6 +352,10 @@ def _plan_config(args) -> CampaignConfig:
         if args.fault_model != "transient":
             config = dataclasses.replace(config,
                                          fault_model=args.fault_model)
+        if args.adaptive != "off":
+            config = dataclasses.replace(
+                config, adaptive=args.adaptive,
+                error_target=args.error_target)
         return config
     if not args.benchmark:
         raise SystemExit("either --config or --benchmark is required")
@@ -374,6 +390,8 @@ def _plan_config(args) -> CampaignConfig:
         metrics=args.metrics,
         propagation=args.propagation,
         run_timeout=args.run_timeout,
+        adaptive=args.adaptive,
+        error_target=args.error_target,
     )
 
 
@@ -394,9 +412,21 @@ def _cmd_campaign(args) -> int:
     campaign = Campaign(config, progress=lambda msg: print(f"  .. {msg}"))
     result = campaign.run(jobs=args.jobs, resume=args.resume)
     print(result.summary())
-    error = margin_of_error(config.runs_per_structure)
-    print(f"per-structure margin of error: +/-{error * 100:.1f}% "
-          f"(99% confidence)")
+    if campaign.last_plan is not None:
+        # adaptive campaigns allocate runs unevenly across strata, so
+        # the unbiased estimate and its margin come from the planner's
+        # importance-weighted report, not the raw record pool
+        print(campaign.last_plan.summary())
+    else:
+        # achieved (not planned) margins: completed runs, observed
+        # p-hat, true finite (bits x cycles) population per structure
+        print("per-structure margin of error (99% confidence, "
+              "from completed runs):")
+        for (kernel, structure), m in \
+                per_structure_margins(result).items():
+            print(f"  {kernel}/{structure.value}: n={m['runs']} "
+                  f"p_hat={m['p_hat']:.3f} +/-{m['margin'] * 100:.1f}% "
+                  f"(population {m['population']})")
     wavf = avf_mod.weighted_avf(result)
     print(f"wAVF = {wavf:.5f}   FIT = {fit_mod.chip_fit(result):.1f}")
     if config.log_path:
@@ -505,7 +535,77 @@ def _cmd_report(args) -> int:
     if unapplied:
         print(f"unapplied injections: {unapplied} run(s) resolved to no "
               "live target (counted as Masked above)")
+    _report_strata(records, args.log)
     return 0
+
+
+def _report_strata(records, log_paths) -> None:
+    """Stratified breakdown of an adaptive campaign's log.
+
+    Rendered only when records carry ``stratum`` keys (adaptive runs).
+    The ``<log>.plan.json`` sidecar, when present, supplies the
+    stratum weights and importance weights that make the breakdown an
+    unbiased estimate; without it only the raw per-stratum tallies
+    are shown.
+    """
+    import json as _json
+    from pathlib import Path
+
+    if not any("stratum" in r for r in records):
+        return
+    sidecar = {}
+    for log in log_paths:
+        path = Path(str(log) + ".plan.json")
+        if path.exists():
+            try:
+                doc = _json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                continue
+            for group in doc.get("groups", ()):
+                key = (group["kernel"], group["structure"])
+                sidecar[key] = group
+    tallies = {}
+    for r in records:
+        if "stratum" not in r:
+            continue
+        key = (r["kernel"], r["structure"], r["stratum"])
+        runs, failures = tallies.get(key, (0, 0))
+        effect = FaultEffect(r["effect"])
+        tallies[key] = (runs + 1, failures + int(effect.is_failure))
+    print("\nadaptive strata (importance-weighted):")
+    headers = ["kernel", "structure", "stratum", "runs", "failures",
+               "p_hat", "W", "w_run", "margin"]
+    rows = []
+    for (kernel, structure, stratum) in sorted(tallies):
+        runs, failures = tallies[(kernel, structure, stratum)]
+        info = sidecar.get((kernel, structure), {}) \
+            .get("strata", {}).get(stratum, {})
+        rows.append([
+            kernel, structure, stratum, runs, failures,
+            f"{failures / runs:.3f}" if runs else "-",
+            (f"{info['weight']:.3f}" if "weight" in info else "-"),
+            (f"{info['run_weight']:.5f}"
+             if info.get("run_weight") is not None else "-"),
+            (f"+/-{info['margin'] * 100:.1f}%"
+             if "margin" in info else "-"),
+        ])
+    for (kernel, structure), group in sorted(sidecar.items()):
+        # proven-dead strata execute no runs, so they are absent from
+        # the log; show them from the sidecar to complete the picture
+        for stratum, info in sorted(group.get("strata", {}).items()):
+            if info.get("proven_dead") \
+                    and (kernel, structure, stratum) not in tallies:
+                rows.append([kernel, structure, stratum, 0, 0,
+                             "0.000 (proven)",
+                             f"{info['weight']:.3f}", "-",
+                             f"+/-{info.get('margin', 0) * 100:.1f}%"])
+    print(render_table(headers, rows))
+    for (kernel, structure), group in sorted(sidecar.items()):
+        print(f"  {kernel}/{structure}: stratified "
+              f"FR={group['failure_ratio']:.4f} "
+              f"+/-{group['combined_margin'] * 100:.1f}% "
+              f"({group['executed']} runs, "
+              f"{group.get('runs_saved', 0)} saved vs uniform)")
 
 
 def _cmd_report_metrics(args) -> int:
@@ -599,6 +699,11 @@ def _cmd_submit(args) -> int:
         config = _plan_config(args)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    if config.adaptive != "off":
+        raise SystemExit(
+            "error: --adaptive drives execution in rounds and is not "
+            "supported by the distributed fleet; run it locally with "
+            "'gpufi campaign --adaptive'")
     client = DispatcherClient(args.connect)
     try:
         reply = client.submit(config)

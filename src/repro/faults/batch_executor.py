@@ -166,6 +166,8 @@ def _base_record(spec: RunSpec) -> dict:
     }
     if spec.fault_model != "transient":
         record["fault_model"] = spec.fault_model
+    if spec.stratum:
+        record["stratum"] = spec.stratum
     return record
 
 

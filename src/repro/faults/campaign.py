@@ -240,6 +240,16 @@ class CampaignConfig:
     #: Dispatcher URL for ``backend="remote"``
     #: (e.g. ``http://host:8937``).
     backend_url: Optional[str] = None
+    #: Adaptive campaign planning (see :mod:`repro.plan`): ``"off"``
+    #: (default -- the fixed uniform plan, byte-identical to historic
+    #: logs) or ``"on"`` (round-based stratified sampling with
+    #: per-stratum stopping at ``error_target``;
+    #: ``runs_per_structure`` becomes the per-structure run *budget*).
+    adaptive: str = "off"
+    #: Per-stratum margin-of-error target of adaptive campaigns
+    #: (half-width of the 99% Wilson interval at which a stratum
+    #: stops sampling).
+    error_target: float = 0.02
 
     def __post_init__(self):
         # validate eagerly so every surface (CLI flag, config file,
@@ -251,6 +261,16 @@ class CampaignConfig:
             raise ValueError(
                 f"backend must be 'local' or 'remote', "
                 f"got {self.backend!r}")
+        if self.adaptive not in ("off", "on"):
+            raise ValueError(
+                f"adaptive must be 'off' or 'on', got {self.adaptive!r}")
+        if not 0 < self.error_target < 1:
+            raise ValueError(f"error_target must be in (0, 1), "
+                             f"got {self.error_target}")
+        if self.adaptive == "on" and self.backend == "remote":
+            raise ValueError(
+                "adaptive campaigns drive execution in rounds and "
+                "need the local backend; use backend='local'")
 
     def resolved_model(self):
         """The registered :class:`FaultModel` this campaign applies."""
@@ -369,6 +389,10 @@ class Campaign:
         #: Metrics sidecar document of the last :meth:`execute` call
         #: (``None`` unless ``config.metrics`` is on).
         self.last_metrics: Optional[dict] = None
+        #: Adaptive-planner report of the last :meth:`run` call
+        #: (``None`` unless ``config.adaptive`` is on); see
+        #: :class:`repro.plan.driver.PlanReport`.
+        self.last_plan = None
 
     def plan(self) -> List[RunSpec]:
         """Profile the golden run and enumerate every injection run.
@@ -555,7 +579,18 @@ class Campaign:
                               counts=aggregate_counts(records))
 
     def run(self, jobs: int = 1, resume: bool = False) -> CampaignResult:
-        """Profile, inject (possibly in parallel), classify, aggregate."""
+        """Profile, inject (possibly in parallel), classify, aggregate.
+
+        With ``config.adaptive == "on"`` the fixed uniform plan is
+        replaced by the round-based stratified driver of
+        :mod:`repro.plan.driver` (same executor underneath, specs
+        selected round by round); the planner report lands on
+        :attr:`last_plan`.
+        """
+        if self.config.adaptive == "on":
+            from repro.plan.driver import run_adaptive
+
+            return run_adaptive(self, jobs=jobs, resume=resume)
         specs = self.plan()
         records = self.execute(specs, jobs=jobs, resume=resume)
         return self.aggregate(records)

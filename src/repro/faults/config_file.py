@@ -67,7 +67,7 @@ def parse_config_text(text: str) -> CampaignConfig:
         "cores", "kernels", "invocation", "seed", "scheduler",
         "cache_hook_mode", "model_icache", "log", "early_stop",
         "metrics", "propagation", "run_timeout", "backend",
-        "backend_url", "batch",
+        "backend_url", "batch", "adaptive", "error_target",
     }
     unknown = set(options) - known
     if unknown:
@@ -105,6 +105,9 @@ def parse_config_text(text: str) -> CampaignConfig:
         backend=options.get("backend", "local"),
         backend_url=options.get("backend_url"),
         batch=int(options.get("batch", 1)),
+        adaptive=("on" if options.get("adaptive", "off").lower()
+                  in _BOOL_TRUE else "off"),
+        error_target=float(options.get("error_target", 0.02)),
     )
 
 
@@ -150,4 +153,7 @@ def dump_config(config: CampaignConfig) -> str:
         lines.append(f"-gpufi_backend_url {config.backend_url}")
     if config.batch != 1:
         lines.append(f"-gpufi_batch {config.batch}")
+    if config.adaptive != "off":
+        lines.append("-gpufi_adaptive 1")
+        lines.append(f"-gpufi_error_target {config.error_target:g}")
     return "\n".join(lines) + "\n"

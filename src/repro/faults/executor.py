@@ -178,6 +178,11 @@ class RunSpec:
     #: (see :mod:`repro.faults.models`).  ``"transient"`` reproduces
     #: the pre-strategy records byte-for-byte.
     fault_model: str = "transient"
+    #: Adaptive-planner stratum key (see :mod:`repro.plan.strata`);
+    #: empty for non-adaptive campaigns, and then absent from the
+    #: record so default-path logs stay byte-identical.  Deterministic
+    #: (a pure function of the mask), so it is canonical-safe.
+    stratum: str = ""
 
     @property
     def key(self) -> RunKey:
@@ -328,6 +333,9 @@ def execute_run(spec: RunSpec) -> dict:
         # emitted only off the default so transient records stay
         # byte-identical to the pre-strategy schema
         record["fault_model"] = spec.fault_model
+    if spec.stratum:
+        # emitted only for adaptive campaigns (same pattern)
+        record["stratum"] = spec.stratum
     if spec.synthesized:
         if spec.propagation:
             from repro.obs.propagation import synthesized_propagation

@@ -65,6 +65,70 @@ def rng_for_run(campaign_seed: int, kernel: str, structure: Structure,
                         fault_model))
 
 
+def _cache_geometry(config: GPUConfig, structure: Structure):
+    if structure is Structure.L1D_CACHE:
+        if config.l1d is None:
+            raise ValueError(f"{config.name} has no L1 data cache")
+        return config.l1d
+    if structure is Structure.L1T_CACHE:
+        return config.l1t
+    if structure is Structure.L1C_CACHE:
+        return config.l1c
+    if structure is Structure.L1I_CACHE:
+        return config.l1i
+    return config.l2
+
+
+def entry_bits(config: GPUConfig, structure: Structure) -> int:
+    """Bit width of one entry of a structure on one card."""
+    if structure.is_cache:
+        cache = _cache_geometry(config, structure)
+        return cache.line_bytes * 8 + config.tag_bits
+    if structure is Structure.SIMT_STACK:
+        from repro.faults.targets import SIMT_STACK_ENTRY_BITS
+
+        return SIMT_STACK_ENTRY_BITS
+    return 32
+
+
+def entry_count(config: GPUConfig, structure: Structure,
+                regs_per_thread: int, smem_bytes: int,
+                local_bytes: int) -> int:
+    """Number of entries of a structure (per thread/CTA/core scope)."""
+    if structure is Structure.REGISTER_FILE:
+        return max(regs_per_thread, 1)
+    if structure is Structure.SHARED_MEM:
+        return max(smem_bytes // 4, 1)
+    if structure is Structure.LOCAL_MEM:
+        return max(local_bytes // 4, 1)
+    if structure is Structure.SIMT_STACK:
+        from repro.faults.targets import SIMT_STACK_ENTRIES
+
+        return SIMT_STACK_ENTRIES
+    if structure is Structure.SCOREBOARD:
+        # the scoreboard tracks the kernel's allocated registers
+        return max(regs_per_thread, 1)
+    return _cache_geometry(config, structure).num_lines
+
+
+def mask_population(config: GPUConfig, structure: Structure,
+                    regs_per_thread: int, smem_bytes: int,
+                    local_bytes: int,
+                    windows: Sequence[Tuple[int, int]]) -> int:
+    """The (bit x cycle) fault-space size a campaign samples from.
+
+    This is exactly the population :meth:`MaskGenerator.generate`
+    draws from for one (kernel, structure): every bit of every entry
+    crossed with every cycle of the kernel's execution windows -- the
+    ``N`` of the Leveugle sampling formula
+    (:mod:`repro.analysis.statistics`).
+    """
+    cycles = sum(end - start for start, end in windows)
+    return (entry_count(config, structure, regs_per_thread, smem_bytes,
+                        local_bytes)
+            * entry_bits(config, structure) * max(cycles, 1))
+
+
 class MultiBitMode(enum.Enum):
     """Placement policy for the bits of a multi-bit fault."""
 
@@ -248,44 +312,15 @@ class MaskGenerator:
 
     def _entry_bits(self, structure: Structure) -> int:
         """Bit width of one entry of a structure."""
-        if structure.is_cache:
-            cache = self._cache_geometry(structure)
-            return cache.line_bytes * 8 + self.config.tag_bits
-        if structure is Structure.SIMT_STACK:
-            from repro.faults.targets import SIMT_STACK_ENTRY_BITS
-
-            return SIMT_STACK_ENTRY_BITS
-        return 32
+        return entry_bits(self.config, structure)
 
     def _cache_geometry(self, structure: Structure):
-        if structure is Structure.L1D_CACHE:
-            if self.config.l1d is None:
-                raise ValueError(f"{self.config.name} has no L1 data cache")
-            return self.config.l1d
-        if structure is Structure.L1T_CACHE:
-            return self.config.l1t
-        if structure is Structure.L1C_CACHE:
-            return self.config.l1c
-        if structure is Structure.L1I_CACHE:
-            return self.config.l1i
-        return self.config.l2
+        return _cache_geometry(self.config, structure)
 
     def _entry_count(self, structure: Structure) -> int:
         """Number of entries of a structure (per thread/CTA/core scope)."""
-        if structure is Structure.REGISTER_FILE:
-            return self.regs_per_thread
-        if structure is Structure.SHARED_MEM:
-            return max(self.smem_bytes // 4, 1)
-        if structure is Structure.LOCAL_MEM:
-            return max(self.local_bytes // 4, 1)
-        if structure is Structure.SIMT_STACK:
-            from repro.faults.targets import SIMT_STACK_ENTRIES
-
-            return SIMT_STACK_ENTRIES
-        if structure is Structure.SCOREBOARD:
-            # the scoreboard tracks the kernel's allocated registers
-            return self.regs_per_thread
-        return self._cache_geometry(structure).num_lines
+        return entry_count(self.config, structure, self.regs_per_thread,
+                           self.smem_bytes, self.local_bytes)
 
     def _bit_offsets(self, structure: Structure, n_bits: int,
                      mode: MultiBitMode) -> Tuple[int, ...]:

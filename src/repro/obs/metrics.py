@@ -25,6 +25,7 @@ stack (the executor imports *it*, not the other way around).
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -86,11 +87,17 @@ def derived_cycle_fields(record: dict) -> Dict[str, int]:
 
 
 def _percentile(ordered: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
+    """Nearest-rank percentile of an already-sorted sample.
+
+    Standard ceil-based nearest-rank definition: the value at rank
+    ``ceil(q * N)`` (1-based), clamped to the sample.  ``round()``
+    would banker's-round ``.5`` ranks to the *even* neighbor, picking
+    inconsistent sides at different sample sizes.
+    """
     if not ordered:
         return 0.0
-    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
 
 
 def _histogram(samples: Sequence[float]) -> Dict[str, int]:

@@ -572,8 +572,8 @@ def summarize_propagation(records: List[dict]) -> Optional[dict]:
         return {
             "count": len(values),
             "mean": round(sum(values) / len(values), 2),
-            "p50": _percentile(values, 50),
-            "p95": _percentile(values, 95),
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
             "max": values[-1],
         }
 

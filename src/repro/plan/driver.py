@@ -1,0 +1,485 @@
+"""The round-based adaptive campaign driver.
+
+Replaces the fixed uniform plan when ``CampaignConfig.adaptive`` is
+``"on"``.  One ``(kernel, structure)`` campaign group at a time:
+
+1. **Classify** the candidate pool (the first ``runs_per_structure``
+   enumerated specs -- masks i.i.d. uniform over the fault space)
+   into strata (:mod:`repro.plan.strata`); the pool proportions fix
+   the stratum weights.  Proven-dead strata stop immediately with
+   ``p = 0`` and zero executed runs.
+2. **Pilot**: execute a few runs of every live stratum.
+3. **Rounds**: after each round, refresh per-stratum Wilson intervals
+   (:mod:`repro.plan.estimator`), fit the logistic steering model
+   (:mod:`repro.plan.model`) on the completed runs, and allocate the
+   next round's budget to unmet strata -- doubling per stratum,
+   biased toward high model scores.  A stratum that exhausts its
+   candidates extends the enumeration (higher ``run_index``; weights
+   stay fixed to the initial pool) up to a hard cap.
+4. **Stop** when every stratum meets its scaled per-stratum target
+   (``e / sqrt(W_s)``, which bounds the combined stratified margin
+   by the error target -- see :mod:`repro.plan.estimator`; the
+   proven-dead stratum meets it through classification draws alone),
+   or the per-group run budget (``runs_per_structure``) is spent.
+
+Execution reuses the campaign's own executor/backend seam round by
+round: each round re-submits the *cumulative* selection with resume
+semantics, so the log grows append-only and every record is the same
+pure function of its spec as in non-adaptive campaigns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.statistics import required_injections
+from repro.faults.campaign import CampaignResult
+from repro.faults.classify import FaultEffect
+from repro.faults.executor import RunSpec, regenerate_mask
+from repro.faults.mask import mask_population
+from repro.plan.estimator import StratifiedEstimate
+from repro.plan.model import LogisticModel, features
+from repro.plan.strata import DEAD_STRATUM, stratum_of
+
+#: Sidecar schema version; bump on breaking layout changes.
+PLAN_SCHEMA = 1
+
+#: Pilot runs per live stratum (the first round's allocation).
+PILOT_RUNS = 4
+
+#: Hard round cap (each round at least doubles some stratum, so real
+#: campaigns converge long before this).
+MAX_ROUNDS = 64
+
+#: Enumeration cap: at most this many times the per-group budget is
+#: ever classified (pool extension included) -- guarantees
+#: termination even when a rare stratum never refills.
+MAX_POOL_FACTOR = 8
+
+
+def plan_path_for(log_path: Union[str, Path]) -> Path:
+    """The plan sidecar path of one campaign log."""
+    return Path(str(log_path) + ".plan.json")
+
+
+@dataclass
+class _Group:
+    """Driver-internal state of one (kernel, structure) group."""
+
+    kernel: str
+    structure: object  # Structure
+    estimate: StratifiedEstimate
+    #: stratum -> tagged specs in run_index order (pool + extensions)
+    candidates: Dict[str, List[RunSpec]] = field(default_factory=dict)
+    #: stratum -> feature rows aligned with ``candidates``
+    rows: Dict[str, List[List[float]]] = field(default_factory=dict)
+    #: highest run_index enumerated so far (exclusive)
+    enumerated: int = 0
+    budget: int = 0
+    budget_exhausted: bool = False
+
+    def pending(self, stratum: str) -> int:
+        done = self.estimate.stratum(stratum).executed
+        return len(self.candidates.get(stratum, ())) - done
+
+    def spent(self) -> int:
+        return self.estimate.executed()
+
+
+@dataclass
+class PlanReport:
+    """What the adaptive planner did, for reports and the sidecar."""
+
+    error_target: float
+    confidence: float
+    rounds: int
+    budget_per_group: int
+    #: (kernel, structure value) -> the group's stratified estimate
+    groups: Dict[Tuple[str, str], StratifiedEstimate]
+    #: (kernel, structure value) -> uniform-planner run count for the
+    #: same target (worst-case p, Leveugle) -- the savings baseline
+    uniform_runs: Dict[Tuple[str, str], int]
+    #: groups that hit the run budget before every stratum met
+    exhausted: List[Tuple[str, str]] = field(default_factory=list)
+
+    def executed(self) -> int:
+        return sum(e.executed() for e in self.groups.values())
+
+    def runs_saved(self) -> int:
+        """Runs saved vs. sizing every group uniformly for the same
+        target (never negative per group: the budget caps spending)."""
+        return sum(max(self.uniform_runs[key] - est.executed(), 0)
+                   for key, est in self.groups.items())
+
+    def all_met(self) -> bool:
+        return not self.exhausted and all(
+            not est.unmet(self.error_target)
+            for est in self.groups.values())
+
+    def summary(self) -> str:
+        """Human-readable planner breakdown (CLI output)."""
+        pct = self.error_target * 100
+        lines = [f"adaptive plan: error target +/-{pct:.1f}% at "
+                 f"{self.confidence:.0%} confidence, "
+                 f"{self.rounds} round(s)"]
+        for (kernel, structure), est in sorted(self.groups.items()):
+            saved = self.uniform_runs[(kernel, structure)] \
+                - est.executed()
+            status = ("budget exhausted"
+                      if (kernel, structure) in self.exhausted
+                      else "all strata met")
+            lines.append(
+                f"  {kernel}/{structure}: FR={est.failure_ratio():.4f} "
+                f"+/-{est.combined_margin() * 100:.1f}% "
+                f"({est.executed()} runs vs "
+                f"{self.uniform_runs[(kernel, structure)]} uniform, "
+                f"{saved:+d} saved; {status})")
+            total = est.pool_total
+            for key in sorted(est.strata):
+                s = est.strata[key]
+                weight = s.weight(total)
+                if s.proven_dead:
+                    lines.append(
+                        f"    {key:<10} W={weight:.3f} proven dead "
+                        f"(p=0 in {s.resolved} classified draws, "
+                        f"+/-{s.margin(total, est.population) * 100:.1f}%)")
+                    continue
+                lines.append(
+                    f"    {key:<10} W={weight:.3f} n={s.executed} "
+                    f"p_hat={s.p_hat():.3f} "
+                    f"+/-{s.margin(total, est.population) * 100:.1f}% "
+                    f"w_run={s.weight(total) / s.executed if s.executed else 0:.5f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The ``<log>.plan.json`` sidecar document."""
+        groups = []
+        for key in sorted(self.groups):
+            est = self.groups[key]
+            doc = est.to_dict(self.error_target)
+            doc["uniform_runs"] = self.uniform_runs[key]
+            doc["runs_saved"] = max(
+                self.uniform_runs[key] - est.executed(), 0)
+            doc["budget"] = self.budget_per_group
+            doc["budget_exhausted"] = key in self.exhausted
+            groups.append(doc)
+        return {
+            "schema": PLAN_SCHEMA,
+            "adaptive": "on",
+            "error_target": self.error_target,
+            "confidence": self.confidence,
+            "rounds": self.rounds,
+            "budget_per_group": self.budget_per_group,
+            "executed": self.executed(),
+            "uniform_runs_total": sum(self.uniform_runs.values()),
+            "runs_saved": self.runs_saved(),
+            "all_met": self.all_met(),
+            "groups": groups,
+        }
+
+
+def _make_prescreener(campaign):
+    if campaign._liveness is None:
+        return None
+    if not campaign.config.resolved_model().prescreen_safe:
+        return None
+    from repro.faults.early_stop import Prescreener
+
+    return Prescreener(campaign._liveness,
+                       campaign.config.resolved_card(),
+                       cache_hook_mode=campaign.config.cache_hook_mode)
+
+
+def _classify(campaign, card, prescreener, groups: Dict, specs,
+              initial: bool) -> None:
+    """Assign specs to strata, tagging each with its key."""
+    for spec in specs:
+        key = (spec.kernel, spec.structure.value)
+        group = groups[key]
+        mask = regenerate_mask(spec)
+        stratum = stratum_of(card, spec, mask, prescreener)
+        tagged = dataclasses.replace(spec, stratum=stratum)
+        group.candidates.setdefault(stratum, []).append(tagged)
+        group.rows.setdefault(stratum, []).append(
+            features(card, spec, mask, stratum))
+        stats = group.estimate.stratum(stratum)
+        if initial:
+            stats.candidates += 1
+        else:
+            stats.extra_candidates += 1
+        group.enumerated = max(group.enumerated, spec.run_index + 1)
+
+
+def _extend_pool(campaign, card, prescreener, group: _Group,
+                 chunk: int) -> bool:
+    """Enumerate ``chunk`` more candidates for one group.
+
+    Re-plans with a higher run count through the campaign's own
+    :meth:`~repro.faults.campaign.Campaign.plan` (sharing its profile
+    and liveness trace, so nothing re-simulates); the new specs'
+    seeds are pure functions of their run_index, unchanged by when
+    they are enumerated.  Returns False at the enumeration cap.
+    """
+    cap = MAX_POOL_FACTOR * max(group.budget, 1)
+    if group.enumerated >= cap:
+        return False
+    from repro.faults.campaign import Campaign
+
+    end = min(group.enumerated + chunk, cap)
+    sub = Campaign(dataclasses.replace(
+        campaign.config, adaptive="off",
+        runs_per_structure=end,
+        kernels=(group.kernel,),
+        structures=(group.structure,)))
+    sub.profile = campaign.profile
+    sub.golden_cycles = campaign.golden_cycles
+    sub._liveness = campaign._liveness
+    fresh = [spec for spec in sub.plan()
+             if spec.run_index >= group.enumerated]
+    _classify(campaign, card, prescreener,
+              {(group.kernel, group.structure.value): group}, fresh,
+              initial=False)
+    group.enumerated = end
+    return True
+
+
+def _update_stats(groups: Dict, records, spec_strata: Dict) -> None:
+    """Recount per-stratum executed/failure tallies from records."""
+    for group in groups.values():
+        for stats in group.estimate.strata.values():
+            stats.executed = 0
+            stats.failures = 0
+    for record in records:
+        key = (record["kernel"], record["structure"], record["run"])
+        if key not in spec_strata:
+            continue  # a resumed record outside the current selection
+        stratum = spec_strata[key]
+        group = groups[(record["kernel"], record["structure"])]
+        stats = group.estimate.stratum(stratum)
+        stats.executed += 1
+        if FaultEffect(record["effect"]).is_failure:
+            stats.failures += 1
+
+
+def _fit_model(card, groups: Dict, records,
+               spec_rows: Dict) -> Optional[LogisticModel]:
+    """Fit the steering model on every completed run's features."""
+    rows, labels = [], []
+    for record in records:
+        key = (record["kernel"], record["structure"], record["run"])
+        row = spec_rows.get(key)
+        if row is None:
+            continue
+        rows.append(row)
+        labels.append(0 if record["effect"] == "Masked" else 1)
+    return LogisticModel.fit(rows, labels)
+
+
+def _score_strata(groups: Dict, model: Optional[LogisticModel]) -> None:
+    """Refresh each stratum's model score from pending candidates."""
+    for group in groups.values():
+        for stratum, stats in group.estimate.strata.items():
+            if stats.proven_dead:
+                stats.score = 0.0
+                continue
+            pending = group.rows.get(stratum, [])[stats.executed:]
+            if model is None or not pending:
+                stats.score = 0.5  # uninformed: uniform steering
+            else:
+                stats.score = model.score_mean(pending)
+
+
+def _allocate(campaign, card, prescreener, group: _Group,
+              error_target: float) -> List[RunSpec]:
+    """Select this round's specs for one group (deterministic)."""
+    est = group.estimate
+    # attest the proven-dead mass first: classification is free (no
+    # simulation), and each dead draw tightens the dead stratum's
+    # Wilson interval toward its target
+    dead = est.strata.get(DEAD_STRATUM)
+    while (dead is not None
+           and not dead.met(est.pool_total, est.population,
+                            error_target, est.confidence)
+           and _extend_pool(campaign, card, prescreener, group,
+                            chunk=max(group.budget, PILOT_RUNS))):
+        pass
+    unmet = est.unmet(error_target)
+    if not unmet:
+        return []
+    budget_left = group.budget - group.spent()
+    live = [s for s in unmet if not s.proven_dead]
+    if budget_left <= 0 or not live:
+        # run budget spent with live strata open, or the dead mass
+        # cannot be attested within the enumeration cap
+        group.budget_exhausted = True
+        return []
+    # refill empty strata before sizing the round
+    for stats in live:
+        while group.pending(stats.key) == 0:
+            if not _extend_pool(campaign, card, prescreener, group,
+                                chunk=max(group.budget, PILOT_RUNS)):
+                break
+    unmet = [s for s in live if group.pending(s.key) > 0]
+    if not unmet:
+        group.budget_exhausted = True  # target unreachable in-pool
+        return []
+    # per-stratum ask: pilot for new strata, double otherwise,
+    # never more than the stratum has pending
+    asks = {s.key: min(max(PILOT_RUNS, s.executed), group.pending(s.key))
+            for s in unmet}
+    total_ask = sum(asks.values())
+    if total_ask > budget_left:
+        # steer the constrained budget by model score (deterministic:
+        # sorted keys, floor + largest-remainder on the score share)
+        scores = {s.key: max(s.score, 1e-6) for s in unmet}
+        norm = sum(scores.values())
+        shares = {key: budget_left * scores[key] / norm
+                  for key in sorted(scores)}
+        granted = {key: min(int(math.floor(share)), asks[key])
+                   for key, share in shares.items()}
+        leftover = budget_left - sum(granted.values())
+        for key in sorted(shares,
+                          key=lambda k: (shares[k] - math.floor(shares[k])),
+                          reverse=True):
+            if leftover <= 0:
+                break
+            room = asks[key] - granted[key]
+            take = min(room, leftover)
+            granted[key] += take
+            leftover -= take
+        asks = {key: n for key, n in granted.items() if n > 0}
+    selection: List[RunSpec] = []
+    for key in sorted(asks):
+        done = est.stratum(key).executed
+        selection.extend(group.candidates[key][done:done + asks[key]])
+    if group.spent() + sum(asks.values()) >= group.budget:
+        group.budget_exhausted = bool(est.unmet(error_target))
+    return selection
+
+
+def run_adaptive(campaign, jobs: int = 1,
+                 resume: bool = False) -> CampaignResult:
+    """Execute one campaign adaptively; see the module docstring.
+
+    Drop-in for :meth:`repro.faults.campaign.Campaign.run`: returns
+    the same :class:`CampaignResult` (aggregated over the records
+    actually executed) and leaves the planner report on
+    ``campaign.last_plan``.
+    """
+    cfg = campaign.config
+    progress = campaign._progress
+    base_specs = campaign.plan()
+    card = cfg.resolved_card()
+    prescreener = _make_prescreener(campaign)
+
+    groups: Dict[Tuple[str, str], _Group] = {}
+    for spec in base_specs:
+        key = (spec.kernel, spec.structure.value)
+        if key not in groups:
+            kp = campaign.profile.kernels[spec.kernel]
+            windows = list(spec.windows)
+            groups[key] = _Group(
+                kernel=spec.kernel, structure=spec.structure,
+                estimate=StratifiedEstimate(
+                    kernel=spec.kernel,
+                    structure=spec.structure.value,
+                    population=mask_population(
+                        card, spec.structure, kp.regs_per_thread,
+                        kp.smem_bytes, kp.local_bytes, windows)),
+                budget=cfg.runs_per_structure)
+    _classify(campaign, card, prescreener, groups, base_specs,
+              initial=True)
+    for key, group in sorted(groups.items()):
+        dead = group.estimate.strata.get(DEAD_STRATUM)
+        live = {k: s.candidates
+                for k, s in group.estimate.strata.items()
+                if not s.proven_dead}
+        progress(f"adaptive: {key[0]}/{key[1]} stratified into "
+                 f"{len(group.estimate.strata)} strata "
+                 f"(dead={dead.candidates if dead else 0}, "
+                 f"live={live})")
+
+    spec_strata = {}
+    spec_rows = {}
+    for group in groups.values():
+        for stratum, specs in group.candidates.items():
+            for i, spec in enumerate(specs):
+                spec_strata[spec.key] = stratum
+                spec_rows[spec.key] = group.rows[stratum][i]
+
+    selected: List[RunSpec] = []
+    selected_keys = set()
+    records: List[dict] = []
+    rounds = 0
+    for round_no in range(MAX_ROUNDS):
+        allocation: List[RunSpec] = []
+        for key in sorted(groups):
+            allocation.extend(
+                _allocate(campaign, card, prescreener, groups[key],
+                          cfg.error_target))
+        # extension may have introduced new spec coordinates
+        for group in groups.values():
+            for stratum, specs in group.candidates.items():
+                for i, spec in enumerate(specs):
+                    if spec.key not in spec_strata:
+                        spec_strata[spec.key] = stratum
+                        spec_rows[spec.key] = group.rows[stratum][i]
+        allocation = [spec for spec in allocation
+                      if spec.key not in selected_keys]
+        if not allocation:
+            break
+        rounds += 1
+        selected.extend(allocation)
+        selected_keys.update(spec.key for spec in allocation)
+        progress(f"adaptive round {rounds}: +{len(allocation)} runs "
+                 f"({len(selected)} total)")
+        records = campaign.execute(selected, jobs=jobs,
+                                   resume=resume or round_no > 0)
+        _update_stats(groups, records, spec_strata)
+        _score_strata(groups,
+                      _fit_model(card, groups, records, spec_rows))
+
+    for group in groups.values():
+        # _allocate flags exhaustion before a round's results land;
+        # a final round that meets every target clears it
+        if not group.estimate.unmet(cfg.error_target):
+            group.budget_exhausted = False
+
+    report = PlanReport(
+        error_target=cfg.error_target,
+        confidence=0.99,
+        rounds=rounds,
+        budget_per_group=cfg.runs_per_structure,
+        groups={key: group.estimate for key, group in groups.items()},
+        uniform_runs={
+            key: required_injections(group.estimate.population,
+                                     error=cfg.error_target)
+            for key, group in groups.items()},
+        exhausted=sorted(key for key, group in groups.items()
+                         if group.budget_exhausted),
+    )
+    campaign.last_plan = report
+    progress(f"adaptive: {report.executed()} runs executed, "
+             f"{report.runs_saved()} saved vs uniform sizing")
+
+    if cfg.log_path is not None:
+        path = plan_path_for(cfg.log_path)
+        path.write_text(json.dumps(report.to_dict(), indent=1) + "\n",
+                        encoding="utf-8")
+        progress(f"plan sidecar written to {path}")
+    if campaign.last_metrics is not None:
+        # surface the importance weights in the metrics sidecar too
+        campaign.last_metrics["adaptive"] = report.to_dict()
+        if cfg.log_path is not None:
+            from repro.obs.metrics import metrics_path_for
+
+            metrics_path_for(cfg.log_path).write_text(
+                json.dumps(campaign.last_metrics, indent=1) + "\n",
+                encoding="utf-8")
+
+    return campaign.aggregate(records)

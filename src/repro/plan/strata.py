@@ -1,0 +1,136 @@
+"""Fault-space stratification.
+
+A stratum groups fault sites expected to behave alike, so the
+per-stratum failure probability is less dispersed than the pooled one
+and each stratum's interval converges with fewer samples.  Within one
+``(kernel, structure)`` campaign group, a mask is assigned to a
+stratum by two deterministic features and one liveness-derived one:
+
+- **bit-position band** (``lo``/``hi``): which half of the entry the
+  first flipped bit lands in.  Low bits of a data word flip small
+  magnitudes (often masked), high bits flip sign/exponent/tag bits
+  (often not) -- the geometry comes from
+  :func:`repro.faults.mask.entry_bits`.
+- **lifetime band** (``short``/``long``/``live``): how soon after the
+  injection cycle the corrupted site is read, measured on the golden
+  :class:`~repro.sim.liveness.LivenessTrace`.  A site read almost
+  immediately had no chance to be overwritten; a site idle for a long
+  fraction of the run is frequently dead in disguise.  ``live`` is the
+  fallback when the trace cannot resolve the site (caches, shared
+  memory, no trace captured).
+- **dead** (:data:`DEAD_STRATUM`): the plan-time pre-screener
+  *proved* the site is never observed (overwritten / evicted / never
+  touched), so its failure probability is exactly 0 -- the stratum
+  needs zero executed runs.
+
+Stratum membership is a pure function of the mask (itself a pure
+function of the spec), so the same spec lands in the same stratum on
+every machine and the assignment is canonical-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.mask import FaultMask, entry_bits
+from repro.faults.targets import Structure
+
+#: Stratum of plan-time proven-dead (and synthesized) faults: failure
+#: probability exactly 0, no execution needed.
+DEAD_STRATUM = "dead"
+
+#: Bit-position bands (low / high half of the entry).
+BIT_BANDS = ("lo", "hi")
+
+#: Liveness lifetime bands; ``live`` is the unresolvable fallback.
+LIFETIME_BANDS = ("short", "long", "live")
+
+#: First-read distance at or below this fraction of the golden run is
+#: a ``short`` lifetime; above it, ``long``.
+SHORT_LIFETIME_FRACTION = 0.05
+
+
+def bit_band(config, structure: Structure, mask: FaultMask) -> str:
+    """``lo``/``hi``: the entry half the first flipped bit lands in."""
+    width = entry_bits(config, structure)
+    offset = mask.bit_offsets[0] % width if mask.bit_offsets else 0
+    return "lo" if offset < width / 2 else "hi"
+
+
+def first_read_distance(trace, structure: Structure, target: dict,
+                        cycle: int) -> Optional[int]:
+    """Cycles from injection to the site's first subsequent read.
+
+    ``target`` is the site the pre-screener resolved
+    (:attr:`repro.faults.early_stop.Prescreener.last_target`); the
+    events come from the golden liveness trace.  Returns ``None`` when
+    the structure's events cannot be resolved (caches, shared memory,
+    SIMT stack, scoreboard) -- those sites fall into the ``live``
+    band.
+    """
+    if structure is Structure.REGISTER_FILE \
+            and {"core", "warp_age", "register"} <= set(target):
+        for when, kind in trace.register_events(
+                int(target["core"]), int(target["warp_age"]),
+                int(target["register"])):
+            if when >= cycle:
+                return when - cycle if kind == "r" else None
+        return None
+    if structure is Structure.LOCAL_MEM \
+            and {"core", "warp_age", "word"} <= set(target):
+        lanes = set(int(lane) for lane in target.get("lanes", []))
+        for when, lane, kind in trace.local_word_events(
+                int(target["core"]), int(target["warp_age"]),
+                int(target["word"])):
+            if when >= cycle and (not lanes or int(lane) in lanes):
+                return when - cycle if kind == "r" else None
+        return None
+    return None
+
+
+def lifetime_band(trace, structure: Structure, target: dict,
+                  cycle: int, golden_cycles: int) -> str:
+    """``short``/``long``/``live`` from the golden first-read distance."""
+    if trace is None or not target:
+        return "live"
+    distance = first_read_distance(trace, structure, target, cycle)
+    if distance is None:
+        return "live"
+    horizon = max(golden_cycles, 1)
+    return ("short" if distance <= SHORT_LIFETIME_FRACTION * horizon
+            else "long")
+
+
+def stratum_of(config, spec, mask: FaultMask,
+               prescreener=None) -> str:
+    """The stratum key of one planned run.
+
+    ``spec`` is a planned :class:`~repro.faults.executor.RunSpec`
+    (with ``prescreened`` already evaluated by
+    :meth:`~repro.faults.campaign.Campaign.plan`), ``mask`` its
+    regenerated fault mask, ``prescreener`` the plan-time
+    :class:`~repro.faults.early_stop.Prescreener` (or ``None`` when no
+    liveness trace was captured).  Keys look like ``"lo:short"``;
+    proven-dead and synthesized runs collapse into
+    :data:`DEAD_STRATUM`.
+    """
+    if spec.synthesized or spec.prescreened:
+        return DEAD_STRATUM
+    band = bit_band(config, spec.structure, mask)
+    target = {}
+    trace = None
+    if prescreener is not None:
+        # re-evaluating is deterministic (the spatial draw replays the
+        # mask's own seed) and leaves the resolved site on last_target
+        # even for a live verdict
+        verdict = prescreener.evaluate(mask, spec.regs_per_thread,
+                                       spec.smem_bytes, spec.local_bytes)
+        if verdict is not None:
+            # a prescreener only proves deadness when the plan ran
+            # with early_stop="full"; stay consistent with the spec
+            return DEAD_STRATUM
+        target = prescreener.last_target
+        trace = prescreener.trace
+    life = lifetime_band(trace, spec.structure, target, mask.cycle,
+                         spec.golden_cycles)
+    return f"{band}:{life}"

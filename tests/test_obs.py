@@ -440,3 +440,61 @@ class TestReportMetricsCli:
         text = render_metrics(doc)
         assert "INTERRUPTED" in text
         assert "7 runs" in text
+
+
+class TestPercentile:
+    """Pin the ceil-based nearest-rank definition of ``_percentile``.
+
+    The former ``round()`` implementation banker's-rounded ``.5``
+    ranks to the even neighbor, so p50 of an even-sized sample picked
+    inconsistent sides depending on N.
+    """
+
+    @pytest.mark.parametrize("ordered, q, expected", [
+        # singleton: every percentile is the one sample
+        ([7.0], 0.50, 7.0),
+        ([7.0], 0.95, 7.0),
+        # nearest-rank on 1..4: ceil(0.5*4)=2 -> 2nd value (round()
+        # at rank 1.5 used to banker's-round down to the 1st)
+        ([1.0, 2.0, 3.0, 4.0], 0.50, 2.0),
+        ([1.0, 2.0, 3.0, 4.0], 0.25, 1.0),
+        ([1.0, 2.0, 3.0, 4.0], 0.75, 3.0),
+        ([1.0, 2.0, 3.0, 4.0], 0.95, 4.0),
+        # 1..10: ceil(0.5*10)=5 -> 5, ceil(0.95*10)=10 -> 10
+        (list(map(float, range(1, 11))), 0.50, 5.0),
+        (list(map(float, range(1, 11))), 0.95, 10.0),
+        # 1..20: ceil(0.95*20)=19 -> 19 (not the max)
+        (list(map(float, range(1, 21))), 0.95, 19.0),
+        (list(map(float, range(1, 21))), 0.50, 10.0),
+        # 1..5 (odd): ceil(0.5*5)=3 -> the true median
+        ([1.0, 2.0, 3.0, 4.0, 5.0], 0.50, 3.0),
+        # extremes clamp to the sample
+        ([1.0, 2.0, 3.0], 0.0, 1.0),
+        ([1.0, 2.0, 3.0], 1.0, 3.0),
+        # empty sample
+        ([], 0.50, 0.0),
+    ])
+    def test_nearest_rank_table(self, ordered, q, expected):
+        from repro.obs.metrics import _percentile
+
+        assert _percentile(ordered, q) == expected
+
+    def test_propagation_summary_uses_fractional_q(self):
+        # summarize_propagation must pass 0.50/0.95 (not 50/95, which
+        # would clamp both p50 and p95 to the sample max)
+        from repro.obs.propagation import summarize_propagation
+
+        records = []
+        for i, dist in enumerate([10, 20, 30, 40]):
+            records.append({
+                "structure": "register_file", "run": i,
+                "propagation": {
+                    "source": "trace", "injection_cycle": 100,
+                    "sites": [{"fate": "consumed",
+                               "fate_cycle": 100 + dist}],
+                    "chain": [], "divergence": None,
+                }})
+        doc = summarize_propagation(records)
+        ttr = doc["time_to_first_read_cycles"]
+        assert ttr["p50"] == 20
+        assert ttr["p95"] == 40

@@ -1,0 +1,371 @@
+"""Adaptive campaign planner: strata, estimator, driver, parity.
+
+Three guarantees are pinned here:
+
+* ``--adaptive off`` (the default) is canonically byte-identical to
+  the seed behaviour at any jobs/batch split -- no stratum keys, no
+  sidecar, no drift.
+* The stratified estimator is unbiased (equals the pooled mean under
+  uniform allocation; importance weights sum to 1 per stratum).
+* The corrected margin reporting matches the hand-computed Leveugle
+  value exactly on a fixed fixture log.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.statistics import (observed_margin,
+                                       per_structure_margins,
+                                       required_injections,
+                                       wilson_halfwidth, wilson_interval)
+from repro.dist.protocol import canonical_log_text
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.parser import load_records
+from repro.faults.targets import Structure
+from repro.plan import plan_path_for
+from repro.plan.estimator import (MIN_STRATUM_RUNS, StratifiedEstimate,
+                                  StratumStats)
+
+FIXTURE = Path(__file__).parent / "data" / "golden_transient_vectoradd.jsonl"
+
+
+def make_config(**overrides):
+    kwargs = dict(benchmark="vectoradd", card="RTX2060",
+                  structures=(Structure.REGISTER_FILE,),
+                  runs_per_structure=24, seed=7)
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+class TestWilsonInterval:
+    def test_zero_failures_is_not_degenerate(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0 and 0.0 < hi < 1.0
+
+    def test_all_failures_is_not_degenerate(self):
+        lo, hi = wilson_interval(10, 10)
+        assert 0.0 < lo < 1.0 and hi == 1.0
+
+    def test_contains_the_observed_rate(self):
+        lo, hi = wilson_interval(3, 10)
+        assert lo < 0.3 < hi
+
+    def test_halfwidth_shrinks_with_n(self):
+        assert wilson_halfwidth(5, 10) > wilson_halfwidth(50, 100) \
+            > wilson_halfwidth(500, 1000)
+
+    def test_exhaustive_sampling_collapses(self):
+        assert wilson_interval(3, 10, population=10) == (0.3, 0.3)
+
+    def test_finite_population_tightens(self):
+        assert wilson_halfwidth(3, 10, population=20) \
+            < wilson_halfwidth(3, 10, population=10**9)
+
+    def test_invalid_successes(self):
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_no_runs_is_total_uncertainty(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+def _estimate(spec, population=10000.0):
+    """Build a StratifiedEstimate from {key: (cand, exec, fail)}."""
+    est = StratifiedEstimate(kernel="k", structure="register_file",
+                             population=population)
+    for key, (candidates, executed, failures) in spec.items():
+        est.strata[key] = StratumStats(key=key, candidates=candidates,
+                                       executed=executed,
+                                       failures=failures)
+    return est
+
+
+class TestStratifiedEstimator:
+    def test_uniform_allocation_equals_pooled_mean(self):
+        # equal sampling fractions (half of each stratum): the
+        # stratified estimate must equal the pooled per-run mean
+        est = _estimate({"a": (10, 5, 2), "b": (30, 15, 6)})
+        pooled = (2 + 6) / (5 + 15)
+        assert est.failure_ratio() == pytest.approx(pooled)
+
+    def test_importance_weights_sum_to_one_per_stratum(self):
+        est = _estimate({"a": (10, 3, 1), "b": (30, 9, 0),
+                         "c": (60, 2, 2)})
+        # sum over a stratum's runs of W_s/n_s is W_s ...
+        for key, stats in est.strata.items():
+            total = est.run_weight(key) * stats.executed
+            assert total == pytest.approx(
+                stats.weight(est.pool_total))
+        # ... and the weights themselves sum to 1 over the pool
+        assert sum(s.weight(est.pool_total)
+                   for s in est.strata.values()) == pytest.approx(1.0)
+
+    def test_skewed_allocation_stays_unbiased_in_form(self):
+        # oversampling stratum b does not change its weight, only
+        # its per-run importance weight
+        even = _estimate({"a": (50, 5, 0), "b": (50, 5, 5)})
+        skew = _estimate({"a": (50, 5, 0), "b": (50, 45, 45)})
+        assert even.failure_ratio() == pytest.approx(0.5)
+        assert skew.failure_ratio() == pytest.approx(0.5)
+        assert skew.run_weight("b") < even.run_weight("b")
+
+    def test_dead_stratum_costs_no_runs_but_is_not_free_certainty(self):
+        from repro.analysis.statistics import wilson_halfwidth
+        est = _estimate({"dead": (80, 0, 0), "live": (20, 10, 5)})
+        dead = est.strata["dead"]
+        assert dead.proven_dead
+        assert dead.p_hat() == 0.0
+        assert est.failure_ratio() == pytest.approx(0.2 * 0.5)
+        # the dead margin is the Wilson interval of 0 failures in the
+        # 80 classified draws -- nonzero, so 8 dead draws can never
+        # certify a whole fault space at a tight target
+        margin = dead.margin(est.pool_total, est.population)
+        assert margin == wilson_halfwidth(0, 80,
+                                          population=0.8 * 10000.0)
+        assert margin > 0.0
+        assert dead.met(est.pool_total, est.population, 0.1)
+        assert not dead.met(est.pool_total, est.population, 0.01)
+        # more classification draws tighten it at zero run cost
+        dead.extra_candidates = 2000
+        assert dead.met(est.pool_total, est.population, 0.01)
+        assert dead.executed == 0
+
+    def test_met_requires_minimum_runs(self):
+        est = _estimate({"live": (10, MIN_STRATUM_RUNS - 1, 0)})
+        stats = est.strata["live"]
+        assert not stats.met(est.pool_total, est.population, 1.0)
+        stats.executed = MIN_STRATUM_RUNS
+        assert stats.met(est.pool_total, est.population, 1.0)
+
+    def test_small_strata_get_looser_targets(self):
+        est = _estimate({"dead": (80, 0, 0), "a": (16, 0, 0),
+                         "b": (4, 0, 0)})
+        total = est.pool_total
+        assert est.strata["b"].target(total, 0.1) \
+            > est.strata["a"].target(total, 0.1) \
+            > est.strata["dead"].target(total, 0.1) > 0.1
+
+    def test_scaled_targets_bound_combined_margin(self):
+        # once no stratum is unmet, sum (W_s hw_s)^2 <= e^2
+        est = _estimate({"dead": (800, 0, 0), "a": (120, 60, 15),
+                         "b": (80, 40, 40)})
+        error = 0.2
+        assert not est.unmet(error)
+        assert est.combined_margin() <= error
+
+    def test_run_weight_none_before_any_run(self):
+        est = _estimate({"a": (10, 0, 0)})
+        assert est.run_weight("a") is None
+
+    def test_to_dict_is_json_and_consistent(self):
+        est = _estimate({"dead": (6, 0, 0), "a": (4, 4, 1)})
+        doc = json.loads(json.dumps(est.to_dict(error_target=0.1)))
+        assert doc["pool_candidates"] == 10
+        strata = doc["strata"]
+        assert strata["dead"]["proven_dead"] is True
+        assert strata["a"]["run_weight"] == pytest.approx(0.4 / 4)
+        assert sum(s["weight"] for s in strata.values()) \
+            == pytest.approx(1.0)
+
+
+class TestFixtureMargin:
+    """The corrected margin line vs the hand-computed Leveugle value."""
+
+    def _tallies(self, structure="register_file"):
+        from repro.faults.classify import FaultEffect
+        records = load_records(FIXTURE)
+        mine = [r for r in records if r["structure"] == structure]
+        failures = sum(FaultEffect(r["effect"]).is_failure
+                       for r in mine)
+        return records, len(mine), failures
+
+    def test_fixture_margin_exact(self):
+        # register_file in the fixture: 4 runs, 1 Crash; population
+        # 15 regs x 32 bits x 438 cycles = 210,240.  Inverse Leveugle
+        # at the observed p-hat = 1/4:
+        _, n, failures = self._tallies()
+        assert (n, failures) == (4, 1)
+        population = 15 * 32 * 438
+        z = 2.5758  # 99% two-sided
+        p = failures / n
+        fpc = (population - n) / (population - 1)
+        hand = z * math.sqrt(p * (1 - p) * fpc / n)
+        assert observed_margin(n, failures, population=population) == hand
+        assert hand == pytest.approx(0.557673079873576, abs=1e-12)
+
+    def test_per_structure_margins_match_fixture(self):
+        records, n, failures = self._tallies()
+        campaign = Campaign(make_config(runs_per_structure=12))
+        result = campaign.aggregate(records)
+        margins = per_structure_margins(result)
+        entry = margins[("vectorAdd", Structure.REGISTER_FILE)]
+        assert entry["runs"] == n
+        assert entry["failures"] == failures
+        assert entry["population"] == 15 * 32 * 438
+        assert entry["margin"] == observed_margin(
+            n, failures, population=entry["population"])
+
+    def test_margin_uses_observed_rate_not_worst_case(self):
+        # the old line claimed the planning-time p = 0.5 margin; the
+        # corrected one is tighter at the observed p-hat = 1/4
+        from repro.analysis.statistics import margin_of_error
+        _, n, failures = self._tallies()
+        population = 15 * 32 * 438
+        assert observed_margin(n, failures, population=population) \
+            < margin_of_error(n, population=population)
+
+    def test_degenerate_structures_use_wilson_centre(self):
+        # shared_mem and l2_cache observe 0 failures in 4 runs; the
+        # margin must not collapse to 0 (Wilson-centre substitution)
+        for structure in ("shared_mem", "l2_cache"):
+            _, n, failures = self._tallies(structure)
+            assert (n, failures) == (4, 0)
+            margin = observed_margin(n, failures, population=10**6)
+            assert 0.0 < margin < 1.0
+
+
+class TestAdaptiveOffParity:
+    """--adaptive off must stay canonically byte-identical."""
+
+    def _canonical(self, tmp_path, name, jobs=1, **overrides):
+        log = tmp_path / f"{name}.jsonl"
+        config = make_config(runs_per_structure=6, log_path=log,
+                             **overrides)
+        Campaign(config).run(jobs=jobs)
+        return canonical_log_text(load_records(log)), log
+
+    def test_byte_identical_across_jobs_and_batch(self, tmp_path):
+        base, _ = self._canonical(tmp_path, "serial")
+        para, _ = self._canonical(tmp_path, "parallel", jobs=3)
+        batched, _ = self._canonical(tmp_path, "batched", jobs=2,
+                                     batch=3)
+        assert base == para == batched
+
+    def test_no_stratum_keys_or_sidecar_by_default(self, tmp_path):
+        _, log = self._canonical(tmp_path, "plain")
+        records = load_records(log)
+        assert records and all("stratum" not in r for r in records)
+        assert not plan_path_for(log).exists()
+
+
+class TestAdaptiveDriver:
+    def _run(self, tmp_path, name="adaptive", **overrides):
+        log = tmp_path / f"{name}.jsonl"
+        kwargs = dict(adaptive="on", error_target=0.1,
+                      runs_per_structure=200, seed=3, log_path=log)
+        kwargs.update(overrides)
+        campaign = Campaign(make_config(**kwargs))
+        result = campaign.run()
+        return campaign, result, log
+
+    def test_reaches_target_with_fewer_runs_than_uniform(self, tmp_path):
+        campaign, _, log = self._run(tmp_path)
+        doc = json.loads(plan_path_for(log).read_text())
+        assert doc["all_met"] is True
+        uniform = required_injections(doc["groups"][0]["population"],
+                                      error=0.1)
+        assert doc["uniform_runs_total"] == uniform
+        assert doc["executed"] < uniform  # measurably fewer
+        assert doc["runs_saved"] == uniform - doc["executed"]
+
+    def test_records_carry_strata_and_weights_are_consistent(
+            self, tmp_path):
+        campaign, result, log = self._run(tmp_path)
+        doc = json.loads(plan_path_for(log).read_text())
+        strata = doc["groups"][0]["strata"]
+        assert sum(s["weight"] for s in strata.values()) \
+            == pytest.approx(1.0, abs=1e-5)
+        executed = {}
+        for record in result.records:
+            assert record["stratum"] in strata
+            executed[record["stratum"]] = \
+                executed.get(record["stratum"], 0) + 1
+        assert executed  # live strata actually ran
+        for key, n in executed.items():
+            info = strata[key]
+            assert info["executed"] == n
+            # per-run importance weights sum back to the stratum weight
+            assert info["run_weight"] * n \
+                == pytest.approx(info["weight"], abs=1e-5)
+
+    def test_adaptive_is_deterministic(self, tmp_path):
+        _, _, log_a = self._run(tmp_path, "a")
+        _, _, log_b = self._run(tmp_path, "b")
+        doc_a = json.loads(plan_path_for(log_a).read_text())
+        doc_b = json.loads(plan_path_for(log_b).read_text())
+        assert doc_a == doc_b
+        assert canonical_log_text(load_records(log_a)) \
+            == canonical_log_text(load_records(log_b))
+
+    def test_last_plan_summary_renders(self, tmp_path):
+        campaign, _, _ = self._run(tmp_path)
+        assert campaign.last_plan is not None
+        text = campaign.last_plan.summary()
+        assert "error target +/-10.0%" in text
+        assert "vectorAdd/register_file" in text
+
+    def test_budget_caps_spending(self, tmp_path):
+        campaign, result, log = self._run(tmp_path, "tight",
+                                          runs_per_structure=8,
+                                          error_target=0.02)
+        doc = json.loads(plan_path_for(log).read_text())
+        assert doc["executed"] <= 8
+        assert doc["groups"][0]["budget_exhausted"] is True
+        assert doc["all_met"] is False
+
+    def test_metrics_sidecar_gains_adaptive_block(self, tmp_path):
+        campaign, _, _ = self._run(tmp_path, "metrics", metrics=True)
+        assert campaign.last_metrics["adaptive"]["adaptive"] == "on"
+        assert campaign.last_metrics["adaptive"]["groups"]
+
+    def test_estimate_tracks_dead_mass(self, tmp_path):
+        campaign, _, log = self._run(tmp_path)
+        doc = json.loads(plan_path_for(log).read_text())
+        group = doc["groups"][0]
+        dead = group["strata"].get("dead")
+        assert dead is not None and dead["proven_dead"]
+        assert dead["executed"] == 0
+        # the stratified FR discounts the proven-dead mass, so it
+        # cannot exceed the live fraction of the pool
+        assert group["failure_ratio"] <= 1.0 - dead["weight"] + 1e-9
+
+
+class TestAdaptiveConfig:
+    def test_remote_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_config(adaptive="on", backend="remote",
+                        backend_url="http://localhost:1")
+
+    def test_error_target_validated(self):
+        with pytest.raises(ValueError):
+            make_config(adaptive="on", error_target=0.0)
+        with pytest.raises(ValueError):
+            make_config(adaptive="on", error_target=1.0)
+
+    def test_adaptive_value_validated(self):
+        with pytest.raises(ValueError):
+            make_config(adaptive="maybe")
+
+    def test_config_file_roundtrip(self):
+        from repro.faults.config_file import dump_config, parse_config_text
+        config = make_config(adaptive="on", error_target=0.05)
+        text = dump_config(config)
+        assert "-gpufi_adaptive 1" in text
+        assert "-gpufi_error_target 0.05" in text
+        parsed = parse_config_text(text)
+        assert parsed.adaptive == "on"
+        assert parsed.error_target == 0.05
+
+    def test_config_file_default_off(self):
+        from repro.faults.config_file import dump_config
+        text = dump_config(make_config())
+        assert "adaptive" not in text
+
+    def test_submit_rejects_adaptive(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="adaptive"):
+            main(["submit", "--connect", "http://localhost:1",
+                  "--benchmark", "vectoradd", "--adaptive"])
