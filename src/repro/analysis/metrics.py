@@ -155,6 +155,32 @@ def render_metrics(metrics: dict) -> str:
               _fmt_pct(stats.get("utilization", 0.0)),
               _fmt_seconds(stats.get("last_heartbeat_s", 0.0)))
              for worker, stats in workers.items()]))
+
+    dist = metrics.get("dist")
+    if dist:
+        shards = dist.get("shards", {})
+        events = dist.get("events", {})
+        lines.append("")
+        lines.append(
+            f"fleet: campaign {dist.get('campaign', '?')}"
+            + (f" [{dist['trace']}]" if dist.get("trace") else ""))
+        lines.append(
+            f"  shards: {shards.get('complete', 0)}/"
+            f"{shards.get('total', 0)} complete, "
+            f"{shards.get('lease_expired', 0)} lease expirie(s)")
+        by_type = events.get("by_type", {})
+        lines.append(
+            f"  events: {events.get('total', 0)} journaled ("
+            + ", ".join(f"{name}={count}"
+                        for name, count in sorted(by_type.items()))
+            + ")")
+        fleet_workers = dist.get("workers", {})
+        if fleet_workers:
+            lines.append(render_table(
+                ("fleet worker", "runs", "shards", "heartbeats"),
+                [(name, stats.get("runs", 0), stats.get("shards", 0),
+                  stats.get("heartbeats", 0))
+                 for name, stats in fleet_workers.items()]))
     return "\n".join(lines)
 
 

@@ -21,6 +21,7 @@ and to run a distributed campaign fleet (see docs/distributed.md)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -234,8 +235,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="campaign id (default: list all)")
     status.add_argument("--wait", action="store_true",
                         help="poll until the campaign completes")
+    status.add_argument("--follow", action="store_true",
+                        help="stream the campaign's live event feed "
+                             "(one line per event) until it completes")
     status.add_argument("--timeout", type=float,
-                        help="give up --wait after this many seconds")
+                        help="give up --wait/--follow after this many "
+                             "seconds")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard of a running campaign -- "
+             "throughput, ETA, per-structure effects, worker table -- "
+             "from a dispatcher (--connect) or a local run's "
+             "<log>.events.jsonl (--log)")
+    top.add_argument("--connect", metavar="URL",
+                     help="dispatcher URL, e.g. http://host:8937")
+    top.add_argument("campaign", nargs="?",
+                     help="campaign id (fleet mode; default: first "
+                          "running campaign)")
+    top.add_argument("--log", metavar="PATH",
+                     help="local campaign log whose event stream to "
+                          "tail instead of a dispatcher")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval in seconds (default 1)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (scripts/CI)")
+    top.add_argument("--timeout", type=float,
+                     help="give up after this many seconds")
 
     canonicalize = sub.add_parser(
         "canonicalize",
@@ -724,6 +750,10 @@ def _cmd_status(args) -> int:
 
     client = DispatcherClient(args.connect)
     try:
+        if args.follow:
+            if args.campaign is None:
+                raise SystemExit("--follow needs a campaign id")
+            return _follow_events(client, args.campaign, args.timeout)
         if args.campaign is None:
             if args.wait:
                 raise SystemExit("--wait needs a campaign id")
@@ -761,6 +791,99 @@ def _cmd_status(args) -> int:
     return 0 if status["state"] == "complete" else 1
 
 
+def _follow_events(client, campaign_id: str,
+                   timeout: Optional[float]) -> int:
+    """``gpufi status --follow``: one line per streamed event."""
+    from repro.dist.client import DispatchError
+    from repro.obs.live import format_event
+
+    try:
+        for event in client.follow(campaign_id, timeout=timeout):
+            print(format_event(event), flush=True)
+    except DispatchError as exc:
+        raise SystemExit(f"error: {exc}")
+    except TimeoutError as exc:
+        raise SystemExit(f"error: {exc}")
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _pick_campaign(client) -> Optional[str]:
+    """Default `gpufi top` target: first running, else last campaign."""
+    overview = client.status()
+    campaigns = overview.get("campaigns", [])
+    for status in campaigns:
+        if status.get("state") != "complete":
+            return status["id"]
+    return campaigns[-1]["id"] if campaigns else None
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs.live import (DashboardState, EventFileTailer,
+                                render_top)
+
+    if bool(args.connect) == bool(args.log):
+        raise SystemExit(
+            "error: pass exactly one of --connect URL (fleet) or "
+            "--log PATH (local run)")
+    deadline = (_time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    state = DashboardState()
+
+    def frame(text: str) -> None:
+        if not args.once and sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+        print(text, flush=True)
+
+    if args.log:
+        from repro.obs.events import events_path_for
+
+        path = events_path_for(args.log)
+        tailer = EventFileTailer(path)
+        while True:
+            for event in tailer.poll():
+                state.apply(event)
+            frame(render_top(state, now=_time.time()))
+            if args.once or state.complete:
+                return 0
+            if deadline is not None and _time.monotonic() > deadline:
+                raise SystemExit(f"error: campaign incomplete after "
+                                 f"{args.timeout:g}s")
+            _time.sleep(args.interval)
+
+    from repro.dist.client import DispatchError, DispatcherClient
+
+    client = DispatcherClient(args.connect)
+    try:
+        campaign = args.campaign or _pick_campaign(client)
+        if campaign is None:
+            print("no campaigns submitted yet")
+            return 0
+        cursor = 0
+        while True:
+            page = client.events(campaign, cursor=cursor)
+            for event in page["events"]:
+                state.apply(event)
+            cursor = page["next"]
+            if cursor < page["total"]:
+                continue  # drain the backlog before rendering
+            status = client.status(campaign)
+            frame(render_top(state, status=status, now=_time.time()))
+            if args.once or (page["complete"] and state.complete):
+                return 0
+            if deadline is not None and _time.monotonic() > deadline:
+                raise SystemExit(f"error: campaign {campaign} "
+                                 f"incomplete after {args.timeout:g}s")
+            _time.sleep(args.interval)
+    except DispatchError as exc:
+        raise SystemExit(f"error: {exc}")
+    except KeyboardInterrupt:
+        return 130
+
+
 def _cmd_canonicalize(args) -> int:
     from repro.dist.protocol import canonical_log_text
 
@@ -777,7 +900,18 @@ def _cmd_canonicalize(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # stdout went away mid-write (`gpufi status --follow | head`):
+        # a normal way to stop a stream, not an error.  Detach stdout
+        # so interpreter shutdown does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "profile":
@@ -802,6 +936,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_submit(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "canonicalize":
         return _cmd_canonicalize(args)
     raise AssertionError("unreachable")

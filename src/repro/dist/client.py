@@ -8,10 +8,11 @@ Stdlib ``urllib`` only -- the fabric stays pip-light by design.  The
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Callable, List, Optional, Union
+from typing import Callable, Iterator, List, Optional, Union
 
 
 class DispatchError(RuntimeError):
@@ -56,6 +57,22 @@ def http_json(base_url: str, path: str, payload: Optional[dict] = None,
         ) from exc
 
 
+def http_text(base_url: str, path: str, timeout: float = 30.0) -> str:
+    """One plain-text GET (the ``/metrics`` exposition)."""
+    url = base_url.rstrip("/") + path
+    request = urllib.request.Request(url,
+                                     headers={"Accept": "text/plain"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        raise DispatchError(f"{path}: HTTP {exc.code}") from exc
+    except urllib.error.URLError as exc:
+        raise DispatchError(
+            f"cannot reach dispatcher at {base_url}: "
+            f"{exc.reason}") from exc
+
+
 class DispatcherClient:
     """Talks to one ``gpufi serve`` dispatcher."""
 
@@ -88,25 +105,55 @@ class DispatcherClient:
     def records(self, campaign_id: str) -> List[dict]:
         return self.call(f"/api/records/{campaign_id}")["records"]
 
+    def events(self, campaign_id: str, cursor: int = 0,
+               limit: Optional[int] = None) -> dict:
+        """One ``/api/events`` page starting at ``cursor``."""
+        query = f"?cursor={int(cursor)}"
+        if limit is not None:
+            query += f"&limit={int(limit)}"
+        return self.call(f"/api/events/{campaign_id}{query}")
+
+    def metrics_text(self) -> str:
+        """The dispatcher's ``/metrics`` Prometheus exposition."""
+        return http_text(self.base_url, "/metrics", timeout=self.timeout)
+
     def wait(self, campaign_id: str, timeout: Optional[float] = None,
-             poll: float = 0.5,
-             progress: Optional[Callable[[str], None]] = None) -> dict:
+             poll: float = 0.5, max_poll: float = 5.0,
+             progress: Optional[Callable[[str], None]] = None,
+             sleep: Callable[[float], None] = time.sleep) -> dict:
         """Poll until the campaign completes; returns its final status.
+
+        Polls with exponential backoff: ``poll`` seconds while status
+        is changing, backing off by ~1.6x (with +/-20% jitter, so a
+        fleet of waiting clients never thunders in step) to at most
+        ``max_poll`` while it is not -- fast at the start, gentle on a
+        loaded dispatcher.  ``progress`` fires on any shard-state
+        change (pending/leased/complete counts or campaign state), not
+        only when the done count moves.
 
         Raises :class:`TimeoutError` after ``timeout`` seconds
         (``None`` waits forever).
         """
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
-        last_done = -1
+        last_seen = None
+        delay = poll
         while True:
             status = self.status(campaign_id)
-            if progress is not None and status["done"] != last_done:
-                last_done = status["done"]
-                progress(f"{status['id']}: {status['done']}/"
-                         f"{status['total']} runs "
-                         f"({status['shards']['pending']} shards pending, "
-                         f"{status['shards']['leased']} leased)")
+            shards = status.get("shards", {})
+            seen = (status["done"], status["state"],
+                    shards.get("pending"), shards.get("leased"),
+                    shards.get("complete"))
+            if seen != last_seen:
+                delay = poll  # progress: return to fast polling
+                if progress is not None:
+                    progress(
+                        f"{status['id']}: {status['done']}/"
+                        f"{status['total']} runs "
+                        f"({shards.get('pending', 0)} shards pending, "
+                        f"{shards.get('leased', 0)} leased, "
+                        f"{shards.get('complete', 0)} complete)")
+                last_seen = seen
             if status["state"] == "complete":
                 return status
             if deadline is not None and time.monotonic() > deadline:
@@ -114,4 +161,37 @@ class DispatcherClient:
                     f"campaign {campaign_id} incomplete after "
                     f"{timeout:g}s: {status['done']}/{status['total']} "
                     "runs")
-            time.sleep(poll)
+            sleep(delay * random.uniform(0.8, 1.2))
+            delay = min(delay * 1.6, max_poll)
+
+    def follow(self, campaign_id: str, poll: float = 0.5,
+               max_poll: float = 5.0,
+               timeout: Optional[float] = None,
+               cursor: int = 0,
+               sleep: Callable[[float], None] = time.sleep
+               ) -> Iterator[dict]:
+        """Yield a campaign's events as they arrive, until complete.
+
+        Tails ``/api/events`` with a resumable cursor and the same
+        backoff-with-jitter cadence as :meth:`wait`; pass ``cursor``
+        to resume a dropped tail without replaying history.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        delay = poll
+        while True:
+            page = self.events(campaign_id, cursor=cursor)
+            for event in page["events"]:
+                yield event
+            if page["events"]:
+                cursor = page["next"]
+                delay = poll
+                continue  # more may already be waiting
+            if page["complete"]:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} incomplete after "
+                    f"{timeout:g}s of following")
+            sleep(delay * random.uniform(0.8, 1.2))
+            delay = min(delay * 1.6, max_poll)

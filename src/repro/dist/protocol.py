@@ -30,14 +30,21 @@ from typing import Dict, List, Sequence, Tuple
 from repro.faults.executor import RunSpec, plan_fingerprint
 from repro.faults.mask import MultiBitMode
 from repro.faults.targets import Structure
+# trace IDs are part of the wire protocol (lease/heartbeat/records
+# payloads); they live in repro.obs.events so the local executor can
+# stamp them too without a circular import
+from repro.obs.events import campaign_trace, run_trace, shard_trace
 
 __all__ = [
     "VOLATILE_KEYS",
+    "campaign_trace",
     "canonical_log_text",
     "canonical_records",
     "plan_fingerprint",
     "plan_shards",
     "record_key",
+    "run_trace",
+    "shard_trace",
     "spec_from_wire",
     "spec_to_wire",
     "strip_volatile",
@@ -45,8 +52,10 @@ __all__ = [
 
 #: Record keys that legitimately differ between executions of the same
 #: run (wall-clock noise and worker identity); excluded from the
-#: byte-identity comparison.
-VOLATILE_KEYS = ("timings", "worker")
+#: byte-identity comparison.  ``trace`` is listed defensively: records
+#: never carry traces today (traces live in events and wire payloads),
+#: but a future writer that stamps one must not break byte-identity.
+VOLATILE_KEYS = ("timings", "worker", "trace")
 
 _SPEC_FIELDS = {field.name for field in dataclasses.fields(RunSpec)}
 

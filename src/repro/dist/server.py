@@ -24,6 +24,14 @@ coordination point of a fault-injection fleet:
   on restart the dispatcher re-plans each unfinished campaign, reloads
   the records already logged (the standard JSONL resume machinery) and
   re-queues only the shards with missing runs.
+- **live telemetry**: every campaign event (lifecycle, shard leases
+  and expiries, per-run completions with trace IDs, worker
+  heartbeats) is journaled to ``<log>.events.jsonl`` and served
+  cursor-paged at ``GET /api/events/<id>`` -- resumable, append-only,
+  run events deduplicated with the same first-wins rule as
+  :func:`repro.dist.protocol.canonical_records`.  ``GET /metrics``
+  exposes fleet health in the Prometheus text format (rendered by
+  :mod:`repro.obs.live`, no third-party deps).
 
 The merged log of an N-worker fleet is byte-identical (after canonical
 sort, minus timing/worker keys; see
@@ -42,12 +50,19 @@ from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
+from urllib.parse import parse_qs, urlsplit
 
 from repro.dist.protocol import (plan_fingerprint, plan_shards,
                                  record_key, spec_to_wire)
 from repro.faults.campaign import Campaign
 from repro.faults.config_file import parse_config_text
 from repro.faults.executor import RunSpec, format_log_header
+from repro.obs.events import (EVENT_SCHEMA, EventLog, campaign_trace,
+                              events_path_for, read_events, run_trace,
+                              shard_trace)
+from repro.obs.live import (PROMETHEUS_CONTENT_TYPE, render_prometheus,
+                            summarize_dist_events)
+from repro.obs.telemetry import Telemetry
 
 log = logging.getLogger("gpufi.dist")
 
@@ -62,14 +77,18 @@ DEFAULT_LEASE_TIMEOUT = 60.0
 
 
 class _Lease:
-    __slots__ = ("lease_id", "shard_index", "worker", "deadline")
+    __slots__ = ("lease_id", "shard_index", "worker", "deadline",
+                 "generation", "trace")
 
     def __init__(self, lease_id: str, shard_index: int, worker: str,
-                 deadline: float):
+                 deadline: float, generation: int = 1,
+                 trace: str = ""):
         self.lease_id = lease_id
         self.shard_index = shard_index
         self.worker = worker
         self.deadline = deadline
+        self.generation = generation
+        self.trace = trace
 
 
 class CampaignJob:
@@ -90,6 +109,19 @@ class CampaignJob:
         self.records: Dict[tuple, dict] = {}
         self.log_path = log_path
         self.submitted_at = time.time()
+        #: Root of the campaign's trace-ID chain, stamped at submit.
+        self.trace = campaign_trace(campaign_id, self.fingerprint)
+        #: In-memory event journal, cursor-addressable by list index
+        #: (mirrors the on-disk ``<log>.events.jsonl``).
+        self.events: List[dict] = []
+        self.event_log: Optional[EventLog] = None
+        #: Run keys that already have a journaled ``run`` event --
+        #: re-delivered batches from recovered leases journal nothing.
+        self.event_run_keys: set = set()
+        #: Lease generation per shard index (bumped on every lease).
+        self.generations: Dict[int, int] = {}
+        self.lease_expired_total = 0
+        self.finalized = False
 
     @property
     def total(self) -> int:
@@ -116,6 +148,7 @@ class CampaignJob:
             "benchmark": self.config.benchmark,
             "card": self.config.card,
             "fingerprint": self.fingerprint,
+            "trace": self.trace,
             "total": self.total,
             "done": len(self.records),
             "effects": self.effects(),
@@ -124,7 +157,9 @@ class CampaignJob:
                 "pending": len(self.pending),
                 "leased": len(self.leases),
                 "complete": len(self.completed_shards),
+                "lease_expired": self.lease_expired_total,
             },
+            "events": len(self.events),
             "log": str(self.log_path),
         }
 
@@ -166,6 +201,11 @@ class Dispatcher:
         self._lease_seq = 0
         self._id_seq = 0
         self._workers: Dict[str, dict] = {}
+        self._started = time.time()
+        #: Wall-clock stamps of freshly collected records; the
+        #: trailing-window throughput gauge in ``/metrics``.
+        self._rate: deque = deque()
+        self.telemetry = Telemetry()
         self._restore_persisted()
 
     # -- submission ----------------------------------------------------------
@@ -199,6 +239,7 @@ class Dispatcher:
             self._restore_log(job)
             self._persist(job)
             self._ensure_log(job)
+            self._init_events(job)
             self._jobs[cid] = job
             self._order.append(cid)
             log.info("campaign %s submitted: %d runs in %d shards",
@@ -216,6 +257,83 @@ class Dispatcher:
     def _next_id(self) -> str:
         self._id_seq += 1
         return f"c{self._id_seq}"
+
+    # -- event journal -------------------------------------------------------
+
+    def _init_events(self, job: CampaignJob) -> None:
+        """Open the campaign's event journal, resuming any prior one.
+
+        A dispatcher restart re-reads the journal (torn-tail-safe),
+        rebuilds the run-event dedup set and the per-shard lease
+        generations, then *appends* -- history survives, and the seam
+        is marked by a ``campaign_resume`` event.
+        """
+        path = events_path_for(job.log_path)
+        resumed = path.exists()
+        if resumed:
+            job.events = read_events(path)
+            for event in job.events:
+                kind = event.get("event")
+                if kind == "run":
+                    try:
+                        job.event_run_keys.add(record_key(event))
+                    except (KeyError, TypeError, ValueError):
+                        pass
+                elif kind == "shard_leased":
+                    shard = event.get("shard")
+                    generation = event.get("generation", 0)
+                    if isinstance(shard, int):
+                        job.generations[shard] = max(
+                            job.generations.get(shard, 0),
+                            int(generation or 0))
+                elif kind == "lease_expired":
+                    job.lease_expired_total += 1
+        job.event_log = EventLog(path, append=resumed)
+        self._journal(
+            job, "campaign_resume" if resumed else "campaign_start",
+            schema=EVENT_SCHEMA, campaign=job.campaign_id,
+            total=job.total, pending=job.total - len(job.records),
+            resumed=len(job.records), shards=len(job.shards),
+            trace=job.trace, fingerprint=job.fingerprint)
+
+    def _journal(self, job: CampaignJob, event: str, **fields) -> dict:
+        record = {"event": event}
+        record.update(fields)
+        return self._append_event(job, record)
+
+    def _append_event(self, job: CampaignJob, record: dict) -> dict:
+        """Journal one event to the in-memory list and the file."""
+        if job.event_log is not None:
+            record = job.event_log.append(record)
+        job.events.append(record)
+        return record
+
+    def events(self, campaign_id: str, cursor: int = 0,
+               limit: int = 500) -> dict:
+        """One page of a campaign's event stream, from ``cursor``.
+
+        The cursor is the event's index in arrival order; clients
+        resume tailing by passing back the reply's ``next``.  A page
+        is never torn: events are journaled whole under the lock.
+        """
+        with self._lock:
+            self._reap_expired()
+            job = self._jobs.get(campaign_id)
+            if job is None:
+                raise KeyError(f"unknown campaign {campaign_id!r}")
+            cursor = max(int(cursor), 0)
+            limit = max(int(limit), 1)
+            page = job.events[cursor:cursor + limit]
+            return {
+                "campaign": campaign_id,
+                "trace": job.trace,
+                "state": "complete" if job.complete else "running",
+                "complete": job.complete,
+                "cursor": cursor,
+                "next": cursor + len(page),
+                "total": len(job.events),
+                "events": page,
+            }
 
     # -- leasing (work stealing) ---------------------------------------------
 
@@ -242,10 +360,19 @@ class Dispatcher:
                 self._lease_seq += 1
                 lease_id = (f"{job.campaign_id}-s{shard_index}"
                             f"-{self._lease_seq}")
+                generation = job.generations.get(shard_index, 0) + 1
+                job.generations[shard_index] = generation
+                trace = shard_trace(job.trace, shard_index, generation)
                 job.leases[lease_id] = _Lease(
                     lease_id, shard_index, worker,
-                    self._clock() + self.lease_timeout)
+                    self._clock() + self.lease_timeout,
+                    generation=generation, trace=trace)
                 self._workers[worker]["leases"] += 1
+                self.telemetry.count("leases_granted")
+                self._journal(job, "shard_leased", shard=shard_index,
+                              worker=worker, generation=generation,
+                              runs=len(job.shards[shard_index]),
+                              trace=trace)
                 log.info("lease %s -> %s (%d specs)", lease_id, worker,
                          len(job.shards[shard_index]))
                 return {
@@ -253,6 +380,8 @@ class Dispatcher:
                     "lease": lease_id,
                     "shard": shard_index,
                     "fingerprint": job.fingerprint,
+                    "trace": trace,
+                    "campaign_trace": job.trace,
                     "heartbeat_s": self.lease_timeout / 3.0,
                     "specs": [spec_to_wire(spec)
                               for spec in job.shards[shard_index]],
@@ -268,6 +397,10 @@ class Dispatcher:
                 if lease is not None:
                     lease.deadline = self._clock() + self.lease_timeout
                     self._touch_worker(lease.worker)
+                    self._journal(job, "worker_heartbeat",
+                                  worker=lease.worker,
+                                  shard=lease.shard_index,
+                                  trace=lease.trace)
                     return {"ok": True}
             return {"ok": False, "expired": True}
 
@@ -278,10 +411,18 @@ class Dispatcher:
                        if lease.deadline < now]
             for lease in expired:
                 del job.leases[lease.lease_id]
+                job.lease_expired_total += 1
+                self.telemetry.count("leases_expired")
+                self._journal(job, "lease_expired",
+                              shard=lease.shard_index,
+                              worker=lease.worker,
+                              generation=lease.generation,
+                              trace=lease.trace)
                 if lease.shard_index not in job.completed_shards:
                     # front of the queue: a lost shard should not wait
                     # behind the whole backlog a second time
                     job.pending.appendleft(lease.shard_index)
+                    self.telemetry.count("leases_requeued")
                     log.warning(
                         "lease %s (worker %s) expired; shard %d of %s "
                         "re-queued", lease.lease_id, lease.worker,
@@ -296,8 +437,10 @@ class Dispatcher:
 
     def collect(self, campaign_id: str, lease_id: str,
                 fingerprint: str, records: Sequence[dict],
-                done: bool = False, worker: Optional[str] = None) -> dict:
-        """Accept a batch of records from a worker.
+                done: bool = False, worker: Optional[str] = None,
+                events: Optional[Sequence[dict]] = None,
+                trace: Optional[str] = None) -> dict:
+        """Accept a batch of records (and their events) from a worker.
 
         The batch must carry the campaign's fingerprint -- shard
         results can only ever land in the campaign whose plan produced
@@ -307,6 +450,13 @@ class Dispatcher:
         their specs) and deduplication keeps exactly one copy per run;
         the reply's ``expired`` flag tells the worker to abandon the
         rest of the shard.
+
+        Worker-attached ``run`` events ride the same dedup: exactly
+        one ``run`` event is journaled per fresh record (matching
+        ``canonical_records`` first-wins), so a re-delivered batch
+        from an expired-then-recovered lease streams nothing twice.
+        A batch from an older worker that sends no events still
+        journals one synthesized ``run`` event per fresh record.
         """
         with self._lock:
             self._reap_expired()
@@ -321,20 +471,37 @@ class Dispatcher:
                     "mix campaigns")
             if worker is not None:
                 self._touch_worker(worker)
-            accepted = self._absorb(job, records)
+            fresh = self._absorb(job, records)
+            accepted = len(fresh)
+            self.telemetry.count("record_batches")
+            if accepted:
+                self.telemetry.count("records_accepted", accepted)
+                if worker is not None:
+                    self._workers[worker]["records"] += accepted
+                now = time.time()
+                self._rate.extend([now] * accepted)
+                while self._rate and self._rate[0] < now - 120.0:
+                    self._rate.popleft()
             lease = job.leases.get(lease_id)
+            self._journal_runs(job, fresh, events, lease, worker, trace)
             expired = lease is None
             if lease is not None and done:
                 job.completed_shards.add(lease.shard_index)
                 del job.leases[lease_id]
+                self._journal(job, "shard_complete",
+                              shard=lease.shard_index,
+                              worker=lease.worker,
+                              generation=lease.generation,
+                              trace=lease.trace)
             if job.complete:
                 self._finalize(job)
             return {"ok": True, "accepted": accepted, "expired": expired,
                     "campaign_complete": job.complete}
 
     def _absorb(self, job: CampaignJob,
-                records: Sequence[dict]) -> int:
-        """Dedup-merge records into the job and its log; count fresh."""
+                records: Sequence[dict]) -> List[dict]:
+        """Dedup-merge records into the job and its log; return the
+        fresh (first-delivery) ones."""
         fresh: List[dict] = []
         plan_keys = {spec.key for spec in job.specs}
         for record in records:
@@ -351,12 +518,57 @@ class Dispatcher:
             with open(job.log_path, "a", encoding="utf-8") as handle:
                 for record in fresh:
                     handle.write(json.dumps(record) + "\n")
-        return len(fresh)
+        return fresh
+
+    def _journal_runs(self, job: CampaignJob, fresh: Sequence[dict],
+                      events: Optional[Sequence[dict]],
+                      lease: Optional[_Lease], worker: Optional[str],
+                      trace: Optional[str]) -> None:
+        """Journal one ``run`` event per fresh record, in batch order.
+
+        Worker-stamped events are preferred (they carry the worker's
+        wall clock and trace); fresh records without one -- an older
+        worker, or an event lost to a partial batch -- get a
+        synthesized event so ``/api/events`` still streams at least
+        one event per run.
+        """
+        provided: Dict[tuple, dict] = {}
+        for event in events or []:
+            if event.get("event") != "run":
+                continue
+            try:
+                provided.setdefault(record_key(event), event)
+            except (KeyError, TypeError, ValueError):
+                continue
+        base = trace or (lease.trace if lease is not None else job.trace)
+        shard = lease.shard_index if lease is not None else None
+        for record in fresh:
+            key = record_key(record)
+            if key in job.event_run_keys:
+                continue
+            job.event_run_keys.add(key)
+            event = provided.get(key)
+            if event is None:
+                timings = record.get("timings") or {}
+                event = {"event": "run", "kernel": key[0],
+                         "structure": key[1], "run": key[2],
+                         "effect": record.get("effect"),
+                         "worker": worker, "shard": shard,
+                         "total_s": timings.get("total_s"),
+                         "trace": run_trace(base, key[0], key[1],
+                                            key[2])}
+            self._append_event(job, event)
 
     def _finalize(self, job: CampaignJob) -> None:
         job.pending.clear()
         job.leases.clear()
         job.completed_shards = set(range(len(job.shards)))
+        if not job.finalized:
+            # journal before the sidecar is written, so its `dist`
+            # section counts the same events a live tail saw
+            job.finalized = True
+            self._journal(job, "campaign_end", complete=True,
+                          executed=len(job.records), trace=job.trace)
         self._persist(job)
         self._write_metrics(job)
         log.info("campaign %s complete: %d records", job.campaign_id,
@@ -364,7 +576,8 @@ class Dispatcher:
 
     def _write_metrics(self, job: CampaignJob) -> None:
         """Metrics sidecar of a telemetry campaign, from the merged
-        records -- same artifact the local executor writes."""
+        records -- same artifact the local executor writes, plus the
+        fleet-only ``dist`` section from the dispatcher journal."""
         if not job.config.metrics:
             return
         from repro.obs import MetricsCollector
@@ -374,9 +587,24 @@ class Dispatcher:
                    if spec.key in job.records]
         for record in ordered:
             collector.record(record)
-        collector.write(
-            collector.finalize(ordered, complete=True, total=job.total),
-            job.log_path)
+        doc = collector.finalize(ordered, complete=True, total=job.total)
+        doc["dist"] = self._dist_section(job)
+        collector.write(doc, job.log_path)
+
+    def _dist_section(self, job: CampaignJob) -> dict:
+        """The fleet summary embedded in the metrics sidecar --
+        sourced from the same journal ``gpufi top`` consumed live."""
+        section = summarize_dist_events(job.events)
+        section.update({
+            "campaign": job.campaign_id,
+            "trace": job.trace,
+            "shards": {
+                "total": len(job.shards),
+                "complete": len(job.completed_shards),
+                "lease_expired": job.lease_expired_total,
+            },
+        })
+        return section
 
     # -- introspection -------------------------------------------------------
 
@@ -406,6 +634,92 @@ class Dispatcher:
             return {"campaign": campaign_id, "complete": job.complete,
                     "fingerprint": job.fingerprint, "total": job.total,
                     "records": ordered}
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus text exposition.
+
+        Rendered on demand from dispatcher state -- campaign/shard
+        gauges, run and effect counters, a trailing-window throughput
+        gauge, worker liveness and the lease lifecycle counters --
+        with :func:`repro.obs.live.render_prometheus` (stdlib only).
+        """
+        with self._lock:
+            self._reap_expired()
+            now = time.time()
+            jobs = [self._jobs[cid] for cid in self._order]
+            by_state: Dict[str, int] = {"running": 0, "complete": 0}
+            effects: Dict[str, int] = {}
+            shard_states = {"pending": 0, "leased": 0, "complete": 0}
+            runs_total = 0
+            events_total = 0
+            for job in jobs:
+                state = "complete" if job.complete else "running"
+                by_state[state] = by_state.get(state, 0) + 1
+                runs_total += len(job.records)
+                events_total += len(job.events)
+                shard_states["pending"] += len(job.pending)
+                shard_states["leased"] += len(job.leases)
+                shard_states["complete"] += len(job.completed_shards)
+                for effect, count in job.effects().items():
+                    effects[effect] = effects.get(effect, 0) + count
+            window = [ts for ts in self._rate if ts > now - 30.0]
+            rate = len(window) / 30.0
+            counters = self.telemetry.counters
+            families = [
+                ("gpufi_uptime_seconds", "gauge",
+                 "Seconds since this dispatcher started.",
+                 [({}, now - self._started)]),
+                ("gpufi_campaigns", "gauge",
+                 "Campaigns known to the dispatcher, by state.",
+                 [({"state": state}, count)
+                  for state, count in sorted(by_state.items())]),
+                ("gpufi_shards", "gauge",
+                 "Shards across all campaigns, by state.",
+                 [({"state": state}, count)
+                  for state, count in sorted(shard_states.items())]),
+                ("gpufi_runs_total", "counter",
+                 "Run records collected across all campaigns.",
+                 [({}, runs_total)]),
+                ("gpufi_runs_per_second", "gauge",
+                 "Collection throughput over a trailing 30s window.",
+                 [({}, rate)]),
+                ("gpufi_run_effects_total", "counter",
+                 "Collected run records by fault effect.",
+                 [({"effect": effect}, count)
+                  for effect, count in sorted(effects.items())]),
+                ("gpufi_events_total", "counter",
+                 "Events journaled across all campaign streams.",
+                 [({}, events_total)]),
+                ("gpufi_leases_granted_total", "counter",
+                 "Shard leases handed to workers.",
+                 [({}, counters.get("leases_granted", 0))]),
+                ("gpufi_lease_expired_total", "counter",
+                 "Leases lost to missed heartbeats.",
+                 [({}, counters.get("leases_expired", 0))]),
+                ("gpufi_lease_requeued_total", "counter",
+                 "Shards re-queued after their lease expired.",
+                 [({}, counters.get("leases_requeued", 0))]),
+                ("gpufi_record_batches_total", "counter",
+                 "Record batches accepted from workers.",
+                 [({}, counters.get("record_batches", 0))]),
+                ("gpufi_workers", "gauge",
+                 "Workers that ever contacted this dispatcher.",
+                 [({}, len(self._workers))]),
+                ("gpufi_worker_last_heartbeat_seconds", "gauge",
+                 "Seconds since each worker was last heard from.",
+                 [({"worker": name},
+                   max(now - entry.get("last_seen", now), 0.0))
+                  for name, entry in sorted(self._workers.items())]),
+                ("gpufi_worker_runs_total", "counter",
+                 "Fresh run records accepted, by worker.",
+                 [({"worker": name}, entry.get("records", 0))
+                  for name, entry in sorted(self._workers.items())]),
+                ("gpufi_worker_leases_total", "counter",
+                 "Shard leases granted, by worker.",
+                 [({"worker": name}, entry.get("leases", 0))
+                  for name, entry in sorted(self._workers.items())]),
+            ]
+            return render_prometheus(families)
 
     # -- persistence ---------------------------------------------------------
 
@@ -494,6 +808,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, text: str, content_type: str,
+                    status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, message: str, status: int) -> None:
         self._reply({"error": message}, status=status)
 
@@ -505,17 +828,35 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 (http.server API)
         try:
-            if self.path == "/api/ping":
+            url = urlsplit(self.path)
+            path = url.path
+            if path == "/api/ping":
                 return self._reply({"ok": True,
                                     "service": "gpufi-dispatch"})
-            if self.path == "/api/status":
+            if path == "/metrics":
+                return self._reply_text(self.dispatcher.metrics_text(),
+                                        PROMETHEUS_CONTENT_TYPE)
+            if path == "/api/status":
                 return self._reply(self.dispatcher.status())
-            match = re.match(r"^/api/status/([\w.-]+)$", self.path)
+            match = re.match(r"^/api/status/([\w.-]+)$", path)
             if match:
                 return self._reply(self.dispatcher.status(match.group(1)))
-            match = re.match(r"^/api/records/([\w.-]+)$", self.path)
+            match = re.match(r"^/api/records/([\w.-]+)$", path)
             if match:
                 return self._reply(self.dispatcher.records(match.group(1)))
+            match = re.match(r"^/api/events/([\w.-]+)$", path)
+            if match:
+                query = parse_qs(url.query)
+
+                def _int(name: str, default: int) -> int:
+                    try:
+                        return int(query.get(name, [default])[0])
+                    except (TypeError, ValueError):
+                        return default
+
+                return self._reply(self.dispatcher.events(
+                    match.group(1), cursor=_int("cursor", 0),
+                    limit=_int("limit", 500)))
             return self._error(f"no such endpoint: {self.path}", 404)
         except KeyError as exc:
             return self._error(str(exc.args[0]), 404)
@@ -542,7 +883,9 @@ class _Handler(BaseHTTPRequestHandler):
                     payload.get("fingerprint", ""),
                     payload.get("records", []),
                     done=bool(payload.get("done")),
-                    worker=payload.get("worker")))
+                    worker=payload.get("worker"),
+                    events=payload.get("events"),
+                    trace=payload.get("trace")))
             return self._error(f"no such endpoint: {self.path}", 404)
         except KeyError as exc:
             return self._error(f"missing/unknown: {exc.args[0]}", 400)

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 from repro.dist.client import DispatcherClient, DispatchError
 from repro.dist.protocol import spec_from_wire
+from repro.obs.events import campaign_trace, run_trace
 
 #: Records buffered before a streaming POST back to the dispatcher.
 DEFAULT_BATCH_SIZE = 4
@@ -104,17 +105,20 @@ class FleetWorker:
         heartbeater.start()
         executed = 0
         try:
-            batch = []
+            batch, events = [], []
             for spec in specs:
                 if self.stop.is_set() or expired.is_set():
                     return
-                batch.append(self._run_fn(spec))
+                started = time.time()
+                record = self._run_fn(spec)
+                batch.append(record)
+                events.append(self._run_event(lease, record, started))
                 executed += 1
                 if len(batch) >= self.batch_size:
-                    if self._flush(lease, batch, done=False):
+                    if self._flush(lease, batch, events, done=False):
                         return  # lease lost: abandon the shard
-                    batch = []
-            if not self._flush(lease, batch, done=True):
+                    batch, events = [], []
+            if not self._flush(lease, batch, events, done=True):
                 self.shards_done += 1
                 self.runs_done += executed
                 self._progress(
@@ -124,14 +128,55 @@ class FleetWorker:
             hb_stop.set()
             heartbeater.join(timeout=2.0)
 
-    def _flush(self, lease: dict, batch: list, done: bool) -> bool:
-        """Stream a batch back; ``True`` means the lease expired."""
+    def _run_event(self, lease: dict, record: dict,
+                   started: float) -> dict:
+        """The ``run`` event streamed alongside one record.
+
+        Events ride the batch, never the record: the record stays a
+        pure function of its spec (the byte-identity contract), while
+        the event carries this execution's worker, shard, wall clock
+        and trace.
+        """
+        timings = record.get("timings") or {}
+        total_s = timings.get("total_s")
+        if total_s is None:
+            total_s = round(time.time() - started, 6)
+        return {
+            "ts": round(time.time(), 6),
+            "event": "run",
+            "kernel": record.get("kernel"),
+            "structure": record.get("structure"),
+            "run": record.get("run"),
+            "effect": record.get("effect"),
+            "worker": self.name,
+            "shard": lease.get("shard"),
+            "total_s": total_s,
+            "trace": run_trace(self._lease_trace(lease),
+                               record.get("kernel"),
+                               record.get("structure"),
+                               record.get("run")),
+        }
+
+    @staticmethod
+    def _lease_trace(lease: dict) -> str:
+        # older dispatchers stamp no trace; fall back to the campaign
+        # root so run traces stay well-formed
+        return (lease.get("trace")
+                or campaign_trace(lease.get("campaign", "?"),
+                                  lease.get("fingerprint", "")))
+
+    def _flush(self, lease: dict, batch: list, events: list,
+               done: bool) -> bool:
+        """Stream a batch (and its events) back; ``True`` means the
+        lease expired."""
         reply = self.client.call("/api/records", {
             "campaign": lease["campaign"],
             "lease": lease["lease"],
             "fingerprint": lease["fingerprint"],
             "worker": self.name,
+            "trace": self._lease_trace(lease),
             "records": batch,
+            "events": events,
             "done": done,
         })
         return bool(reply.get("expired")) and not done
@@ -141,8 +186,11 @@ class FleetWorker:
         interval = float(lease.get("heartbeat_s") or 5.0)
         while not hb_stop.wait(interval):
             try:
-                reply = self.client.call("/api/heartbeat",
-                                          {"lease": lease["lease"]})
+                reply = self.client.call("/api/heartbeat", {
+                    "lease": lease["lease"],
+                    "worker": self.name,
+                    "trace": self._lease_trace(lease),
+                })
             except DispatchError:
                 continue  # transient network blip: the lease survives
             if reply.get("expired"):

@@ -41,8 +41,9 @@ from repro.faults.injector import Injector
 from repro.faults.mask import MaskGenerator, MultiBitMode
 from repro.faults.runner import run_application
 from repro.faults.targets import Structure
-from repro.obs import (EventLog, MetricsCollector, NullEventLog,
-                       events_path_for)
+from repro.obs import (EVENT_SCHEMA, EventLog, MetricsCollector,
+                       NullEventLog, campaign_trace, events_path_for,
+                       run_trace)
 from repro.sim.cards import get_card
 from repro.sim.device import RunOptions
 
@@ -763,7 +764,9 @@ class CampaignExecutor:
 
         metrics = MetricsCollector(jobs=self.jobs) if self.telemetry else None
         events = NullEventLog()
+        trace = ""
         log_file = None
+        append = False
         if self.log_path is not None:
             self.log_path.parent.mkdir(parents=True, exist_ok=True)
             # Never truncate an existing log on resume.  The log may
@@ -782,10 +785,18 @@ class CampaignExecutor:
                 log_file.write(format_log_header(specs))
                 log_file.flush()
             if self.telemetry:
-                events = EventLog(events_path_for(self.log_path))
-        events.emit("campaign_start", total=len(specs),
-                    pending=len(pending), resumed=len(done),
-                    jobs=self.jobs)
+                # the event stream honors the same resume contract as
+                # the log: append, never truncate recorded history
+                events = EventLog(events_path_for(self.log_path),
+                                  append=append)
+        fingerprint = plan_fingerprint(specs) if self.telemetry else ""
+        if self.telemetry:
+            trace = campaign_trace("local", fingerprint)
+        events.emit("campaign_resume" if append else "campaign_start",
+                    schema=EVENT_SCHEMA, campaign="local",
+                    total=len(specs), pending=len(pending),
+                    resumed=len(done), jobs=self.jobs, trace=trace,
+                    fingerprint=fingerprint)
         self.batch_stats = {
             "packs": 0, "members": 0, "converged": 0,
             "completed_in_pack": 0, "peeled": 0, "solo_fallback": 0,
@@ -811,7 +822,11 @@ class CampaignExecutor:
                                 run=record["run"],
                                 effect=record["effect"],
                                 worker=record.get("worker", 0),
-                                total_s=timings.get("total_s"))
+                                total_s=timings.get("total_s"),
+                                trace=run_trace(trace,
+                                                record["kernel"],
+                                                record["structure"],
+                                                record["run"]))
                     if (reporter.live_done % self.progress_every == 0
                             or reporter.done == reporter.total):
                         self._progress(reporter.render())

@@ -34,7 +34,14 @@ See ``docs/observability.md`` for the schemas and the
 ``gpufi report-metrics`` / ``gpufi explain-run`` front-ends.
 """
 
-from repro.obs.events import EventLog, NullEventLog, events_path_for
+from repro.obs.events import (EVENT_SCHEMA, EventLog, NullEventLog,
+                              campaign_trace, events_path_for,
+                              read_events, run_trace, shard_trace,
+                              trim_torn_tail)
+from repro.obs.live import (DashboardState, EventFileTailer,
+                            format_event, lint_prometheus,
+                            render_prometheus, render_top,
+                            summarize_dist_events)
 from repro.obs.metrics import (MetricsCollector, derived_cycle_fields,
                                metrics_path_for)
 from repro.obs.propagation import (PropagationTracer, explain_record,
@@ -49,9 +56,22 @@ __all__ = [
     "NullTelemetry",
     "NULL",
     "telemetry_for",
+    "EVENT_SCHEMA",
     "EventLog",
     "NullEventLog",
     "events_path_for",
+    "read_events",
+    "trim_torn_tail",
+    "campaign_trace",
+    "shard_trace",
+    "run_trace",
+    "DashboardState",
+    "EventFileTailer",
+    "format_event",
+    "lint_prometheus",
+    "render_prometheus",
+    "render_top",
+    "summarize_dist_events",
     "MetricsCollector",
     "metrics_path_for",
     "derived_cycle_fields",

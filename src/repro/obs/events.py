@@ -4,19 +4,38 @@ One JSON object per line, written next to the campaign log
 (``<log>.events.jsonl``).  Events carry a wall-clock ``ts`` (unix
 seconds), an ``event`` type and free-form fields; the stream is
 append-and-flush so a killed campaign leaves a readable prefix --
-the same torn-tail contract as the run log itself.
+the same torn-tail contract as the run log itself.  Resuming a
+campaign *appends* to the existing stream (a ``campaign_resume``
+event marks the seam) -- history is never truncated.
 
-Event types emitted by the executor:
+Event schema v2 (:data:`EVENT_SCHEMA`) adds the trace-ID chain
+``campaign -> shard -> run`` (:func:`campaign_trace` /
+:func:`shard_trace` / :func:`run_trace`): every lifecycle event
+carries the campaign trace, every ``run`` event the full run trace,
+so any logged record can be traced back to the worker, shard and
+lease generation that produced it.
 
-- ``campaign_start`` -- total/pending/resumed run counts, jobs.
-- ``run`` -- one completed run: its key, effect, worker id and
-  wall-clock timings summary.
+Event types emitted by the local executor:
+
+- ``campaign_start`` -- total/pending/resumed run counts, jobs,
+  ``schema``, ``trace`` and the campaign ``fingerprint``.
+- ``campaign_resume`` -- same fields, emitted instead of
+  ``campaign_start`` when a ``--resume`` session appends to an
+  existing stream.
+- ``run`` -- one completed run: its key, effect, worker id, trace
+  and wall-clock timings summary.
 - ``heartbeat`` -- emitted while the executor is *waiting* on the
   worker pool with nothing completing: how long the pool has been
   silent and the worker process states.  A campaign whose heartbeats
   show a dead/replaced worker is about to be aborted by the
   dead-worker guard rather than hanging forever.
 - ``campaign_end`` -- completion marker with the final wall-clock.
+
+The distributed dispatcher journals the same ``run`` events (streamed
+by workers, deduplicated by run key) plus fleet lifecycle events --
+``shard_leased``, ``shard_complete``, ``lease_expired``,
+``worker_heartbeat`` -- into the same file format, served live at
+``GET /api/events/<id>`` (see :mod:`repro.obs.live`).
 """
 
 from __future__ import annotations
@@ -24,7 +43,12 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import Callable, List, Optional, Union
+
+#: Event-stream schema version (stamped on ``campaign_start`` /
+#: ``campaign_resume``).  v2 added trace IDs and the fleet event
+#: types; v1 streams (no ``schema`` key) remain readable.
+EVENT_SCHEMA = 2
 
 
 def events_path_for(log_path: Union[str, Path]) -> Path:
@@ -32,24 +56,125 @@ def events_path_for(log_path: Union[str, Path]) -> Path:
     return Path(str(log_path) + ".events.jsonl")
 
 
+# -- trace IDs ----------------------------------------------------------------
+
+
+def campaign_trace(campaign_id: str, fingerprint: str) -> str:
+    """The root of a campaign's trace chain: ``<id>@<fp12>``.
+
+    Stamped at submit time (dispatcher) or first execution (local
+    runs, ``campaign_id="local"``); the fingerprint prefix ties the
+    trace to the plan identity, so two campaigns that happen to share
+    an id (different dispatchers, restarts) still trace distinctly.
+    """
+    return f"{campaign_id}@{str(fingerprint)[:12]}"
+
+
+def shard_trace(campaign: str, shard_index: int, generation: int) -> str:
+    """One shard lease within a campaign: ``<campaign>/s<idx>.g<gen>``.
+
+    ``generation`` counts how many times the shard has been leased --
+    a re-queued shard (expired lease) gets a new generation, so a
+    record's trace distinguishes the attempt that actually produced
+    it from the ones that were presumed dead.
+    """
+    return f"{campaign}/s{shard_index}.g{generation}"
+
+
+def run_trace(parent: str, kernel: str, structure: str,
+              run_index: int) -> str:
+    """One run within its parent (campaign or shard) trace."""
+    return f"{parent}/{kernel}:{structure}:{run_index}"
+
+
+# -- reading ------------------------------------------------------------------
+
+
+def trim_torn_tail(path: Union[str, Path]) -> None:
+    """Drop an incomplete final line before appending to a stream.
+
+    A writer killed mid-record leaves a line without its newline;
+    appending after it would fuse two events into one corrupt line.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return
+    cut = data.rfind(b"\n")
+    with open(path, "wb") as handle:
+        handle.write(data[:cut + 1] if cut >= 0 else b"")
+
+
+def read_events(path: Union[str, Path],
+                cursor: int = 0) -> List[dict]:
+    """Read events from a stream file, torn-tail-safe.
+
+    Returns the parsed events starting at line index ``cursor``.  A
+    final line cut mid-write (no trailing newline, or unparseable) is
+    silently dropped -- the same contract as resuming a run log -- so
+    a journal being written concurrently is always readable.  A
+    missing file reads as an empty stream.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = path.read_bytes()
+    if not data.endswith(b"\n"):
+        # torn tail: keep only the complete lines
+        cut = data.rfind(b"\n")
+        data = data[:cut + 1] if cut >= 0 else b""
+    events: List[dict] = []
+    for index, line in enumerate(data.decode("utf-8").splitlines()):
+        if index < cursor or not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a corrupt line is skipped, not fatal
+    return events
+
+
 class EventLog:
-    """Append-only JSONL event writer (opened lazily, flushed per event)."""
+    """Append-and-flush JSONL event writer (opened lazily).
+
+    Args:
+        path: the stream file (``events_path_for(log)``).
+        clock: wall-clock used for the ``ts`` field.
+        append: open in append mode, preserving the existing stream
+            (the resume contract); the default truncates, which is
+            only correct for a brand-new campaign.
+    """
 
     def __init__(self, path: Union[str, Path],
-                 clock: Callable[[], float] = time.time):
+                 clock: Callable[[], float] = time.time,
+                 append: bool = False):
         self.path = Path(path)
         self._clock = clock
+        self._append = append
         self._handle = None
 
-    def emit(self, event: str, **fields) -> None:
-        """Append one event record and flush it to disk."""
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "w", encoding="utf-8")
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event record and flush it; returns the record."""
         record = {"ts": round(self._clock(), 6), "event": event}
         record.update(fields)
+        return self.append(record)
+
+    def append(self, record: dict) -> dict:
+        """Append a pre-built event record (stamping ``ts`` if absent)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._append:
+                trim_torn_tail(self.path)
+            self._handle = open(self.path,
+                                "a" if self._append else "w",
+                                encoding="utf-8")
+        if "ts" not in record:
+            record = {"ts": round(self._clock(), 6), **record}
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
+        return record
 
     def close(self) -> None:
         if self._handle is not None:
@@ -69,8 +194,11 @@ class NullEventLog:
 
     path: Optional[Path] = None
 
-    def emit(self, event: str, **fields) -> None:
-        pass
+    def emit(self, event: str, **fields) -> dict:
+        return {}
+
+    def append(self, record: dict) -> dict:
+        return record
 
     def close(self) -> None:
         pass

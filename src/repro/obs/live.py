@@ -1,0 +1,512 @@
+"""Live campaign telemetry: dashboards, tailing, and /metrics text.
+
+The render/aggregate half of the fleet observability layer (the
+transport half lives in :mod:`repro.dist`): everything here is a pure
+function of event streams and status documents, shared by
+
+- ``gpufi top`` / ``gpufi status --follow`` -- a terminal dashboard
+  and a line-per-event stream rendered from ``/api/events`` +
+  ``/api/status`` (fleet) or from a tailed ``<log>.events.jsonl``
+  (local runs), via :class:`DashboardState`, :func:`render_top` and
+  :func:`format_event`;
+- the dispatcher's ``GET /metrics`` endpoint --
+  :func:`render_prometheus` writes the Prometheus text exposition
+  format with zero third-party deps, and :func:`lint_prometheus` is
+  the tiny format checker CI runs against a live scrape;
+- local tailing -- :class:`EventFileTailer` follows an events file by
+  byte offset, delivering only complete lines (torn-tail-safe), so a
+  dashboard can ride along a campaign that is still writing;
+- post-hoc fleet reports -- :func:`summarize_dist_events` folds a
+  dispatcher journal into the ``dist`` metrics-sidecar section that
+  ``gpufi report-metrics`` renders, so offline numbers match what
+  ``gpufi top`` showed live.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DashboardState",
+    "EventFileTailer",
+    "format_event",
+    "lint_prometheus",
+    "render_prometheus",
+    "render_top",
+    "summarize_dist_events",
+]
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Trailing window (seconds) of the throughput estimate.
+RATE_WINDOW_S = 30.0
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<ts>-?\d+))?$")
+_LABEL_PAIR = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: One exposition family: ``(name, type, help, samples)`` where each
+#: sample is ``(labels_dict, value)``.
+Family = Tuple[str, str, str, List[Tuple[Dict[str, str], float]]]
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(round(float(value), 6))
+
+
+def render_prometheus(families: Sequence[Family]) -> str:
+    """Render metric families as the Prometheus text format (0.0.4).
+
+    Each family is ``(name, type, help, samples)``; a family with no
+    samples still renders its ``HELP``/``TYPE`` header (a scraper
+    seeing the family exists with no series is meaningful -- e.g. no
+    workers connected yet).
+    """
+    lines: List[str] = []
+    for name, mtype, help_text, samples in families:
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if mtype not in _VALID_TYPES:
+            raise ValueError(f"invalid metric type {mtype!r} for {name}")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for labels, value in samples:
+            if labels:
+                label_text = ",".join(
+                    f'{key}="{_escape_label(labels[key])}"'
+                    for key in sorted(labels))
+                lines.append(f"{name}{{{label_text}}} "
+                             f"{_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Check a text exposition for format errors; returns them.
+
+    An empty list means the scrape is well-formed.  Covers the
+    properties CI relies on: parseable sample lines and label pairs,
+    float-parseable values, ``TYPE`` lines naming a valid type, at
+    most one ``TYPE`` per family, and no samples preceding their
+    family's ``TYPE`` declaration.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    sampled: set = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or not _METRIC_NAME.match(parts[2]):
+                errors.append(f"line {number}: malformed TYPE: {line!r}")
+                continue
+            name, mtype = parts[2], parts[3].strip()
+            if mtype not in _VALID_TYPES:
+                errors.append(
+                    f"line {number}: invalid type {mtype!r} for {name}")
+            if name in typed:
+                errors.append(f"line {number}: duplicate TYPE for {name}")
+            if name in sampled:
+                errors.append(
+                    f"line {number}: TYPE for {name} after its samples")
+            typed[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            errors.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count|total)$", "", name)
+        if name not in typed and base not in typed:
+            errors.append(f"line {number}: sample for undeclared "
+                          f"family {name}")
+        sampled.add(name)
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_label_pairs(labels):
+                if not _LABEL_PAIR.match(pair):
+                    errors.append(
+                        f"line {number}: malformed label {pair!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(
+                    f"line {number}: non-numeric value {value!r}")
+    return errors
+
+
+def _split_label_pairs(labels: str) -> List[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quoted values."""
+    pairs, depth, start = [], False, 0
+    index = 0
+    while index < len(labels):
+        char = labels[index]
+        if char == "\\" and depth:
+            index += 2
+            continue
+        if char == '"':
+            depth = not depth
+        elif char == "," and not depth:
+            pairs.append(labels[start:index])
+            start = index + 1
+        index += 1
+    tail = labels[start:]
+    if tail:
+        pairs.append(tail)
+    return pairs
+
+
+def required_families_present(text: str,
+                              names: Iterable[str]) -> List[str]:
+    """Names from ``names`` that have no ``TYPE`` line in ``text``."""
+    declared = {line.split(" ", 3)[2]
+                for line in text.splitlines()
+                if line.startswith("# TYPE ") and len(line.split(" ")) >= 4}
+    return [name for name in names if name not in declared]
+
+
+# -- event-file tailing -------------------------------------------------------
+
+
+class EventFileTailer:
+    """Follow a ``<log>.events.jsonl`` file by byte offset.
+
+    Each :meth:`poll` returns the events appended since the previous
+    poll, never consuming an incomplete final line: a torn tail (the
+    writer flushed mid-record, or was killed there) is left in place
+    and delivered on a later poll once its newline lands -- the
+    cursor-resume contract of ``/api/events``, applied to a file.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.offset = 0
+
+    def poll(self) -> List[dict]:
+        """Parse and return the complete events past the offset."""
+        if not self.path.exists():
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            data = handle.read()
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            return []
+        data = data[:cut + 1]
+        self.offset += len(data)
+        events: List[dict] = []
+        for line in data.decode("utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return events
+
+
+# -- dashboard state ----------------------------------------------------------
+
+
+class DashboardState:
+    """Aggregate of one campaign's event stream, for rendering.
+
+    Feed events (fleet ``/api/events`` pages or a tailed local file)
+    through :meth:`apply`; the state tracks totals, per-effect and
+    per-structure counts, a per-worker table, shard lifecycle
+    counters and a trailing throughput window.  Purely a function of
+    the events seen, so a dashboard reconnecting with a cursor
+    rebuilds the exact same numbers.
+    """
+
+    def __init__(self, rate_window: float = RATE_WINDOW_S):
+        self.campaign: Optional[str] = None
+        self.trace: Optional[str] = None
+        self.state = "running"
+        self.total = 0
+        self.resumed = 0
+        self.done = 0
+        self.effects: Dict[str, int] = {}
+        self.structures: Dict[str, Dict[str, int]] = {}
+        self.workers: Dict[str, dict] = {}
+        self.shards_leased = 0
+        self.shards_complete = 0
+        self.leases_expired = 0
+        self.started_ts: Optional[float] = None
+        self.last_ts: Optional[float] = None
+        self.complete = False
+        self.events_seen = 0
+        self._rate_window = float(rate_window)
+        self._run_ts: deque = deque()
+
+    def apply(self, event: dict) -> None:
+        """Fold one event into the aggregate."""
+        kind = event.get("event")
+        ts = event.get("ts")
+        if ts is not None:
+            if self.started_ts is None:
+                self.started_ts = ts
+            self.last_ts = ts
+        self.events_seen += 1
+        if kind in ("campaign_start", "campaign_resume"):
+            self.campaign = event.get("campaign", self.campaign)
+            self.trace = event.get("trace", self.trace)
+            self.total = event.get("total", self.total)
+            self.resumed = event.get("resumed", 0)
+            self.done = self.resumed
+        elif kind == "run":
+            self.done += 1
+            effect = event.get("effect", "?")
+            structure = event.get("structure", "?")
+            self.effects[effect] = self.effects.get(effect, 0) + 1
+            per = self.structures.setdefault(structure, {})
+            per[effect] = per.get(effect, 0) + 1
+            if ts is not None:
+                self._run_ts.append(ts)
+                horizon = ts - self._rate_window
+                while self._run_ts and self._run_ts[0] < horizon:
+                    self._run_ts.popleft()
+            worker = event.get("worker")
+            if worker is not None and not isinstance(worker, int):
+                entry = self._worker(worker)
+                entry["runs"] += 1
+                entry["last_ts"] = ts
+                entry["last_event"] = "run"
+        elif kind == "shard_leased":
+            self.shards_leased += 1
+            self._note_worker(event, "shard_leased")
+        elif kind == "shard_complete":
+            self.shards_complete += 1
+            self._note_worker(event, "shard_complete")
+        elif kind == "lease_expired":
+            self.leases_expired += 1
+        elif kind in ("worker_heartbeat", "heartbeat"):
+            self._note_worker(event, "heartbeat")
+        elif kind == "campaign_end":
+            self.complete = True
+            self.state = ("complete" if event.get("complete", True)
+                          else "aborted")
+
+    def apply_all(self, events: Iterable[dict]) -> "DashboardState":
+        for event in events:
+            self.apply(event)
+        return self
+
+    def _worker(self, name: str) -> dict:
+        return self.workers.setdefault(
+            name, {"runs": 0, "heartbeats": 0, "last_ts": None,
+                   "last_event": None})
+
+    def _note_worker(self, event: dict, kind: str) -> None:
+        worker = event.get("worker")
+        if worker is None or isinstance(worker, int):
+            return
+        entry = self._worker(worker)
+        if kind == "heartbeat":
+            entry["heartbeats"] += 1
+        entry["last_ts"] = event.get("ts", entry["last_ts"])
+        entry["last_event"] = kind
+
+    # -- derived ------------------------------------------------------------
+
+    def runs_per_second(self) -> float:
+        """Trailing-window throughput from run-event timestamps."""
+        if len(self._run_ts) < 2:
+            return 0.0
+        span = self._run_ts[-1] - self._run_ts[0]
+        if span <= 0:
+            return 0.0
+        return (len(self._run_ts) - 1) / span
+
+    def eta_seconds(self) -> Optional[float]:
+        rate = self.runs_per_second()
+        remaining = max(self.total - self.done, 0)
+        if rate <= 0 or not self.total:
+            return None
+        return remaining / rate
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _fmt_age(ts: Optional[float], now: Optional[float]) -> str:
+    if ts is None or now is None:
+        return "?"
+    return f"{max(now - ts, 0.0):.1f}s ago"
+
+
+def render_top(state: DashboardState, status: Optional[dict] = None,
+               now: Optional[float] = None) -> str:
+    """Render one dashboard frame as plain text.
+
+    ``status`` (a ``/api/status/<id>`` document) refines the header
+    with dispatcher-side shard counts when available; local runs pass
+    ``None``.  ``now`` defaults to the last event timestamp so a
+    frame is a pure function of its inputs (tests) -- interactive
+    callers pass ``time.time()``.
+    """
+    now = now if now is not None else state.last_ts
+    shards = (status or {}).get("shards")
+    lines: List[str] = []
+    title = state.campaign or (status or {}).get("id") or "campaign"
+    trace = state.trace or (status or {}).get("fingerprint", "")
+    lines.append(f"gpufi top -- {title}"
+                 + (f"  [{trace}]" if trace else ""))
+    pct = (f" ({state.done / state.total * 100:.1f}%)"
+           if state.total else "")
+    lines.append(
+        f"state {state.state}   runs {state.done}/{state.total}{pct}"
+        f"   rate {state.runs_per_second():.2f}/s"
+        f"   eta {_fmt_duration(state.eta_seconds())}")
+    if shards:
+        lines.append(
+            f"shards {shards.get('complete', 0)}/{shards.get('total', 0)}"
+            f" complete, {shards.get('pending', 0)} pending,"
+            f" {shards.get('leased', 0)} leased"
+            f"   lease expiries {state.leases_expired}")
+    elif state.shards_leased or state.leases_expired:
+        lines.append(
+            f"shards {state.shards_complete} complete,"
+            f" {state.shards_leased} leased"
+            f"   lease expiries {state.leases_expired}")
+    if state.effects:
+        parts = [f"{name} {count}"
+                 for name, count in sorted(state.effects.items())]
+        lines.append("effects  " + "   ".join(parts))
+    if state.structures:
+        lines.append("")
+        width = max(len(name) for name in state.structures)
+        for structure in sorted(state.structures):
+            per = state.structures[structure]
+            detail = "  ".join(f"{name} {count}"
+                               for name, count in sorted(per.items()))
+            lines.append(f"  {structure:<{width}}  {detail}")
+    if state.workers:
+        lines.append("")
+        width = max(max(len(name) for name in state.workers), len("worker"))
+        lines.append(f"  {'worker':<{width}}  {'runs':>5}  last event")
+        for name in sorted(state.workers):
+            entry = state.workers[name]
+            last = entry.get("last_event") or "?"
+            lines.append(
+                f"  {name:<{width}}  {entry['runs']:>5}  "
+                f"{last} {_fmt_age(entry.get('last_ts'), now)}")
+    return "\n".join(lines)
+
+
+def format_event(event: dict) -> str:
+    """One line per event, for ``gpufi status --follow``."""
+    ts = event.get("ts")
+    stamp = (time.strftime("%H:%M:%S", time.localtime(ts))
+             if ts is not None else "--:--:--")
+    kind = event.get("event", "?")
+    if kind == "run":
+        total_s = event.get("total_s")
+        timing = f" ({total_s:.3f}s)" if isinstance(total_s,
+                                                    (int, float)) else ""
+        worker = event.get("worker")
+        via = f" worker={worker}" if isinstance(worker, str) else ""
+        return (f"{stamp} run {event.get('kernel')}/"
+                f"{event.get('structure')}/{event.get('run')} "
+                f"{event.get('effect')}{via}{timing}")
+    if kind in ("campaign_start", "campaign_resume"):
+        return (f"{stamp} {kind} total={event.get('total')} "
+                f"pending={event.get('pending')} "
+                f"resumed={event.get('resumed')}"
+                + (f" trace={event['trace']}" if event.get("trace")
+                   else ""))
+    if kind == "shard_leased":
+        return (f"{stamp} shard_leased s{event.get('shard')} -> "
+                f"{event.get('worker')} ({event.get('runs')} runs, "
+                f"gen {event.get('generation')})")
+    if kind == "shard_complete":
+        return (f"{stamp} shard_complete s{event.get('shard')} by "
+                f"{event.get('worker')}")
+    if kind == "lease_expired":
+        return (f"{stamp} lease_expired s{event.get('shard')} "
+                f"worker={event.get('worker')} "
+                f"gen={event.get('generation')} -- shard re-queued")
+    if kind == "campaign_end":
+        outcome = "complete" if event.get("complete", True) else "ABORTED"
+        return (f"{stamp} campaign_end {outcome} "
+                f"executed={event.get('executed')}")
+    detail = " ".join(f"{key}={value}"
+                      for key, value in sorted(event.items())
+                      if key not in ("ts", "event"))
+    return f"{stamp} {kind} {detail}".rstrip()
+
+
+# -- post-hoc fleet summaries -------------------------------------------------
+
+
+def summarize_dist_events(events: Sequence[dict]) -> dict:
+    """Fold a dispatcher event journal into the ``dist`` summary.
+
+    A pure function of the journal, so ``gpufi report-metrics``
+    (reading the sidecar) and ``gpufi top`` (consuming the live
+    stream) agree by construction.  Returns per-type event counts,
+    per-worker run/shard/heartbeat counts and the lease-expiry total;
+    the dispatcher adds its own shard totals before embedding this in
+    the metrics sidecar.
+    """
+    by_type: Dict[str, int] = {}
+    workers: Dict[str, dict] = {}
+    expired = 0
+    for event in events:
+        kind = event.get("event", "?")
+        by_type[kind] = by_type.get(kind, 0) + 1
+        worker = event.get("worker")
+        if isinstance(worker, str):
+            entry = workers.setdefault(
+                worker, {"runs": 0, "shards": 0, "heartbeats": 0})
+            if kind == "run":
+                entry["runs"] += 1
+            elif kind == "shard_complete":
+                entry["shards"] += 1
+            elif kind in ("worker_heartbeat", "heartbeat"):
+                entry["heartbeats"] += 1
+        if kind == "lease_expired":
+            expired += 1
+    return {
+        "events": {"total": len(events),
+                   "by_type": dict(sorted(by_type.items()))},
+        "workers": {name: workers[name] for name in sorted(workers)},
+        "lease_expired": expired,
+    }

@@ -7,6 +7,7 @@ the same plan (see :mod:`repro.dist.protocol`).
 """
 
 import json
+import re
 import threading
 
 import pytest
@@ -301,6 +302,162 @@ class TestDispatcherCore:
             "no metrics sidecar written at completion"
 
 
+class TestDispatcherTelemetry:
+    """Event journaling, cursor pages, /metrics -- still no HTTP."""
+
+    make = TestDispatcherCore.make
+    drain = TestDispatcherCore.drain
+
+    def test_events_bracket_the_campaign(self, tmp_path):
+        dispatcher, _ = self.make(tmp_path, shard_size=2)
+        cid = dispatcher.submit(small_config_text())["campaign"]
+        self.drain(dispatcher, "w")
+        page = dispatcher.events(cid)
+        events = page["events"]
+        assert events[0]["event"] == "campaign_start"
+        assert events[0]["schema"] >= 2
+        assert events[-1]["event"] == "campaign_end"
+        assert events[-1]["complete"]
+        runs = [e for e in events if e["event"] == "run"]
+        assert len(runs) == SMALL["runs_per_structure"]
+        # the trace chain threads campaign -> shard -> run
+        trace = page["trace"]
+        assert trace.startswith(cid + "@")
+        assert all(r["trace"].startswith(f"{trace}/s") for r in runs)
+        leased = [e for e in events if e["event"] == "shard_leased"]
+        assert {e["shard"] for e in leased} == {0, 1}
+        assert all(e["trace"] == f"{trace}/s{e['shard']}.g1"
+                   for e in leased)
+
+    def test_events_cursor_pages_are_resumable(self, tmp_path):
+        dispatcher, _ = self.make(tmp_path)
+        cid = dispatcher.submit(small_config_text())["campaign"]
+        self.drain(dispatcher, "w")
+        whole = dispatcher.events(cid)
+        collected, cursor = [], 0
+        while True:
+            page = dispatcher.events(cid, cursor=cursor, limit=2)
+            assert page["cursor"] == cursor
+            if not page["events"]:
+                break
+            collected.extend(page["events"])
+            cursor = page["next"]
+        assert collected == whole["events"]
+        assert cursor == whole["total"]
+
+    def test_events_unknown_campaign_raises(self, tmp_path):
+        dispatcher, _ = self.make(tmp_path)
+        with pytest.raises(KeyError):
+            dispatcher.events("c404")
+
+    def test_recovered_lease_journals_each_run_once(self, tmp_path):
+        dispatcher, clock = self.make(tmp_path, shard_size=2,
+                                      lease_timeout=10.0)
+        cid = dispatcher.submit(small_config_text())["campaign"]
+        stale = dispatcher.lease("w-dead")
+        clock.advance(11.0)
+        fresh = dispatcher.lease("w-live")  # reap + re-queue
+        assert fresh["shard"] == stale["shard"]
+        specs = [spec_from_wire(w) for w in stale["specs"]]
+        records = [fake_record(s) for s in specs]
+        run_events = [{"event": "run", "worker": name, **r}
+                      for name, r in
+                      [("w-dead", records[0]), ("w-dead", records[1])]]
+        dispatcher.collect(cid, stale["lease"], stale["fingerprint"],
+                           records, done=True, worker="w-dead",
+                           events=run_events)
+        # the replacement re-delivers the exact same runs
+        relived = [{**e, "worker": "w-live"} for e in run_events]
+        dispatcher.collect(cid, fresh["lease"], fresh["fingerprint"],
+                           records, done=True, worker="w-live",
+                           events=relived)
+        self.drain(dispatcher, "w-live")
+        events = dispatcher.events(cid)["events"]
+        runs = [e for e in events if e["event"] == "run"]
+        keys = [record_key(e) for e in runs]
+        assert len(keys) == len(set(keys)) == SMALL["runs_per_structure"]
+        # first delivery wins, matching canonical_records
+        by_key = {record_key(e): e["worker"] for e in runs}
+        for record in records:
+            assert by_key[record_key(record)] == "w-dead"
+        expired = [e for e in events if e["event"] == "lease_expired"]
+        assert len(expired) == 1 and expired[0]["shard"] == 0
+
+    def test_worker_without_events_gets_synthesized_runs(self, tmp_path):
+        dispatcher, _ = self.make(tmp_path)
+        cid = dispatcher.submit(small_config_text())["campaign"]
+        self.drain(dispatcher, "w-old")  # old worker: no events field
+        runs = [e for e in dispatcher.events(cid)["events"]
+                if e["event"] == "run"]
+        assert len(runs) == SMALL["runs_per_structure"]
+        assert all(e["worker"] == "w-old" and e["trace"] for e in runs)
+
+    def test_restart_appends_campaign_resume_to_journal(self, tmp_path):
+        root = tmp_path / "logs"
+        dispatcher = Dispatcher(log_dir=root, shard_size=2)
+        cid = dispatcher.submit(small_config_text())["campaign"]
+        lease = dispatcher.lease("w")
+        specs = [spec_from_wire(w) for w in lease["specs"]]
+        dispatcher.collect(cid, lease["lease"], lease["fingerprint"],
+                           [fake_record(s) for s in specs], done=True,
+                           worker="w")
+        before = dispatcher.events(cid)["events"]
+
+        revived = Dispatcher(log_dir=root, shard_size=2)
+        events = revived.events(cid)["events"]
+        # the journal survived the restart and grew a resume marker
+        assert [e["event"] for e in events[:len(before)]] == \
+               [e["event"] for e in before]
+        assert events[len(before)]["event"] == "campaign_resume"
+        assert events[len(before)]["resumed"] == len(specs)
+        self.drain(revived, "w2")
+        final = revived.events(cid)["events"]
+        runs = [e for e in final if e["event"] == "run"]
+        keys = [record_key(e) for e in runs]
+        # pre-restart runs were not re-journaled after the resume
+        assert len(keys) == len(set(keys)) == SMALL["runs_per_structure"]
+        assert final[-1]["event"] == "campaign_end"
+
+    def test_metrics_exposition_lints_clean(self, tmp_path):
+        from repro.obs.live import (lint_prometheus,
+                                    required_families_present)
+
+        dispatcher, _ = self.make(tmp_path)
+        cid = dispatcher.submit(small_config_text())["campaign"]
+        text = dispatcher.metrics_text()
+        assert lint_prometheus(text) == []
+        self.drain(dispatcher, "w")
+        text = dispatcher.metrics_text()
+        assert lint_prometheus(text) == []
+        assert required_families_present(text, [
+            "gpufi_uptime_seconds", "gpufi_campaigns", "gpufi_shards",
+            "gpufi_runs_total", "gpufi_run_effects_total",
+            "gpufi_leases_granted_total", "gpufi_lease_expired_total",
+            "gpufi_workers", "gpufi_worker_runs_total"]) == []
+        assert 'state="complete"' in text
+        assert re.search(r"gpufi_runs_total \d", text)
+        assert 'gpufi_worker_runs_total{worker="w"} 4' in text
+        assert dispatcher.status(cid)["state"] == "complete"
+
+    def test_sidecar_dist_section_matches_journal(self, tmp_path):
+        from repro.obs.live import summarize_dist_events
+
+        dispatcher, _ = self.make(tmp_path)
+        cid = dispatcher.submit(
+            small_config_text(metrics=True))["campaign"]
+        self.drain(dispatcher, "w")
+        sidecar = tmp_path / "logs" / f"{cid}.jsonl.metrics.json"
+        doc = json.loads(sidecar.read_text(encoding="utf-8"))
+        dist = doc["dist"]
+        events = dispatcher.events(cid)["events"]
+        summary = summarize_dist_events(events)
+        # offline report numbers == what a live tail aggregated
+        assert dist["events"] == summary["events"]
+        assert dist["workers"] == summary["workers"]
+        assert dist["campaign"] == cid
+        assert dist["shards"]["complete"] == dist["shards"]["total"]
+
+
 class TestFleetEndToEnd:
     """Real HTTP, real workers, real simulation: the headline test."""
 
@@ -359,6 +516,39 @@ class TestFleetEndToEnd:
                 client.call("/api/records", {
                     "campaign": cid, "lease": lease["lease"],
                     "fingerprint": "f" * 64, "records": []})
+        finally:
+            server.shutdown()
+
+    def test_events_and_metrics_over_http(self, tmp_path):
+        from repro.obs.live import lint_prometheus
+
+        dispatcher = Dispatcher(log_dir=tmp_path / "server")
+        server = DispatcherServer(dispatcher, port=0).start()
+        try:
+            client = DispatcherClient(server.url)
+            cid = client.submit(small_config_text())["campaign"]
+            lease = client.call("/api/lease", {"worker": "w"})
+            specs = [spec_from_wire(w) for w in lease["specs"]]
+            client.call("/api/records", {
+                "campaign": cid, "lease": lease["lease"],
+                "fingerprint": lease["fingerprint"],
+                "records": [fake_record(s) for s in specs],
+                "done": True, "worker": "w"})
+            page = client.events(cid)
+            kinds = [e["event"] for e in page["events"]]
+            assert kinds[0] == "campaign_start"
+            assert kinds.count("run") == len(specs)
+            # cursor resume over HTTP: second page picks up where the
+            # first left off, limit clamps the page size
+            head = client.events(cid, limit=2)
+            assert len(head["events"]) == 2
+            tail = client.events(cid, cursor=head["next"])
+            assert head["events"] + tail["events"] == page["events"]
+            with pytest.raises(DispatchError, match="404"):
+                client.events("c404")
+            text = client.metrics_text()
+            assert lint_prometheus(text) == []
+            assert "gpufi_runs_total" in text
         finally:
             server.shutdown()
 

@@ -256,6 +256,59 @@ class TestEventStream:
         with NullEventLog() as null:
             null.emit("run")  # no-op, nowhere to write
 
+    def test_run_events_carry_the_trace_chain(self, tmp_path):
+        log = tmp_path / "c.jsonl"
+        Campaign(make_config(log_path=log, metrics=True)).run(jobs=1)
+        events = [json.loads(line) for line in
+                  events_path_for(log).read_text().splitlines()]
+        start = events[0]
+        assert start["schema"] >= 2
+        assert start["campaign"] == "local"
+        assert start["trace"].startswith("local@")
+        runs = [e for e in events if e["event"] == "run"]
+        assert all(e["trace"] ==
+                   f"{start['trace']}/{e['kernel']}:"
+                   f"{e['structure']}:{e['run']}" for e in runs)
+
+    def test_log_byte_identical_with_events_on_or_off(self, tmp_path):
+        from repro.dist.protocol import canonical_log_text
+
+        texts = {}
+        for tag, jobs, metrics in (("off1", 1, False), ("on1", 1, True),
+                                   ("off2", 2, False), ("on2", 2, True)):
+            log = tmp_path / f"{tag}.jsonl"
+            Campaign(make_config(
+                log_path=log, checkpoint_dir=tmp_path / "ckpt",
+                early_stop="full", metrics=metrics)).run(jobs=jobs)
+            texts[tag] = canonical_log_text(load_records(log))
+            # the event stream exists exactly when telemetry is on
+            assert events_path_for(log).exists() == metrics
+        assert len(set(texts.values())) == 1, \
+            "telemetry or jobs count changed the canonical log"
+
+    def test_executor_resume_appends_campaign_resume(self, tmp_path):
+        log = tmp_path / "c.jsonl"
+        specs = make_specs(4)
+        CampaignExecutor(log_path=log, telemetry=True,
+                         run_fn=fake_record).execute(specs[:2])
+        first = [json.loads(line) for line in
+                 events_path_for(log).read_text().splitlines()]
+        assert first[0]["event"] == "campaign_start"
+        assert first[-1]["event"] == "campaign_end"
+
+        CampaignExecutor(log_path=log, telemetry=True, resume=True,
+                         run_fn=fake_record).execute(specs)
+        events = [json.loads(line) for line in
+                  events_path_for(log).read_text().splitlines()]
+        # the first session's stream survived the resume (append mode)
+        assert events[:len(first)] == first
+        resume = events[len(first)]
+        assert resume["event"] == "campaign_resume"
+        assert resume["total"] == 4 and resume["resumed"] == 2
+        fresh = [e for e in events[len(first):] if e["event"] == "run"]
+        assert sorted(e["run"] for e in fresh) == [2, 3]
+        assert events[-1]["event"] == "campaign_end"
+
 
 class TestResumeNeverTruncates:
     def test_resume_with_disjoint_plan_appends(self, tmp_path):
